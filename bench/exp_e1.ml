@@ -1,0 +1,81 @@
+(* E1 -- Figure 1 / Proposition 1: mechanized lower-bound construction.
+
+   For every protocol and a sweep of (t, b), build the five runs of the
+   proof on S = 2t+2b objects, verify indistinguishability, and report
+   the verdict: fast protocols violate safety in run4 or run5; the
+   paper's two-round protocols escape as "not fast". *)
+
+let grid = [ (1, 1); (2, 1); (2, 2); (3, 2); (3, 3); (4, 2) ]
+
+let analyse_with (module P : Core.Protocol_intf.S) ~t ~b =
+  let module LB = Mc.Lower_bound.Make (P) in
+  let o = LB.analyse ~t ~b ~value:(Core.Value.v "v1") in
+  let verdict =
+    match o.verdict with
+    | LB.Violates_run4 { returned; _ } ->
+        Printf.sprintf "VIOLATES run4 (returned %s, expected v1)"
+          (Core.Value.to_string returned)
+    | LB.Violates_run5 { returned } ->
+        Printf.sprintf "VIOLATES run5 (returned %s, expected _|_)"
+          (Core.Value.to_string returned)
+    | LB.Not_fast -> "escapes (not a fast read)"
+  in
+  (verdict, o.replies_equal, o.write_rounds)
+
+let run () =
+  Exp_common.section
+    "E1: Proposition 1 / Figure 1 -- fast reads on S = 2t+2b objects";
+  Exp_common.note
+    "Paper claim: with at most 2t+2b base objects, no safe storage has only";
+  Exp_common.note
+    "fast (single-round) READs.  We rebuild the proof's five runs per protocol.";
+
+  (* Full narration once, for the canonical t = b = 1 strawman case. *)
+  let module LB = Mc.Lower_bound.Make (Baseline.Naive_fast) in
+  let o = LB.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  Exp_common.note "";
+  Exp_common.note "Transcript (naive-fast, t = b = 1):";
+  List.iter (fun l -> Printf.printf "  %s\n" l) o.transcript;
+  Exp_common.note "";
+  List.iter (fun l -> Printf.printf "  %s\n" l) (LB.figure o);
+
+  let protos =
+    [
+      ("naive-fast", (module Baseline.Naive_fast : Core.Protocol_intf.S));
+      ("abd", (module Baseline.Abd.Regular));
+      ("safe (Fig 2-4)", (module Core.Proto_safe));
+      ("regular (Fig 5-6)", (module Core.Proto_regular.Plain));
+      ("regular-opt (S5.1)", (module Core.Proto_regular.Optimized));
+      ("non-modifying [1]", (module Baseline.Nonmod));
+      ("fast-safe (needs S>2t+2b)", (module Baseline.Fast_safe));
+    ]
+  in
+  let table =
+    Stats.Table.create
+      ~headers:[ "protocol"; "t"; "b"; "S=2t+2b"; "wr rounds"; "indist."; "verdict" ]
+  in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun (t, b) ->
+          let verdict, eq, wr = analyse_with p ~t ~b in
+          Stats.Table.add_row table
+            [
+              name;
+              Stats.Table.cell_int t;
+              Stats.Table.cell_int b;
+              Stats.Table.cell_int ((2 * t) + (2 * b));
+              Stats.Table.cell_int wr;
+              Stats.Table.cell_bool eq;
+              verdict;
+            ])
+        grid;
+      Stats.Table.add_separator table)
+    protos;
+  Exp_common.print_table table;
+  Exp_common.note
+    "The authenticated baseline is exempt: the run5 adversary cannot forge";
+  Exp_common.note
+    "sigma2, which contains a writer signature over a never-written value --";
+  Exp_common.note
+    "exactly the paper's remark that authentication sidesteps the bound [15]."

@@ -1,0 +1,49 @@
+(* Benchmark & experiment harness.
+
+     dune exec bench/main.exe                 # every experiment + micro
+     dune exec bench/main.exe -- tables       # E1..E7
+     dune exec bench/main.exe -- tables e3    # one experiment
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+
+   Each experiment regenerates one artifact of the paper's evaluation
+   (see DESIGN.md §4 and EXPERIMENTS.md for the paper-vs-measured
+   record). *)
+
+let experiments =
+  [
+    ("e1", Exp_e1.run);
+    ("e2", Exp_e2.run);
+    ("e3", Exp_e3.run);
+    ("e4", Exp_e4.run);
+    ("e5", Exp_e5.run);
+    ("e6", Exp_e6.run);
+    ("e7", Exp_e7.run);
+    ("e8", Exp_e8.run);
+    ("e9", Exp_e9.run);
+    ("e10", Exp_e10.run);
+    ("e11", Exp_e11.run);
+  ]
+
+let run_tables = function
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt (String.lowercase_ascii n) experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (expected e1..e11)\n" n;
+              exit 2)
+        names
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "tables" :: rest -> run_tables rest
+  | _ :: "micro" :: _ -> Micro.run ()
+  | [ _ ] ->
+      run_tables [];
+      Micro.run ()
+  | _ :: cmd :: _ ->
+      Printf.eprintf "usage: main.exe [tables [e1..e11] | micro] (got %S)\n" cmd;
+      exit 2
+  | [] -> assert false

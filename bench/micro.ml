@@ -1,0 +1,169 @@
+(* Bechamel micro-benchmarks: throughput of the pure state machines and
+   of the supporting infrastructure (B1 in DESIGN.md).  One Test.make per
+   hot path; estimates are OLS ns/run on the monotonic clock. *)
+
+open Bechamel
+open Toolkit
+
+let cfg_core = Quorum.Config.optimal ~t:1 ~b:1
+
+(* -- fixtures ----------------------------------------------------------- *)
+
+let safe_object_with_write () =
+  let o = Core.Safe_object.init ~index:1 in
+  let tsval = Core.Tsval.make ~ts:1 ~v:(Core.Value.v "payload") in
+  let w = Core.Wtuple.make ~tsval ~tsrarray:Core.Tsr_matrix.empty in
+  let o, _ =
+    Core.Safe_object.handle o ~src:Sim.Proc_id.Writer
+      (Core.Messages.W { ts = 1; pw = tsval; w })
+  in
+  o
+
+let bench_safe_object =
+  Test.make ~name:"safe_object.handle READ1"
+    (Staged.stage (fun () ->
+         let o = safe_object_with_write () in
+         Core.Safe_object.handle o ~src:(Sim.Proc_id.Reader 1)
+           (Core.Messages.Read1 { tsr = 1; from_ts = 0 })))
+
+let bench_regular_object =
+  Test.make ~name:"regular_object.handle W + READ1"
+    (Staged.stage (fun () ->
+         let o = Core.Regular_object.init ~index:1 in
+         let tsval = Core.Tsval.make ~ts:1 ~v:(Core.Value.v "payload") in
+         let w = Core.Wtuple.make ~tsval ~tsrarray:Core.Tsr_matrix.empty in
+         let o, _ =
+           Core.Regular_object.handle o ~src:Sim.Proc_id.Writer
+             (Core.Messages.W { ts = 1; pw = tsval; w })
+         in
+         Core.Regular_object.handle o ~src:(Sim.Proc_id.Reader 1)
+           (Core.Messages.Read1 { tsr = 1; from_ts = 0 })))
+
+let bench_writer_round =
+  Test.make ~name:"writer full 2-round write"
+    (Staged.stage (fun () ->
+         let w = Core.Writer.init ~cfg:cfg_core in
+         match Core.Writer.start_write w (Core.Value.v "v") with
+         | Error _ -> assert false
+         | Ok (w, _) ->
+             let ack ts = Core.Messages.Pw_ack { ts; tsr = Core.Ints.Map.empty } in
+             let w, _ = Core.Writer.on_message w ~obj:1 (ack 1) in
+             let w, _ = Core.Writer.on_message w ~obj:2 (ack 1) in
+             let w, e = Core.Writer.on_message w ~obj:3 (ack 1) in
+             (match e with
+             | Core.Writer.Broadcast _ ->
+                 let wa = Core.Messages.W_ack { ts = 1 } in
+                 let w, _ = Core.Writer.on_message w ~obj:1 wa in
+                 let w, _ = Core.Writer.on_message w ~obj:2 wa in
+                 ignore (Core.Writer.on_message w ~obj:3 wa)
+             | _ -> assert false)))
+
+let bench_safe_read_fast_path =
+  Test.make ~name:"safe_reader full fast read (3 acks)"
+    (Staged.stage (fun () ->
+         let r = Core.Safe_reader.init ~cfg:cfg_core ~j:1 () in
+         match Core.Safe_reader.start_read r with
+         | Error _ -> assert false
+         | Ok (r, Core.Messages.Read1 { tsr; _ }) ->
+             let tsval = Core.Tsval.make ~ts:1 ~v:(Core.Value.v "v") in
+             let w = Core.Wtuple.make ~tsval ~tsrarray:Core.Tsr_matrix.empty in
+             let ack = Core.Messages.Read1_ack { tsr; pw = tsval; w } in
+             let r, _ = Core.Safe_reader.on_message r ~obj:1 ack in
+             let r, _ = Core.Safe_reader.on_message r ~obj:2 ack in
+             ignore (Core.Safe_reader.on_message r ~obj:3 ack)
+         | Ok _ -> assert false))
+
+let bench_end_to_end_scenario =
+  let module Sc = Core.Scenario.Make (Core.Proto_safe) in
+  Test.make ~name:"scenario: 1 write + 2 reads end-to-end"
+    (Staged.stage (fun () ->
+         ignore
+           (Sc.run ~cfg:cfg_core ~seed:1 ~delay:(Sim.Delay.constant 5)
+              ~faults:Sc.no_faults
+              [
+                (0, Core.Schedule.Write (Core.Value.v "v1"));
+                (50, Core.Schedule.Read { reader = 1 });
+                (100, Core.Schedule.Read { reader = 1 });
+              ])))
+
+let bench_checker =
+  let history =
+    let r = Histories.Recorder.create () in
+    for k = 1 to 50 do
+      let h = Histories.Recorder.invoke_write r ~time:(k * 10) (Printf.sprintf "v%d" k) in
+      Histories.Recorder.respond_write r h ~time:((k * 10) + 5);
+      let rd = Histories.Recorder.invoke_read r ~time:((k * 10) + 6) ~reader:1 in
+      Histories.Recorder.respond_read r rd ~time:((k * 10) + 9)
+        (Histories.Op.Value (Printf.sprintf "v%d" k))
+    done;
+    Histories.Recorder.ops r
+  in
+  Test.make ~name:"checks: regularity of 100-op history"
+    (Staged.stage (fun () ->
+         ignore (Histories.Checks.check_regularity ~equal:String.equal history)))
+
+let bench_heap =
+  let module H = Sim.Heap.Make (Int) in
+  Test.make ~name:"heap: 256 inserts + drain"
+    (Staged.stage (fun () ->
+         let h = ref H.empty in
+         for i = 0 to 255 do
+           h := H.insert !h ((i * 7919) mod 997)
+         done;
+         let rec drain h = match H.pop h with None -> () | Some (_, h) -> drain h in
+         drain !h))
+
+let bench_prng =
+  Test.make ~name:"prng: 1024 draws"
+    (Staged.stage (fun () ->
+         let g = Sim.Prng.create ~seed:1 in
+         for _ = 1 to 1024 do
+           ignore (Sim.Prng.int g ~bound:1000)
+         done))
+
+let tests =
+  [
+    bench_prng;
+    bench_heap;
+    bench_safe_object;
+    bench_regular_object;
+    bench_writer_round;
+    bench_safe_read_fast_path;
+    bench_end_to_end_scenario;
+    bench_checker;
+  ]
+
+let run () =
+  Exp_common.section "Micro-benchmarks (bechamel, ns per run)";
+  let grouped = Test.make_grouped ~name:"robust_read" tests in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all benchmark_cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let table = Stats.Table.create ~headers:[ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let cell =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Stats.Table.add_row table [ name; cell ])
+    (List.sort compare rows);
+  Exp_common.print_table table

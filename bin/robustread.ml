@@ -1,0 +1,405 @@
+(* robustread — command-line driver for the robust-storage simulator.
+
+     robustread info -t 2 -b 1
+     robustread run --protocol safe -t 1 -b 1 --writes 3 --reads 5 --attack forge
+     robustread lower-bound --protocol naive-fast -t 1 -b 1
+     robustread check --protocol safe --attack forge --budget 200000
+
+   See README.md for a tour. *)
+
+open Cmdliner
+
+(* ----- shared argument parsing ----------------------------------------- *)
+
+let t_arg =
+  Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Failure bound t.")
+
+let b_arg =
+  Arg.(value & opt int 1 & info [ "b" ] ~docv:"B" ~doc:"Byzantine bound b (<= t).")
+
+let s_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s" ] ~docv:"S" ~doc:"Number of base objects (default 2t+b+1).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let protocol_arg =
+  let protocols =
+    [
+      ("safe", `Safe);
+      ("regular", `Regular);
+      ("regular-opt", `Regular_opt);
+      ("abd", `Abd);
+      ("abd-atomic", `Abd_atomic);
+      ("nonmod", `Nonmod);
+      ("auth", `Auth);
+      ("naive-fast", `Naive_fast);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum protocols) `Safe
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:
+          "Protocol: $(b,safe), $(b,regular), $(b,regular-opt), $(b,abd), \
+           $(b,abd-atomic), $(b,nonmod), $(b,auth) or $(b,naive-fast).")
+
+let attack_arg =
+  let attacks =
+    [
+      ("none", `None);
+      ("forge", `Forge);
+      ("replay", `Replay);
+      ("simulate", `Simulate);
+      ("defame", `Defame);
+      ("garbage", `Garbage);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum attacks) `None
+    & info [ "attack" ] ~docv:"ATTACK"
+        ~doc:
+          "Byzantine strategy for the first $(i,b) objects: $(b,none), \
+           $(b,forge), $(b,replay), $(b,simulate), $(b,defame) or \
+           $(b,garbage).")
+
+let delay_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "const"; d ] -> Ok (Sim.Delay.constant (int_of_string d))
+    | [ "uniform"; lo; hi ] ->
+        Ok (Sim.Delay.uniform ~lo:(int_of_string lo) ~hi:(int_of_string hi))
+    | [ "exp"; m ] -> Ok (Sim.Delay.exponential ~mean:(float_of_string m))
+    | _ -> Error (`Msg "expected const:D, uniform:LO:HI or exp:MEAN")
+  in
+  let print ppf _ = Format.pp_print_string ppf "<delay>" in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Sim.Delay.uniform ~lo:1 ~hi:10)
+    & info [ "delay" ] ~docv:"MODEL"
+        ~doc:"Delay model: $(b,const:D), $(b,uniform:LO:HI) or $(b,exp:MEAN).")
+
+let config ~s ~t ~b =
+  let s = Option.value s ~default:(Quorum.Config.optimal_s ~t ~b) in
+  match Quorum.Config.make ~s ~t ~b with
+  | Ok cfg -> cfg
+  | Error e -> failwith ("invalid configuration: " ^ e)
+
+(* ----- info ------------------------------------------------------------- *)
+
+let info_cmd =
+  let run t b s =
+    let cfg = config ~s ~t ~b in
+    Format.printf "configuration      : %a@." Quorum.Config.pp cfg;
+    Format.printf "optimal resilience : S >= %d (2t+b+1)%s@."
+      (Quorum.Config.optimal_s ~t ~b)
+      (if Quorum.Config.is_optimally_resilient cfg then "  [exactly optimal]"
+       else "");
+    Format.printf "round quorum       : S - t = %d@." (Quorum.Config.quorum cfg);
+    Format.printf "safe vouchers      : b + 1 = %d@." (b + 1);
+    Format.printf "dissent threshold  : t + b + 1 = %d@." (t + b + 1);
+    Format.printf "fast reads possible: %b (requires S >= 2t+2b+1 = %d)@."
+      (Quorum.Config.fast_read_admissible cfg)
+      ((2 * t) + (2 * b) + 1);
+    Format.printf "quorum intersection: %b; write persistence: %b@."
+      (Quorum.Intersect.check_byzantine_intersection cfg)
+      (Quorum.Intersect.check_write_persistence cfg)
+  in
+  let term = Term.(const run $ t_arg $ b_arg $ s_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Print the resilience arithmetic for (t, b, S).")
+    term
+
+(* ----- run --------------------------------------------------------------- *)
+
+let core_attack = function
+  | `None -> []
+  | `Forge -> [ Fault.Strategies.forge_high_value ~value:"evil" ~ts_boost:9 ]
+  | `Replay -> [ Fault.Strategies.replay_initial ]
+  | `Simulate -> [ Fault.Strategies.simulate_unwritten_write ~value:"ghost" ~ts:9 ]
+  | `Defame -> [ Fault.Strategies.defame ~targets:[ 1; 3 ] ~boost:10 ]
+  | `Garbage -> [ Fault.Strategies.random_garbage ]
+
+let regular_attack = function
+  | `None -> []
+  | `Forge -> [ Fault.Strategies.forge_history ~value:"evil" ~ts_boost:9 ]
+  | `Replay -> [ Fault.Strategies.stale_history ~keep:1 ]
+  | `Simulate -> [ Fault.Strategies.forge_history ~value:"ghost" ~ts_boost:9 ]
+  | `Defame -> [ Fault.Strategies.defame_history ~targets:[ 1; 3 ] ~boost:10 ]
+  | `Garbage -> [ Fault.Strategies.empty_history ]
+
+let run_generic (type m)
+    (module P : Core.Protocol_intf.S with type msg = m)
+    ~(byz : m Core.Byz.factory list) ~cfg ~seed ~delay ~writes ~readers ~reads
+    ~trace =
+  let module Sc = Core.Scenario.Make (P) in
+  let b = cfg.Quorum.Config.b in
+  (* the first b objects run the chosen strategy *)
+  let byz_plan =
+    match byz with [] -> [] | f :: _ -> List.init b (fun i -> (i + 1, f))
+  in
+  let rng = Sim.Prng.create ~seed in
+  let schedule =
+    Core.Schedule.merge
+      (Workload.Generate.sequential ~writes ~readers ~gap:60)
+      (Workload.Generate.read_mostly ~rng ~writes:0 ~readers
+         ~reads_per_reader:reads ~horizon:(60 * (writes + 2) * (readers + 1)))
+  in
+  let rep =
+    Sc.run ~trace ~cfg ~seed ~delay
+      ~faults:{ Sc.crashes = []; byzantine = byz_plan }
+      schedule
+  in
+  Format.printf "protocol %s on %a, seed %d@." P.name Quorum.Config.pp cfg seed;
+  List.iter
+    (fun (o : Sc.outcome) ->
+      match o.op with
+      | Core.Schedule.Write v ->
+          Format.printf "  [%6d] write(%s) rounds=%d latency=%d@." o.invoked_at
+            (Core.Value.to_string v) o.rounds (o.completed_at - o.invoked_at)
+      | Core.Schedule.Read { reader } ->
+          Format.printf "  [%6d] read(r%d) = %s rounds=%d latency=%d@."
+            o.invoked_at reader
+            (match o.result with
+            | Some v -> Core.Value.to_string v
+            | None -> "?")
+            o.rounds (o.completed_at - o.invoked_at))
+    rep.outcomes;
+  let equal = String.equal in
+  let safety = Histories.Checks.check_safety ~equal rep.history in
+  let regularity = Histories.Checks.check_regularity ~equal rep.history in
+  Format.printf "completed %d/%d operations; %d messages delivered@."
+    (List.length rep.outcomes) (List.length schedule) rep.messages_delivered;
+  Format.printf "safety: %s; regularity: %s@."
+    (if safety = [] then "OK" else Printf.sprintf "%d VIOLATIONS" (List.length safety))
+    (if regularity = [] then "OK"
+     else Printf.sprintf "%d VIOLATIONS" (List.length regularity));
+  List.iter
+    (fun v ->
+      Format.printf "  violation: %a@."
+        (Histories.Checks.pp_violation ~pp_value:Format.pp_print_string)
+        v)
+    (safety @ regularity);
+  (match rep.trace with
+  | Some tr -> Format.printf "--- trace ---@.%a" Sim.Trace.pp tr
+  | None -> ());
+  if safety <> [] || regularity <> [] then exit 1
+
+let run_cmd =
+  let writes_arg =
+    Arg.(value & opt int 3 & info [ "writes" ] ~docv:"N" ~doc:"Number of writes.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"R" ~doc:"Number of readers.")
+  in
+  let reads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "reads" ] ~docv:"N" ~doc:"Extra random reads per reader.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full message trace.")
+  in
+  let run protocol t b s seed delay attack writes readers reads trace =
+    let cfg = config ~s ~t ~b in
+    let go (type m) (module P : Core.Protocol_intf.S with type msg = m)
+        (byz : m Core.Byz.factory list) =
+      run_generic (module P) ~byz ~cfg ~seed ~delay ~writes ~readers ~reads
+        ~trace
+    in
+    match protocol with
+    | `Safe -> go (module Core.Proto_safe) (core_attack attack)
+    | `Regular -> go (module Core.Proto_regular.Plain) (regular_attack attack)
+    | `Regular_opt ->
+        go (module Core.Proto_regular.Optimized) (regular_attack attack)
+    | `Abd ->
+        go
+          (module Baseline.Abd.Regular)
+          (match attack with
+          | `None -> []
+          | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+    | `Abd_atomic ->
+        go
+          (module Baseline.Abd.Atomic)
+          (match attack with
+          | `None -> []
+          | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+    | `Nonmod ->
+        go
+          (module Baseline.Nonmod)
+          (match attack with
+          | `None -> []
+          | `Replay -> [ Baseline.Nonmod.byz_stale ]
+          | _ -> [ Baseline.Nonmod.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+    | `Auth ->
+        go
+          (module Baseline.Auth)
+          (match attack with
+          | `None -> []
+          | `Replay -> [ Baseline.Auth.byz_replay_stale ]
+          | _ -> [ Baseline.Auth.byz_forge ~value:"evil" ~ts_boost:9 ])
+    | `Naive_fast ->
+        go
+          (module Baseline.Naive_fast)
+          (match attack with
+          | `None -> []
+          | `Replay -> [ Baseline.Naive_fast.byz_replay_initial ]
+          | `Simulate ->
+              [ Baseline.Naive_fast.byz_simulate_write ~value:"ghost" ~ts:9 ]
+          | _ ->
+              [ Baseline.Naive_fast.byz_forge_high ~value:"ghost" ~ts_boost:9 ])
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ t_arg $ b_arg $ s_arg $ seed_arg $ delay_arg
+      $ attack_arg $ writes_arg $ readers_arg $ reads_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a simulated workload on a protocol, print per-operation \
+          results and check the history.")
+    term
+
+(* ----- lower-bound -------------------------------------------------------- *)
+
+let lower_bound_cmd =
+  let run protocol t b =
+    let analyse (module P : Core.Protocol_intf.S) =
+      let module LB = Mc.Lower_bound.Make (P) in
+      let o = LB.analyse ~t ~b ~value:(Core.Value.v "v1") in
+      List.iter print_endline o.transcript;
+      print_newline ();
+      List.iter print_endline (LB.figure o);
+      match o.verdict with LB.Not_fast -> () | _ -> exit 1
+    in
+    match protocol with
+    | `Safe -> analyse (module Core.Proto_safe)
+    | `Regular -> analyse (module Core.Proto_regular.Plain)
+    | `Regular_opt -> analyse (module Core.Proto_regular.Optimized)
+    | `Abd -> analyse (module Baseline.Abd.Regular)
+    | `Abd_atomic -> analyse (module Baseline.Abd.Atomic)
+    | `Nonmod -> analyse (module Baseline.Nonmod)
+    | `Auth ->
+        print_endline
+          "the authenticated baseline is exempt: run5's forged state would \
+           contain a signature over a never-written value"
+    | `Naive_fast -> analyse (module Baseline.Naive_fast)
+  in
+  let term = Term.(const run $ protocol_arg $ t_arg $ b_arg) in
+  Cmd.v
+    (Cmd.info "lower-bound"
+       ~doc:
+         "Replay the Proposition 1 construction (Figure 1) against a \
+          protocol on S = 2t+2b objects.  Exits 1 if the protocol is fast \
+          (and therefore violates safety).")
+    term
+
+(* ----- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"STATES" ~doc:"Model-checker state budget.")
+  in
+  let run protocol t b budget =
+    let cfg = config ~s:None ~t ~b in
+    let check (module P : Core.Protocol_intf.S) =
+      let module E = Mc.Explorer.Make (P) in
+      let r =
+        E.check ~max_states:budget
+          {
+            E.cfg = cfg;
+            writes = [ Core.Value.v "a" ];
+            reads = [ (1, 1) ];
+            sequential = true;
+            byz = [];
+            crashed = [];
+          }
+      in
+      Format.printf "explored %d states, %d terminal histories, truncated: %b@."
+        r.explored r.terminals r.truncated;
+      List.iter
+        (fun (v : E.violation) -> Format.printf "violation [%s]: %s@." v.kind v.detail)
+        r.violations;
+      if r.violations <> [] then exit 1
+    in
+    match protocol with
+    | `Safe -> check (module Core.Proto_safe)
+    | `Regular -> check (module Core.Proto_regular.Plain)
+    | `Regular_opt -> check (module Core.Proto_regular.Optimized)
+    | `Abd -> check (module Baseline.Abd.Regular)
+    | `Abd_atomic -> check (module Baseline.Abd.Atomic)
+    | `Nonmod -> check (module Baseline.Nonmod)
+    | `Auth -> check (module Baseline.Auth)
+    | `Naive_fast -> check (module Baseline.Naive_fast)
+  in
+  let term = Term.(const run $ protocol_arg $ t_arg $ b_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check one write followed by one read for the \
+          protocol, over all message delivery orders.")
+    term
+
+(* ----- walks ------------------------------------------------------------- *)
+
+let walks_cmd =
+  let walks_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "walks" ] ~docv:"N" ~doc:"Number of random schedules to sample.")
+  in
+  let run protocol t b seed walks =
+    let cfg = config ~s:None ~t ~b in
+    let sample (module P : Core.Protocol_intf.S) =
+      let module E = Mc.Explorer.Make (P) in
+      let r =
+        E.random_walks ~walks ~seed
+          {
+            E.cfg = cfg;
+            writes = [ Core.Value.v "a"; Core.Value.v "b" ];
+            reads = [ (1, 2); (2, 2) ];
+            sequential = false;
+            byz = [];
+            crashed = [];
+          }
+      in
+      Format.printf
+        "sampled %d schedules (%d delivery steps); violations: %d@."
+        r.terminals r.explored (List.length r.violations);
+      List.iter
+        (fun (v : E.violation) -> Format.printf "violation [%s]: %s@." v.kind v.detail)
+        r.violations;
+      if r.violations <> [] then exit 1
+    in
+    match protocol with
+    | `Safe -> sample (module Core.Proto_safe)
+    | `Regular -> sample (module Core.Proto_regular.Plain)
+    | `Regular_opt -> sample (module Core.Proto_regular.Optimized)
+    | `Abd -> sample (module Baseline.Abd.Regular)
+    | `Abd_atomic -> sample (module Baseline.Abd.Atomic)
+    | `Nonmod -> sample (module Baseline.Nonmod)
+    | `Auth -> sample (module Baseline.Auth)
+    | `Naive_fast -> sample (module Baseline.Naive_fast)
+  in
+  let term = Term.(const run $ protocol_arg $ t_arg $ b_arg $ seed_arg $ walks_arg) in
+  Cmd.v
+    (Cmd.info "walks"
+       ~doc:
+         "Monte-Carlo check: sample random delivery schedules of a 2-write,           4-read workload and verify every terminal history.")
+    term
+
+(* ----- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "robust read/write storage over Byzantine base objects (Guerraoui & \
+     Vukolic, PODC'06)"
+  in
+  let main = Cmd.group (Cmd.info "robustread" ~doc) [ info_cmd; run_cmd; lower_bound_cmd; check_cmd; walks_cmd ] in
+  exit (Cmd.eval main)

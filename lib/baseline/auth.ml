@@ -1,0 +1,133 @@
+open Core
+
+type sigval = { ts : int; v : Value.t; genuine : bool }
+
+type msg =
+  | Write_req of { sv : sigval }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int }
+  | Read_ack of { rid : int; sv : sigval }
+
+let name = "auth"
+
+let initial_sv = { ts = 0; v = Value.bottom; genuine = true }
+
+let msg_info = function
+  | Write_req { sv } -> Printf.sprintf "WRITE(ts=%d)" sv.ts
+  | Write_ack { ts } -> Printf.sprintf "WRITE_ACK(ts=%d)" ts
+  | Read_req { rid } -> Printf.sprintf "READ(rid=%d)" rid
+  | Read_ack { rid; sv } -> Printf.sprintf "READ_ACK(rid=%d,ts=%d)" rid sv.ts
+
+let value_words = function Value.Bottom -> 1 | Value.V s -> 1 + (String.length s / 8)
+
+let msg_size_words = function
+  | Write_req { sv } | Read_ack { sv; _ } -> 3 + value_words sv.v
+  | Write_ack _ | Read_req _ -> 2
+
+type obj = { index : int; sv : sigval }
+
+let obj_init ~cfg:_ ~index = { index; sv = initial_sv }
+
+let obj_handle o ~src:_ msg =
+  match msg with
+  | Write_req { sv } ->
+      let o = if sv.ts > o.sv.ts then { o with sv } else o in
+      (o, Some (Write_ack { ts = sv.ts }))
+  | Read_req { rid } -> (o, Some (Read_ack { rid; sv = o.sv }))
+  | Write_ack _ | Read_ack _ -> (o, None)
+
+type writer = { cfg : Quorum.Config.t; wts : int; acks : Ints.Set.t option }
+
+let writer_init ~cfg = { cfg; wts = 0; acks = None }
+
+let writer_start w v =
+  match w.acks with
+  | Some _ -> Error "write already in progress"
+  | None ->
+      if Value.is_bottom v then Error "bottom is not a valid input value"
+      else
+        let ts = w.wts + 1 in
+        (* The genuine bit is the simulated signature: only this code
+           path creates [genuine = true] pairs with fresh timestamps. *)
+        ( Ok
+            ( { w with wts = ts; acks = Some Ints.Set.empty },
+              Write_req { sv = { ts; v; genuine = true } } )
+          : (writer * msg, string) result )
+
+let writer_on_msg w ~obj msg =
+  match (w.acks, msg) with
+  | Some acks, Write_ack { ts } when ts = w.wts ->
+      let acks = Ints.Set.add obj acks in
+      if Ints.Set.cardinal acks >= Quorum.Config.quorum w.cfg then
+        ({ w with acks = None }, [ Events.Write_done { rounds = 1 } ])
+      else ({ w with acks = Some acks }, [])
+  | _ -> (w, [])
+
+type reader = {
+  rcfg : Quorum.Config.t;
+  j : int;
+  rid : int;
+  replies : sigval Ints.Map.t option;
+}
+
+let reader_init ~cfg ~j = { rcfg = cfg; j; rid = 0; replies = None }
+
+let reader_start r =
+  match r.replies with
+  | Some _ -> Error "read already in progress"
+  | None ->
+      let rid = r.rid + 1 in
+      ( Ok ({ r with rid; replies = Some Ints.Map.empty }, Read_req { rid })
+        : (reader * msg, string) result )
+
+let reader_on_msg r ~obj msg =
+  match (r.replies, msg) with
+  | Some replies, Read_ack { rid; sv } when rid = r.rid ->
+      let replies = Ints.Map.add obj sv replies in
+      if Ints.Map.cardinal replies >= Quorum.Config.quorum r.rcfg then
+        (* Return the highest-timestamp pair whose signature verifies. *)
+        let best =
+          Ints.Map.fold
+            (fun _ sv acc ->
+              if sv.genuine && sv.ts > acc.ts then sv else acc)
+            replies initial_sv
+        in
+        ({ r with replies = None },
+         [ Events.Read_done { value = best.v; rounds = 1 } ])
+      else ({ r with replies = Some replies }, [])
+  | _ -> (r, [])
+
+let byz_forge ~value ~ts_boost : msg Byz.factory =
+ fun ~cfg ~index ~rng:_ ->
+  let state = ref (obj_init ~cfg ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = obj_handle !state ~src msg in
+        state := state';
+        match reply with
+        | None -> []
+        | Some (Read_ack { rid; sv }) ->
+            (* Cannot forge the writer's signature: the fabricated pair is
+               necessarily non-genuine. *)
+            let fake =
+              { ts = sv.ts + ts_boost; v = Value.v value; genuine = false }
+            in
+            [ (src, Read_ack { rid; sv = fake }) ]
+        | Some m -> [ (src, m) ])
+  }
+
+let byz_replay_stale : msg Byz.factory =
+ fun ~cfg ~index ~rng:_ ->
+  let state = ref (obj_init ~cfg ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = obj_handle !state ~src msg in
+        state := state';
+        match reply with
+        | None -> []
+        | Some (Read_ack { rid; _ }) ->
+            [ (src, Read_ack { rid; sv = initial_sv }) ]
+        | Some m -> [ (src, m) ])
+  }

@@ -1,0 +1,34 @@
+(** Regular storage over {e self-verifying} (authenticated) data — the
+    paper's remark that with data authentication [19], regular storage
+    with fast reads and writes at optimal resilience is "fairly simple"
+    [15].
+
+    Signatures are simulated: a {!sigval} carries a [genuine] bit that
+    only the writer's code path sets; Byzantine strategies may replay
+    genuine pairs or fabricate pairs with [genuine = false], never forge
+    [genuine = true] for an unwritten pair — the same unforgeability a
+    real signature scheme provides (DESIGN.md records this
+    substitution).
+
+    WRITE: one round (broadcast the signed pair, await [s - t] acks).
+    READ: one round (await [s - t] replies, return the
+    highest-timestamp genuine pair).  Correctness needs only that read
+    and write quorums intersect in a correct object:
+    [2(s - t) - s - b >= 1], satisfied at optimal resilience. *)
+
+type sigval = { ts : int; v : Core.Value.t; genuine : bool }
+
+type msg =
+  | Write_req of { sv : sigval }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int }
+  | Read_ack of { rid : int; sv : sigval }
+
+include Core.Protocol_intf.S with type msg := msg
+
+val byz_forge : value:string -> ts_boost:int -> msg Core.Byz.factory
+(** Fabricates high-timestamp pairs — necessarily with
+    [genuine = false], so verifying readers discard them. *)
+
+val byz_replay_stale : msg Core.Byz.factory
+(** Replays the oldest genuine pair it ever stored. *)

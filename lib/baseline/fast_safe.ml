@@ -1,0 +1,118 @@
+open Core
+
+type msg =
+  | Write_req of { ts : int; v : Value.t }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int }
+  | Read_ack of { rid : int; ts : int; v : Value.t }
+
+let name = "fast-safe"
+
+let msg_info = function
+  | Write_req { ts; _ } -> Printf.sprintf "WRITE(ts=%d)" ts
+  | Write_ack { ts } -> Printf.sprintf "WRITE_ACK(ts=%d)" ts
+  | Read_req { rid } -> Printf.sprintf "READ(rid=%d)" rid
+  | Read_ack { rid; ts; _ } -> Printf.sprintf "READ_ACK(rid=%d,ts=%d)" rid ts
+
+let value_words = function Value.Bottom -> 1 | Value.V s -> 1 + (String.length s / 8)
+
+let msg_size_words = function
+  | Write_req { v; _ } | Read_ack { v; _ } -> 2 + value_words v
+  | Write_ack _ | Read_req _ -> 2
+
+type obj = { index : int; ts : int; v : Value.t }
+
+let obj_init ~cfg:_ ~index = { index; ts = 0; v = Value.bottom }
+
+let obj_handle o ~src:_ msg =
+  match msg with
+  | Write_req { ts; v } ->
+      let o = if ts > o.ts then { o with ts; v } else o in
+      (o, Some (Write_ack { ts }))
+  | Read_req { rid } -> (o, Some (Read_ack { rid; ts = o.ts; v = o.v }))
+  | Write_ack _ | Read_ack _ -> (o, None)
+
+type writer = { cfg : Quorum.Config.t; wts : int; acks : Ints.Set.t option }
+
+let writer_init ~cfg = { cfg; wts = 0; acks = None }
+
+let writer_start w v =
+  match w.acks with
+  | Some _ -> Error "write already in progress"
+  | None ->
+      if Value.is_bottom v then Error "bottom is not a valid input value"
+      else
+        let ts = w.wts + 1 in
+        ( Ok ({ w with wts = ts; acks = Some Ints.Set.empty }, Write_req { ts; v })
+          : (writer * msg, string) result )
+
+let writer_on_msg w ~obj msg =
+  match (w.acks, msg) with
+  | Some acks, Write_ack { ts } when ts = w.wts ->
+      let acks = Ints.Set.add obj acks in
+      if Ints.Set.cardinal acks >= Quorum.Config.quorum w.cfg then
+        ({ w with acks = None }, [ Events.Write_done { rounds = 1 } ])
+      else ({ w with acks = Some acks }, [])
+  | _ -> (w, [])
+
+type reader = {
+  rcfg : Quorum.Config.t;
+  j : int;
+  rid : int;
+  replies : (int * Value.t) Ints.Map.t option;
+}
+
+let reader_init ~cfg ~j = { rcfg = cfg; j; rid = 0; replies = None }
+
+let reader_start r =
+  match r.replies with
+  | Some _ -> Error "read already in progress"
+  | None ->
+      let rid = r.rid + 1 in
+      ( Ok ({ r with rid; replies = Some Ints.Map.empty }, Read_req { rid })
+        : (reader * msg, string) result )
+
+(* Highest pair endorsed identically by >= b+1 objects; bottom if none. *)
+let best_endorsed ~threshold replies =
+  let counts = Hashtbl.create 8 in
+  Ints.Map.iter
+    (fun _ pair ->
+      Hashtbl.replace counts pair (1 + Option.value (Hashtbl.find_opt counts pair) ~default:0))
+    replies;
+  Hashtbl.fold
+    (fun (ts, v) n ((best_ts, _) as best) ->
+      if n >= threshold && ts > best_ts then (ts, v) else best)
+    counts (0, Value.bottom)
+
+let reader_on_msg r ~obj msg =
+  match (r.replies, msg) with
+  | Some replies, Read_ack { rid; ts; v } when rid = r.rid ->
+      let replies = Ints.Map.add obj (ts, v) replies in
+      if Ints.Map.cardinal replies >= Quorum.Config.quorum r.rcfg then
+        let threshold = r.rcfg.Quorum.Config.b + 1 in
+        let _, v = best_endorsed ~threshold replies in
+        ({ r with replies = None }, [ Events.Read_done { value = v; rounds = 1 } ])
+      else ({ r with replies = Some replies }, [])
+  | _ -> (r, [])
+
+let wrap_read_ack f : msg Byz.factory =
+ fun ~cfg ~index ~rng:_ ->
+  let state = ref (obj_init ~cfg ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = obj_handle !state ~src msg in
+        state := state';
+        match reply with
+        | None -> []
+        | Some (Read_ack { rid; ts; v }) ->
+            let ts, v = f ~honest:(ts, v) in
+            [ (src, Read_ack { rid; ts; v }) ]
+        | Some m -> [ (src, m) ])
+  }
+
+let byz_forge_high ~value ~ts_boost =
+  wrap_read_ack (fun ~honest:(ts, _) -> (ts + ts_boost, Value.v value))
+
+let byz_endorse_forgery ~value ~ts =
+  wrap_read_ack (fun ~honest:_ -> (ts, Value.v value))

@@ -1,0 +1,42 @@
+(** The matching upper bound {e above} the Proposition 1 threshold: a
+    safe storage with single-round READs {e and} WRITEs once
+    [s >= 2t + 2b + 1] base objects are available.
+
+    The paper (and its reference [1]) notes that with more than [2t + 2b]
+    objects one round suffices for writing; this protocol completes the
+    picture on the read side, making the lower bound's tightness visible
+    from both directions in the E1/E8 experiments:
+
+    - deployed at [s = 2t + 2b + 1] it is safe with 1-round operations;
+    - deployed at [s = 2t + 2b] (as the lower-bound construction forces)
+      its fast reads violate safety exactly as Proposition 1 predicts.
+
+    WRITE: broadcast ⟨ts, v⟩, await [s - t] acks.  Why one round is
+    enough: a read quorum later intersects the write quorum in at least
+    [2(s-t) - s - b >= b + 1] {e correct} objects, so the written pair
+    always has [b + 1] honest endorsements in any reply quorum.
+
+    READ: await [s - t] replies and return the highest-timestamp pair
+    reported identically by at least [b + 1] objects ([endorsement]
+    rule); ⊥ if none qualifies (possible only under concurrency).
+    Byzantine objects can never assemble [b + 1] endorsements for a
+    forged pair.
+
+    Semantics: {e safe} (not regular — under read/write concurrency the
+    [>= k] reporters can split between val_k and val_k+1, starving both
+    of endorsements). *)
+
+type msg =
+  | Write_req of { ts : int; v : Core.Value.t }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int }
+  | Read_ack of { rid : int; ts : int; v : Core.Value.t }
+
+include Core.Protocol_intf.S with type msg := msg
+
+val byz_forge_high : value:string -> ts_boost:int -> msg Core.Byz.factory
+
+val byz_endorse_forgery : value:string -> ts:int -> msg Core.Byz.factory
+(** All Byzantine objects running this strategy report the {e same}
+    forged pair, trying to reach the [b + 1] endorsement bar — they fall
+    exactly one short. *)

@@ -1,0 +1,28 @@
+(** The strawman every-READ-is-fast protocol that Proposition 1 dooms.
+
+    One-round unauthenticated reads over any [s]: the reader collects
+    [s - t] replies and trusts the highest-timestamp pair it sees.  On
+    [s <= 2t + 2b] objects this {e cannot} be safe — the E1 experiment
+    replays the paper's [run4]/[run5] adversary against it and exhibits
+    the violation, and E4 quantifies how often random Byzantine
+    strategies break it.  It doubles as the negative control proving our
+    checkers can fail protocols, not just pass them.
+
+    WRITE is one round too (broadcast ⟨ts, v⟩, await [s - t] acks). *)
+
+type msg =
+  | Write_req of { ts : int; v : Core.Value.t }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int }
+  | Read_ack of { rid : int; ts : int; v : Core.Value.t }
+
+include Core.Protocol_intf.S with type msg := msg
+
+val byz_forge_high : value:string -> ts_boost:int -> msg Core.Byz.factory
+(** One forged reply is enough to steer every read. *)
+
+val byz_simulate_write : value:string -> ts:int -> msg Core.Byz.factory
+(** The [run5] adversary: pretend a WRITE happened that never did. *)
+
+val byz_replay_initial : msg Core.Byz.factory
+(** The [run4] adversary: pretend the completed WRITE never happened. *)

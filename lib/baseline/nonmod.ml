@@ -1,0 +1,248 @@
+open Core
+
+type msg =
+  | Pw of { ts : int; tv : Tsval.t }
+  | Pw_ack of { ts : int }
+  | W of { ts : int; tv : Tsval.t }
+  | W_ack of { ts : int }
+  | Read of { rid : int; phase : int }
+  | Read_ack of { rid : int; phase : int; pw : Tsval.t; w : Tsval.t }
+
+let name = "nonmod"
+
+let msg_info = function
+  | Pw { ts; _ } -> Printf.sprintf "PW(ts=%d)" ts
+  | Pw_ack { ts } -> Printf.sprintf "PW_ACK(ts=%d)" ts
+  | W { ts; _ } -> Printf.sprintf "W(ts=%d)" ts
+  | W_ack { ts } -> Printf.sprintf "W_ACK(ts=%d)" ts
+  | Read { rid; phase } -> Printf.sprintf "READ(rid=%d,ph=%d)" rid phase
+  | Read_ack { rid; phase; _ } ->
+      Printf.sprintf "READ_ACK(rid=%d,ph=%d)" rid phase
+
+let value_words = function Value.Bottom -> 1 | Value.V s -> 1 + (String.length s / 8)
+
+let tsval_words (tv : Tsval.t) = 1 + value_words tv.Tsval.v
+
+let msg_size_words = function
+  | Pw { tv; _ } | W { tv; _ } -> 1 + tsval_words tv
+  | Pw_ack _ | W_ack _ -> 1
+  | Read _ -> 2
+  | Read_ack { pw; w; _ } -> 2 + tsval_words pw + tsval_words w
+
+(* Object: pre-written and written pairs; readers never change it. *)
+type obj = { index : int; ts : int; opw : Tsval.t; ow : Tsval.t }
+
+let obj_init ~cfg:_ ~index =
+  { index; ts = 0; opw = Tsval.init; ow = Tsval.init }
+
+let obj_handle o ~src:_ msg =
+  match msg with
+  | Pw { ts; tv } ->
+      if ts > o.ts then ({ o with ts; opw = tv }, Some (Pw_ack { ts }))
+      else (o, None)
+  | W { ts; tv } ->
+      if ts >= o.ts then
+        ({ o with ts; opw = tv; ow = tv }, Some (W_ack { ts }))
+      else (o, None)
+  | Read { rid; phase } ->
+      (o, Some (Read_ack { rid; phase; pw = o.opw; w = o.ow }))
+  | Pw_ack _ | W_ack _ | Read_ack _ -> (o, None)
+
+(* Writer: the paper's two-round pre-write/write, without the reader
+   timestamp collection. *)
+type wphase = Wpw of Ints.Set.t | Ww of Ints.Set.t
+
+type writer = {
+  cfg : Quorum.Config.t;
+  wts : int;
+  wtv : Tsval.t;  (* the pair being written *)
+  wphase : wphase option;
+}
+
+let writer_init ~cfg = { cfg; wts = 0; wtv = Tsval.init; wphase = None }
+
+let writer_start w v =
+  match w.wphase with
+  | Some _ -> Error "write already in progress"
+  | None ->
+      if Value.is_bottom v then Error "bottom is not a valid input value"
+      else
+        let ts = w.wts + 1 in
+        let tv = Tsval.make ~ts ~v in
+        ( Ok
+            ( { w with wts = ts; wtv = tv; wphase = Some (Wpw Ints.Set.empty) },
+              Pw { ts; tv } )
+          : (writer * msg, string) result )
+
+let writer_on_msg w ~obj msg =
+  let quorum = Quorum.Config.quorum w.cfg in
+  match (w.wphase, msg) with
+  | Some (Wpw acks), Pw_ack { ts } when ts = w.wts ->
+      let acks = Ints.Set.add obj acks in
+      if Ints.Set.cardinal acks >= quorum then
+        ( { w with wphase = Some (Ww Ints.Set.empty) },
+          [ Events.Broadcast (W { ts = w.wts; tv = w.wtv }) ] )
+      else ({ w with wphase = Some (Wpw acks) }, [])
+  | Some (Ww acks), W_ack { ts } when ts = w.wts ->
+      let acks = Ints.Set.add obj acks in
+      if Ints.Set.cardinal acks >= quorum then
+        ({ w with wphase = None }, [ Events.Write_done { rounds = 2 } ])
+      else ({ w with wphase = Some (Ww acks) }, [])
+  | _ -> (w, [])
+
+(* Reader: evidence accumulates across phases; each phase is a fresh
+   quorum-wide poll. *)
+type rdata = {
+  phase : int;
+  phase_replies : Ints.Set.t;  (* objects heard in the current phase *)
+  reports : (Tsval.t * Tsval.t) list Ints.Map.t;  (* cumulative per object *)
+  candidates : Tsval.t list;  (* from phase-1 w fields, eliminations applied *)
+  phase1_complete : bool;
+}
+
+type reader = {
+  rcfg : Quorum.Config.t;
+  j : int;
+  rid : int;
+  rdata : rdata option;
+}
+
+let reader_init ~cfg ~j = { rcfg = cfg; j; rid = 0; rdata = None }
+
+let reader_start r =
+  match r.rdata with
+  | Some _ -> Error "read already in progress"
+  | None ->
+      let rid = r.rid + 1 in
+      let rdata =
+        {
+          phase = 1;
+          phase_replies = Ints.Set.empty;
+          reports = Ints.Map.empty;
+          candidates = [];
+          phase1_complete = false;
+        }
+      in
+      ( Ok ({ r with rid; rdata = Some rdata }, Read { rid; phase = 1 })
+        : (reader * msg, string) result )
+
+let reports_of data i =
+  Option.value (Ints.Map.find_opt i data.reports) ~default:[]
+
+let vouches data i (c : Tsval.t) =
+  List.exists
+    (fun (pw, w) ->
+      Tsval.equal pw c || pw.Tsval.ts > c.Tsval.ts || Tsval.equal w c
+      || w.Tsval.ts > c.Tsval.ts)
+    (reports_of data i)
+
+let dissents data i (c : Tsval.t) =
+  List.exists (fun (_, w) -> not (Tsval.equal w c)) (reports_of data i)
+
+let count data pred =
+  Ints.Map.fold (fun i _ acc -> if pred i then acc + 1 else acc) data.reports 0
+
+let eliminate cfg data =
+  let threshold = cfg.Quorum.Config.t + cfg.Quorum.Config.b + 1 in
+  {
+    data with
+    candidates =
+      List.filter
+        (fun c -> count data (fun i -> dissents data i c) < threshold)
+        data.candidates;
+  }
+
+let try_decide cfg data =
+  if not data.phase1_complete then None
+  else if data.candidates = [] then Some (Value.bottom, data.phase)
+  else
+    let safe_th = cfg.Quorum.Config.b + 1 in
+    let high =
+      List.fold_left (fun acc (c : Tsval.t) -> max acc c.Tsval.ts) 0
+        data.candidates
+    in
+    List.find_map
+      (fun (c : Tsval.t) ->
+        if c.Tsval.ts = high && count data (fun i -> vouches data i c) >= safe_th
+        then Some (c.Tsval.v, data.phase)
+        else None)
+      data.candidates
+
+let reader_on_msg r ~obj msg =
+  match (r.rdata, msg) with
+  | Some data, Read_ack { rid; phase; pw; w }
+    when rid = r.rid && phase <= data.phase ->
+      let data =
+        {
+          data with
+          reports = Ints.Map.add obj ((pw, w) :: reports_of data obj) data.reports;
+          phase_replies =
+            (if phase = data.phase then Ints.Set.add obj data.phase_replies
+             else data.phase_replies);
+          candidates =
+            (if phase = 1 && not (List.exists (Tsval.equal w) data.candidates)
+             then w :: data.candidates
+             else data.candidates);
+        }
+      in
+      let data = eliminate r.rcfg data in
+      let quorum = Quorum.Config.quorum r.rcfg in
+      let data =
+        if
+          (not data.phase1_complete)
+          && data.phase = 1
+          && Ints.Set.cardinal data.phase_replies >= quorum
+        then { data with phase1_complete = true }
+        else data
+      in
+      (match try_decide r.rcfg data with
+      | Some (value, rounds) ->
+          ({ r with rdata = None }, [ Events.Read_done { value; rounds } ])
+      | None ->
+          if Ints.Set.cardinal data.phase_replies >= quorum then begin
+            (* Phase exhausted without a decision: poll again. *)
+            let data =
+              {
+                data with
+                phase = data.phase + 1;
+                phase_replies = Ints.Set.empty;
+              }
+            in
+            ( { r with rdata = Some data },
+              [ Events.Broadcast (Read { rid = r.rid; phase = data.phase }) ] )
+          end
+          else ({ r with rdata = Some data }, []))
+  | _ -> (r, [])
+
+let byz_forge_high ~value ~ts_boost : msg Byz.factory =
+ fun ~cfg ~index ~rng:_ ->
+  let state = ref (obj_init ~cfg ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = obj_handle !state ~src msg in
+        state := state';
+        match reply with
+        | None -> []
+        | Some (Read_ack { rid; phase; pw = _; w = _ }) ->
+            let fake =
+              Tsval.make ~ts:(!state.ts + ts_boost) ~v:(Value.v value)
+            in
+            [ (src, Read_ack { rid; phase; pw = fake; w = fake }) ]
+        | Some m -> [ (src, m) ])
+  }
+
+let byz_stale : msg Byz.factory =
+ fun ~cfg ~index ~rng:_ ->
+  let state = ref (obj_init ~cfg ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = obj_handle !state ~src msg in
+        state := state';
+        match reply with
+        | None -> []
+        | Some (Read_ack { rid; phase; _ }) ->
+            [ (src, Read_ack { rid; phase; pw = Tsval.init; w = Tsval.init }) ]
+        | Some m -> [ (src, m) ])
+  }

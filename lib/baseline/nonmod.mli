@@ -1,0 +1,41 @@
+(** Safe storage with {e non-modifying} readers — the regime of the
+    paper's reference [1], where the read-complexity lower bound is
+    [b + 1] rounds (the conjecture the core algorithm refutes for
+    state-modifying readers).
+
+    The WRITE mirrors the paper's two-round pre-write/write pattern but
+    carries plain timestamp-value pairs (there is no reader timestamp
+    machinery — readers never write).  A READ proceeds in {e phases}:
+    each phase re-queries all objects and waits for [s - t] fresh
+    replies; evidence accumulates across phases.  A candidate (a [w]
+    pair from a phase-1 reply) is returnable once [b + 1] distinct
+    objects vouch for it (same pair, or a newer one, in [pw] or [w]) and
+    no live candidate carries a higher timestamp; a candidate dies once
+    [t + b + 1] distinct objects contradict it.  An empty candidate set
+    (possible only under concurrency) returns ⊥.
+
+    This is a faithful-in-regime reconstruction of [1]'s non-modifying
+    reader rather than a line-by-line port (the original is specified
+    for [t = b]); its round count grows with Byzantine interference —
+    one fake high candidate costs roughly one extra phase to dissent
+    away — which is exactly the behaviour the E4 experiment contrasts
+    with the core protocol's constant two rounds.  Under a worst-case
+    asynchronous adversary its phase count is not bounded by [b + 1];
+    DESIGN.md records this substitution. *)
+
+type msg =
+  | Pw of { ts : int; tv : Core.Tsval.t }
+  | Pw_ack of { ts : int }
+  | W of { ts : int; tv : Core.Tsval.t }
+  | W_ack of { ts : int }
+  | Read of { rid : int; phase : int }
+  | Read_ack of { rid : int; phase : int; pw : Core.Tsval.t; w : Core.Tsval.t }
+
+include Core.Protocol_intf.S with type msg := msg
+
+val byz_forge_high : value:string -> ts_boost:int -> msg Core.Byz.factory
+(** Vouch for a fake high candidate in every reply — forces extra read
+    phases but never [b + 1] matching vouchers, so safety holds. *)
+
+val byz_stale : msg Core.Byz.factory
+(** Always reply with the initial state. *)

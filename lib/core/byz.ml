@@ -1,0 +1,19 @@
+(** Byzantine object behaviours.
+
+    The paper's malicious processes may change state arbitrarily and put
+    arbitrary messages into any channel (§2.1).  A behaviour is therefore
+    just a stateful handler from a delivered message to the messages the
+    adversary chooses to send; it is polymorphic in the wire message type
+    so that one strategy library serves every protocol sharing that
+    type.  Factories receive a private random stream so that randomized
+    adversaries stay deterministic per scenario seed. *)
+
+type 'msg behaviour = {
+  handle : src:Sim.Proc_id.t -> now:int -> 'msg -> (Sim.Proc_id.t * 'msg) list;
+}
+
+type 'msg factory =
+  cfg:Quorum.Config.t -> index:int -> rng:Sim.Prng.t -> 'msg behaviour
+
+let silent : 'msg factory =
+ fun ~cfg:_ ~index:_ ~rng:_ -> { handle = (fun ~src:_ ~now:_ _ -> []) }

@@ -1,0 +1,8 @@
+(** Events emitted by client state machines towards the scenario runtime,
+    polymorphic in the protocol's wire message type so that the paper's
+    protocols and the baselines share one driver (see {!Scenario}). *)
+
+type 'msg client_event =
+  | Broadcast of 'msg  (** send to every base object *)
+  | Write_done of { rounds : int }
+  | Read_done of { value : Value.t; rounds : int }

@@ -1,0 +1,9 @@
+(** Integer-keyed maps and sets shared across the core protocol modules
+    (object indices, reader indices, timestamps). *)
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (Set.elements s)))

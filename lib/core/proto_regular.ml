@@ -1,0 +1,69 @@
+(** The regular storage (Figures 2, 5, 6) packaged as {!Protocol_intf.S}:
+    [Plain] is the unoptimized Figure 6 algorithm, [Optimized] the §5.1
+    variant with reader caches and history-suffix replies. *)
+
+module Make (Variant : sig
+  val name : string
+
+  val cached : bool
+end) : Protocol_intf.S with type msg = Messages.t = struct
+  let name = Variant.name
+
+  type msg = Messages.t
+
+  let msg_info = Messages.info
+
+  let msg_size_words = Messages.size_words
+
+  type obj = Regular_object.t
+
+  let obj_init ~cfg:_ ~index = Regular_object.init ~index
+
+  let obj_handle = Regular_object.handle
+
+  type writer = Writer.t
+
+  let writer_init ~cfg = Writer.init ~cfg
+
+  let writer_start = Writer.start_write
+
+  let writer_on_msg w ~obj msg =
+    let w, event = Writer.on_message w ~obj msg in
+    let events =
+      match event with
+      | Writer.Nothing -> []
+      | Writer.Broadcast m -> [ Events.Broadcast m ]
+      | Writer.Done { rounds } -> [ Events.Write_done { rounds } ]
+    in
+    (w, events)
+
+  type reader = Regular_reader.t
+
+  let reader_init ~cfg ~j = Regular_reader.init ~cfg ~j ~cached:Variant.cached
+
+  let reader_start = Regular_reader.start_read
+
+  let reader_on_msg r ~obj msg =
+    let r, events = Regular_reader.on_message r ~obj msg in
+    let events =
+      List.map
+        (function
+          | Regular_reader.Broadcast m -> Events.Broadcast m
+          | Regular_reader.Return { value; rounds } ->
+              Events.Read_done { value; rounds })
+        events
+    in
+    (r, events)
+end
+
+module Plain = Make (struct
+  let name = "regular"
+
+  let cached = false
+end)
+
+module Optimized = Make (struct
+  let name = "regular-opt"
+
+  let cached = true
+end)

@@ -1,0 +1,15 @@
+(** The regular storage of Figures 2, 5, 6 packaged as protocols.
+
+    [Plain] is the unoptimized Figure 6 algorithm (objects ship full
+    histories); [Optimized] is the S5.1 variant (readers cache the last
+    returned timestamp, objects ship history suffixes). *)
+
+module Make (_ : sig
+  val name : string
+
+  val cached : bool
+end) : Protocol_intf.S with type msg = Messages.t
+
+module Plain : Protocol_intf.S with type msg = Messages.t
+
+module Optimized : Protocol_intf.S with type msg = Messages.t

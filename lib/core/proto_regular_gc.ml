@@ -1,0 +1,51 @@
+module Make (C : sig
+  val readers : int
+end) : Protocol_intf.S with type msg = Messages.t = struct
+  let name = "regular-gc"
+
+  type msg = Messages.t
+
+  let msg_info = Messages.info
+
+  let msg_size_words = Messages.size_words
+
+  type obj = Regular_object_gc.t
+
+  let obj_init ~cfg:_ ~index = Regular_object_gc.init ~index ~readers:C.readers
+
+  let obj_handle = Regular_object_gc.handle
+
+  type writer = Writer.t
+
+  let writer_init ~cfg = Writer.init ~cfg
+
+  let writer_start = Writer.start_write
+
+  let writer_on_msg w ~obj msg =
+    let w, event = Writer.on_message w ~obj msg in
+    let events =
+      match event with
+      | Writer.Nothing -> []
+      | Writer.Broadcast m -> [ Events.Broadcast m ]
+      | Writer.Done { rounds } -> [ Events.Write_done { rounds } ]
+    in
+    (w, events)
+
+  type reader = Regular_reader.t
+
+  let reader_init ~cfg ~j = Regular_reader.init ~cfg ~j ~cached:true
+
+  let reader_start = Regular_reader.start_read
+
+  let reader_on_msg r ~obj msg =
+    let r, events = Regular_reader.on_message r ~obj msg in
+    let events =
+      List.map
+        (function
+          | Regular_reader.Broadcast m -> Events.Broadcast m
+          | Regular_reader.Return { value; rounds } ->
+              Events.Read_done { value; rounds })
+        events
+    in
+    (r, events)
+end

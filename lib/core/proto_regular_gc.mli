@@ -1,0 +1,8 @@
+(** The regular storage with garbage-collected objects
+    ({!Regular_object_gc}) and §5.1 cached readers, for a fixed reader
+    set of size [readers].  Same wire protocol and semantics as
+    {!Proto_regular.Optimized}; bounded per-object storage. *)
+
+module Make (_ : sig
+  val readers : int
+end) : Protocol_intf.S with type msg = Messages.t

@@ -1,0 +1,49 @@
+(** The safe storage (Figures 2-4) packaged as a {!Protocol_intf.S}. *)
+
+let name = "safe"
+
+type msg = Messages.t
+
+let msg_info = Messages.info
+
+let msg_size_words = Messages.size_words
+
+type obj = Safe_object.t
+
+let obj_init ~cfg:_ ~index = Safe_object.init ~index
+
+let obj_handle = Safe_object.handle
+
+type writer = Writer.t
+
+let writer_init ~cfg = Writer.init ~cfg
+
+let writer_start = Writer.start_write
+
+let writer_on_msg w ~obj msg =
+  let w, event = Writer.on_message w ~obj msg in
+  let events =
+    match event with
+    | Writer.Nothing -> []
+    | Writer.Broadcast m -> [ Events.Broadcast m ]
+    | Writer.Done { rounds } -> [ Events.Write_done { rounds } ]
+  in
+  (w, events)
+
+type reader = Safe_reader.t
+
+let reader_init ~cfg ~j = Safe_reader.init ~cfg ~j ()
+
+let reader_start = Safe_reader.start_read
+
+let reader_on_msg r ~obj msg =
+  let r, events = Safe_reader.on_message r ~obj msg in
+  let events =
+    List.map
+      (function
+        | Safe_reader.Broadcast m -> Events.Broadcast m
+        | Safe_reader.Return { value; rounds } ->
+            Events.Read_done { value; rounds })
+      events
+  in
+  (r, events)

@@ -1,0 +1,6 @@
+(** The safe storage of Figures 2-4 packaged as a protocol: Figure 3
+    objects, the Figure 2 writer, and the Figure 4 reader behind the
+    {!Protocol_intf.S} interface the scenario runtime, model checker and
+    lower-bound analysis all consume. *)
+
+include Protocol_intf.S with type msg = Messages.t

@@ -1,0 +1,19 @@
+(** Ablated variants of the safe storage for the E6 experiment: the same
+    wire protocol, objects and writer, with one of the reader's defensive
+    mechanisms disabled (see {!Safe_reader.knobs}).  Each variant
+    demonstrably loses a theorem: no candidate elimination loses
+    wait-freedom under forgery; fewer than [b + 1] vouchers loses safety;
+    no conflict detection loses the Lemma 3 case (2.b) termination
+    argument. *)
+
+module Make (_ : sig
+  val name : string
+
+  val knobs : Safe_reader.knobs
+end) : Protocol_intf.S with type msg = Messages.t
+
+module No_conflict_detection : Protocol_intf.S with type msg = Messages.t
+
+module No_elimination : Protocol_intf.S with type msg = Messages.t
+
+module Single_voucher : Protocol_intf.S with type msg = Messages.t

@@ -1,0 +1,54 @@
+(** The shape every storage protocol exposes to the scenario runtime.
+
+    A protocol bundles three pure state machines — base object, writer,
+    reader — over its own wire message type.  The runtime ({!Scenario})
+    owns all side effects: it broadcasts the messages the machines
+    return, feeds deliveries back in, and records operations.  The
+    paper's safe and regular storages and every baseline implement this
+    signature, which is what makes the cross-protocol experiments (E4)
+    one table loop instead of per-protocol drivers. *)
+
+module type S = sig
+  val name : string
+
+  (** {2 Wire messages} *)
+
+  type msg
+
+  val msg_info : msg -> string
+
+  val msg_size_words : msg -> int
+
+  (** {2 Base object} *)
+
+  type obj
+
+  val obj_init : cfg:Quorum.Config.t -> index:int -> obj
+
+  val obj_handle : obj -> src:Sim.Proc_id.t -> msg -> obj * msg option
+  (** One atomic step; the optional message is the reply to [src]. *)
+
+  (** {2 Writer} *)
+
+  type writer
+
+  val writer_init : cfg:Quorum.Config.t -> writer
+
+  val writer_start : writer -> Value.t -> (writer * msg, string) result
+  (** Returns the round-1 broadcast. *)
+
+  val writer_on_msg :
+    writer -> obj:int -> msg -> writer * msg Events.client_event list
+
+  (** {2 Reader} *)
+
+  type reader
+
+  val reader_init : cfg:Quorum.Config.t -> j:int -> reader
+
+  val reader_start : reader -> (reader * msg, string) result
+  (** Returns the round-1 broadcast. *)
+
+  val reader_on_msg :
+    reader -> obj:int -> msg -> reader * msg Events.client_event list
+end

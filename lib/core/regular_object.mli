@@ -1,0 +1,40 @@
+(** Base object of the regular storage — Figure 5.
+
+    Differs from {!Safe_object} in keeping the {e whole history} of
+    values received from the writer: entry [ts'] is installed on the PW
+    of write [ts'] (with [w = nil]) and completed on its W — and, since
+    the PW of write [ts'] carries the finished tuple of write [ts' - 1],
+    that entry is installed retroactively too.
+
+    READ acknowledgments carry the history suffix from the reader's
+    cached timestamp onwards ([from_ts], §5.1); unoptimized readers send
+    [from_ts = 0] and receive everything. *)
+
+type t
+
+val init : index:int -> t
+
+val index : t -> int
+
+val ts : t -> int
+
+val history : t -> History_store.t
+
+val tsr : t -> reader:int -> int
+
+val handle : t -> src:Sim.Proc_id.t -> Messages.t -> t * Messages.t option
+
+(** {2 Garbage-collection hooks}
+
+    Not part of Figure 5 — extension points for the bounded-storage
+    variant ({!Regular_object_gc}), addressing the paper's remark that
+    keeping full histories "might raise issues of storage exhaustion and
+    needs careful garbage collection" (§1). *)
+
+val latest_complete_ts : t -> int
+(** Highest timestamp whose history entry has a non-nil [w]. *)
+
+val prune : t -> keep_from:int -> t
+(** Drop history entries strictly below [keep_from]; the caller is
+    responsible for [keep_from] being at most every current and future
+    reader's cache timestamp. *)

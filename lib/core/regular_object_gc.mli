@@ -1,0 +1,40 @@
+(** Bounded-storage regular objects: Figure 5 plus garbage collection.
+
+    The paper keeps full per-object write histories and notes that this
+    "might raise issues of storage exhaustion and needs careful garbage
+    collection" (§1).  This variant implements that collection for a
+    {e fixed, known} set of [readers] running the §5.1 cached protocol:
+
+    - every READ message carries the reader's cache timestamp
+      ([from_ts]); the object records each reader's highest reported
+      cache as that reader's {e floor};
+    - once every reader has reported at least once, entries strictly
+      below [min(floors ∪ {latest complete entry})] are dropped.
+
+    Soundness: the §5.1 reader only ever consults history entries at or
+    above its own cache timestamp, caches are per-reader monotone, and
+    the latest complete entry — what Theorem 3's argument needs every
+    correct object to retain — is never dropped.  Until a reader has
+    read once its floor is 0 and nothing is pruned, which is what makes
+    fixed membership necessary: an unknown late joiner would need
+    entries the collector may already have dropped.
+
+    Measured in experiment E10: per-object history length stays bounded
+    by the write/read interleaving depth instead of growing with the
+    total number of writes. *)
+
+type t
+
+val init : index:int -> readers:int -> t
+
+val index : t -> int
+
+val history_length : t -> int
+(** Current number of retained history entries — the E10 metric. *)
+
+val floor : t -> reader:int -> int
+(** The reader's recorded cache floor (0 until its first READ). *)
+
+val handle : t -> src:Sim.Proc_id.t -> Messages.t -> t * Messages.t option
+(** Exactly {!Regular_object.handle} followed by floor recording and
+    pruning. *)

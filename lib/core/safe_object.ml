@@ -1,0 +1,51 @@
+type t = {
+  index : int;
+  ts : int;
+  pw : Tsval.t;
+  w : Wtuple.t;
+  tsr : int Ints.Map.t;  (* reader j -> tsr[j], absent = 0 *)
+}
+
+let init ~index =
+  { index; ts = 0; pw = Tsval.init; w = Wtuple.init; tsr = Ints.Map.empty }
+
+let index t = t.index
+
+let ts t = t.ts
+
+let pw t = t.pw
+
+let w t = t.w
+
+let tsr t ~reader = Option.value (Ints.Map.find_opt reader t.tsr) ~default:0
+
+let handle t ~src msg =
+  match (msg, src) with
+  | Messages.Pw { ts = ts'; pw = pw'; w = w' }, Sim.Proc_id.Writer ->
+      (* Figure 3 lines 3-7: adopt strictly fresher state, ack with the
+         current reader-timestamp row. *)
+      if ts' > t.ts then
+        let t = { t with ts = ts'; pw = pw'; w = w' } in
+        (t, Some (Messages.Pw_ack { ts = t.ts; tsr = t.tsr }))
+      else (t, None)
+  | Messages.W { ts = ts'; pw = pw'; w = w' }, Sim.Proc_id.Writer ->
+      (* Figure 3 lines 8-12: [>=] so the W of the write whose PW was
+         already applied still installs the completed tuple. *)
+      if ts' >= t.ts then
+        let t = { t with ts = ts'; pw = pw'; w = w' } in
+        (t, Some (Messages.W_ack { ts = t.ts }))
+      else (t, None)
+  | Messages.Read1 { tsr = tsr'; _ }, Sim.Proc_id.Reader j
+  | Messages.Read2 { tsr = tsr'; _ }, Sim.Proc_id.Reader j ->
+      (* Figure 3 lines 13-17. *)
+      if tsr' > tsr t ~reader:j then
+        let t = { t with tsr = Ints.Map.add j tsr' t.tsr } in
+        let ack =
+          match msg with
+          | Messages.Read1 _ ->
+              Messages.Read1_ack { tsr = tsr'; pw = t.pw; w = t.w }
+          | _ -> Messages.Read2_ack { tsr = tsr'; pw = t.pw; w = t.w }
+        in
+        (t, Some ack)
+      else (t, None)
+  | _ -> (t, None)

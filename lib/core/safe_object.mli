@@ -1,0 +1,28 @@
+(** Base object of the safe storage — Figure 3, verbatim.
+
+    The object is a read-modify-write automaton holding the fields [ts]
+    (latest writer timestamp seen), [pw], [w], and [tsr[1..R]] (latest
+    timestamp seen from each reader).  It replies only when the incoming
+    message carries fresher information (Figure 3 conditions), which is
+    what lets the reader match acknowledgments to rounds by echoing
+    timestamps. *)
+
+type t
+
+val init : index:int -> t
+
+val index : t -> int
+
+val ts : t -> int
+
+val pw : t -> Tsval.t
+
+val w : t -> Wtuple.t
+
+val tsr : t -> reader:int -> int
+(** Latest timestamp stored for the reader (0 initially). *)
+
+val handle : t -> src:Sim.Proc_id.t -> Messages.t -> t * Messages.t option
+(** One atomic step: apply the message, optionally produce the reply to
+    [src].  Messages that the automaton has no transition for (e.g. acks
+    mis-delivered to an object) are ignored. *)

@@ -1,0 +1,82 @@
+(** The safe-storage reader — Figure 4, the paper's central algorithm.
+
+    A READ takes at most two rounds.  In {e both} rounds the reader
+    writes a fresh timestamp into the objects' [tsr[j]] fields and reads
+    back ⟨pw, w⟩ — the "readers modify base-object state" trick that
+    beats the conjectured [b+1]-round bound.
+
+    Round 1 terminates once the replies contain a {e conflict-free}
+    sub-quorum [Resp1OK] of at least [s - t] objects, where objects [i]
+    and [k] conflict if [k] reported a candidate tuple whose timestamp
+    matrix claims [i] told the writer a reader timestamp higher than the
+    reader has issued (Figure 4 line 1) — a smoking gun that one of the
+    two lies.  Finding [Resp1OK] is a minimum-vertex-cover search on the
+    conflict graph, exact and cheap because at most
+    [|Resp1| - (s - t)] <= t vertices may be dropped.
+
+    Round 2 terminates once some candidate is [safe] (at least [b + 1]
+    objects vouch for it or for a later value) and carries the highest
+    candidate timestamp, or once the candidate set has been emptied by
+    the [t + b + 1]-dissenters rule, in which case the read returns ⊥
+    (only possible under concurrency, Theorem 1). *)
+
+type t
+
+type knobs = {
+  conflict_detection : bool;
+      (** Figure 4's [conflict] predicate; disabling it voids the Lemma 3
+          case (2.b) termination argument *)
+  elimination : bool;
+      (** the lines 27-28 candidate-removal rule; disabling it lets a
+          forged high candidate block reads forever *)
+  vouchers : int option;
+      (** overrides the [b + 1] [safe] threshold; values below [b + 1]
+          let Byzantine objects validate forged values *)
+}
+(** Ablation switches for the E6 experiment.  Production readers use
+    {!default_knobs}; every knob is load-bearing for Theorems 1-2. *)
+
+val default_knobs : knobs
+
+type event =
+  | Broadcast of Messages.t  (** send to all objects *)
+  | Return of { value : Value.t; rounds : int }
+      (** READ completes; [rounds] is 1 when round-1 replies alone
+          decided the value, else 2. *)
+
+val init : ?knobs:knobs -> cfg:Quorum.Config.t -> j:int -> unit -> t
+
+val reader_index : t -> int
+
+val tsr : t -> int
+(** The reader's persistent timestamp [tsr'_j]. *)
+
+val is_idle : t -> bool
+
+val start_read : t -> (t * Messages.t, string) result
+(** Begin a READ; broadcast the returned READ1 message.  Errors if a
+    read is in progress. *)
+
+val on_message : t -> obj:int -> Messages.t -> t * event list
+(** Feed an acknowledgment from object [obj].  The event list is empty
+    while waiting, [\[Broadcast read2\]] on round-1 completion, and ends
+    with [Return] when the read decides (possibly in the same step as
+    the broadcast). *)
+
+(** {2 Introspection for tests and experiments} *)
+
+val candidates : t -> Wtuple.Set.t
+(** Current candidate set [C] (empty when idle). *)
+
+val responded_round1 : t -> Ints.Set.t
+
+val responded_round2 : t -> Ints.Set.t
+
+(** {2 Exposed for property-based testing} *)
+
+module Private : sig
+  val coverable : (int * int) list -> int -> bool
+  (** [coverable edges budget]: can deleting at most [budget] vertices
+      remove every edge?  The exact bounded-vertex-cover search behind
+      the Figure 4 line 11 [Resp1OK] existence check. *)
+end

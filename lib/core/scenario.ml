@@ -1,0 +1,214 @@
+module Make (P : Protocol_intf.S) = struct
+  type fault_plan = {
+    crashes : (Sim.Proc_id.t * int) list;
+    byzantine : (int * P.msg Byz.factory) list;
+  }
+
+  let no_faults = { crashes = []; byzantine = [] }
+
+  type outcome = {
+    op : Schedule.op;
+    invoked_at : int;
+    completed_at : int;
+    rounds : int;
+    result : Value.t option;
+  }
+
+  type report = {
+    history : string Histories.Op.t list;
+    outcomes : outcome list;
+    trace : Sim.Trace.t option;
+    words_to_readers : int;
+    messages_delivered : int;
+    events_processed : int;
+    final_time : int;
+  }
+
+  let value_to_result = function
+    | Value.Bottom -> Histories.Op.Bottom
+    | Value.V s -> Histories.Op.Value s
+
+  let run ?(max_events = 1_000_000) ?(trace = false) ~cfg ~seed ~delay ~faults
+      schedule =
+    let tr = if trace then Some (Sim.Trace.create ()) else None in
+    let eng = Sim.Engine.create ?trace:tr ~msg_info:P.msg_info ~seed ~delay () in
+    let object_ids = Sim.Proc_id.objects ~s:cfg.Quorum.Config.s in
+    let recorder : string Histories.Recorder.t = Histories.Recorder.create () in
+    let outcomes = ref [] in
+    let words_to_readers = ref 0 in
+
+    let broadcast ~src m =
+      List.iter (fun dst -> Sim.Engine.send eng ~src ~dst m) object_ids
+    in
+
+    (* Base objects: honest automata or injected Byzantine behaviours. *)
+    List.iter
+      (fun id ->
+        let i = Sim.Proc_id.obj_index id in
+        match List.assoc_opt i faults.byzantine with
+        | Some factory ->
+            let rng = Sim.Prng.split (Sim.Engine.rng eng) in
+            let behaviour = factory ~cfg ~index:i ~rng in
+            Sim.Engine.register eng id (fun env ->
+                let sends =
+                  behaviour.Byz.handle ~src:env.Sim.Engine.src
+                    ~now:(Sim.Engine.now eng) env.Sim.Engine.msg
+                in
+                List.iter (fun (dst, m) -> Sim.Engine.send eng ~src:id ~dst m) sends)
+        | None ->
+            let state = ref (P.obj_init ~cfg ~index:i) in
+            Sim.Engine.register eng id (fun env ->
+                let state', reply =
+                  P.obj_handle !state ~src:env.Sim.Engine.src env.Sim.Engine.msg
+                in
+                state := state';
+                Option.iter
+                  (fun m ->
+                    Sim.Engine.send eng ~src:id ~dst:env.Sim.Engine.src m)
+                  reply))
+      object_ids;
+
+    (* Writer driver: a closed loop around the pure writer machine. *)
+    let writer_sm = ref (P.writer_init ~cfg) in
+    let writer_queue = Queue.create () in
+    let writer_inflight = ref None in
+    let rec writer_try_start () =
+      if Option.is_none !writer_inflight && not (Queue.is_empty writer_queue)
+      then begin
+        let v = Queue.pop writer_queue in
+        match P.writer_start !writer_sm v with
+        | Error e -> invalid_arg ("Scenario: writer_start: " ^ e)
+        | Ok (sm, m) ->
+            writer_sm := sm;
+            let now = Sim.Engine.now eng in
+            let payload = Option.value (Value.payload v) ~default:"" in
+            let handle =
+              Histories.Recorder.invoke_write recorder ~time:now payload
+            in
+            writer_inflight := Some (v, handle, now);
+            broadcast ~src:Sim.Proc_id.Writer m
+      end
+    and writer_apply_events events =
+      List.iter
+        (function
+          | Events.Broadcast m -> broadcast ~src:Sim.Proc_id.Writer m
+          | Events.Write_done { rounds } -> (
+              match !writer_inflight with
+              | None -> ()
+              | Some (v, handle, invoked_at) ->
+                  let now = Sim.Engine.now eng in
+                  Histories.Recorder.respond_write recorder handle ~time:now;
+                  outcomes :=
+                    {
+                      op = Schedule.Write v;
+                      invoked_at;
+                      completed_at = now;
+                      rounds;
+                      result = None;
+                    }
+                    :: !outcomes;
+                  writer_inflight := None;
+                  writer_try_start ())
+          | Events.Read_done _ -> ())
+        events
+    in
+    Sim.Engine.register eng Sim.Proc_id.Writer (fun env ->
+        match env.Sim.Engine.src with
+        | Sim.Proc_id.Obj i ->
+            let sm, events =
+              P.writer_on_msg !writer_sm ~obj:i env.Sim.Engine.msg
+            in
+            writer_sm := sm;
+            writer_apply_events events
+        | Sim.Proc_id.Writer | Sim.Proc_id.Reader _ -> ());
+
+    (* Reader drivers, one closed loop per reader index in the schedule. *)
+    let reader_indices = Schedule.reader_indices schedule in
+    let reader_starters = Hashtbl.create 8 in
+    List.iter
+      (fun j ->
+        let id = Sim.Proc_id.Reader j in
+        let sm = ref (P.reader_init ~cfg ~j) in
+        let queue = ref 0 in
+        let inflight = ref None in
+        let rec try_start () =
+          if Option.is_none !inflight && !queue > 0 then begin
+            decr queue;
+            match P.reader_start !sm with
+            | Error e -> invalid_arg ("Scenario: reader_start: " ^ e)
+            | Ok (sm', m) ->
+                sm := sm';
+                let now = Sim.Engine.now eng in
+                let handle =
+                  Histories.Recorder.invoke_read recorder ~time:now ~reader:j
+                in
+                inflight := Some (handle, now);
+                broadcast ~src:id m
+          end
+        and apply_events events =
+          List.iter
+            (function
+              | Events.Broadcast m -> broadcast ~src:id m
+              | Events.Read_done { value; rounds } -> (
+                  match !inflight with
+                  | None -> ()
+                  | Some (handle, invoked_at) ->
+                      let now = Sim.Engine.now eng in
+                      Histories.Recorder.respond_read recorder handle ~time:now
+                        (value_to_result value);
+                      outcomes :=
+                        {
+                          op = Schedule.Read { reader = j };
+                          invoked_at;
+                          completed_at = now;
+                          rounds;
+                          result = Some value;
+                        }
+                        :: !outcomes;
+                      inflight := None;
+                      try_start ())
+              | Events.Write_done _ -> ())
+            events
+        in
+        Hashtbl.replace reader_starters j (fun () ->
+            incr queue;
+            try_start ());
+        Sim.Engine.register eng id (fun env ->
+            match env.Sim.Engine.src with
+            | Sim.Proc_id.Obj i ->
+                words_to_readers :=
+                  !words_to_readers + P.msg_size_words env.Sim.Engine.msg;
+                let sm', events = P.reader_on_msg !sm ~obj:i env.Sim.Engine.msg in
+                sm := sm';
+                apply_events events
+            | Sim.Proc_id.Writer | Sim.Proc_id.Reader _ -> ()))
+      reader_indices;
+
+    (* Fault plan. *)
+    List.iter
+      (fun (proc, time) ->
+        Sim.Engine.at eng ~time (fun () -> Sim.Engine.crash eng proc))
+      faults.crashes;
+
+    (* Operation schedule. *)
+    List.iter
+      (fun (time, op) ->
+        Sim.Engine.at eng ~time (fun () ->
+            match op with
+            | Schedule.Write v ->
+                Queue.push v writer_queue;
+                writer_try_start ()
+            | Schedule.Read { reader } -> (Hashtbl.find reader_starters reader) ()))
+      schedule;
+
+    let events_processed = Sim.Engine.run ~max_events eng in
+    {
+      history = Histories.Recorder.ops recorder;
+      outcomes = List.rev !outcomes;
+      trace = tr;
+      words_to_readers = !words_to_readers;
+      messages_delivered = Sim.Engine.delivered_count eng;
+      events_processed;
+      final_time = Sim.Engine.now eng;
+    }
+end

@@ -1,0 +1,49 @@
+(** End-to-end simulated runs of a storage protocol.
+
+    [Make (P)] drives [P]'s pure state machines over the discrete-event
+    engine: it spawns the base objects (honest or Byzantine), serializes
+    each client's operations (one outstanding operation per client, §2.2),
+    records the resulting history for the {!Histories} checkers, and
+    accumulates the per-operation metrics (latency, rounds, reply bytes)
+    the experiments tabulate. *)
+
+module Make (P : Protocol_intf.S) : sig
+  type fault_plan = {
+    crashes : (Sim.Proc_id.t * int) list;  (** process, crash time *)
+    byzantine : (int * P.msg Byz.factory) list;  (** object index, behaviour *)
+  }
+
+  val no_faults : fault_plan
+
+  type outcome = {
+    op : Schedule.op;
+    invoked_at : int;
+    completed_at : int;
+    rounds : int;
+    result : Value.t option;  (** [Some] for reads *)
+  }
+
+  type report = {
+    history : string Histories.Op.t list;
+        (** the run's operation history (⊥ mapped to {!Histories.Op.Bottom}) *)
+    outcomes : outcome list;  (** completed operations, completion order *)
+    trace : Sim.Trace.t option;
+    words_to_readers : int;
+        (** total abstract size of messages delivered to readers *)
+    messages_delivered : int;
+    events_processed : int;
+    final_time : int;
+  }
+
+  val run :
+    ?max_events:int ->
+    ?trace:bool ->
+    cfg:Quorum.Config.t ->
+    seed:int ->
+    delay:Sim.Delay.t ->
+    faults:fault_plan ->
+    Schedule.t ->
+    report
+  (** Execute the schedule to quiescence (or [max_events], default 1e6).
+      Deterministic in [(cfg, seed, delay, faults, schedule)]. *)
+end

@@ -1,0 +1,31 @@
+type op = Write of Value.t | Read of { reader : int }
+
+type item = int * op
+
+type t = item list
+
+let writes t =
+  List.length (List.filter (function _, Write _ -> true | _ -> false) t)
+
+let reads t =
+  List.length (List.filter (function _, Read _ -> true | _ -> false) t)
+
+let reader_indices t =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (function _, Read { reader } -> Some reader | _, Write _ -> None)
+       t)
+
+let by_time (t1, _) (t2, _) = Int.compare t1 t2
+
+let sorted t = List.stable_sort by_time t
+
+let merge a b = sorted (a @ b)
+
+let pp ppf t =
+  List.iter
+    (fun (time, op) ->
+      match op with
+      | Write v -> Format.fprintf ppf "@%d write(%a)@." time Value.pp v
+      | Read { reader } -> Format.fprintf ppf "@%d read(r%d)@." time reader)
+    t

@@ -1,0 +1,28 @@
+(** Operation schedules — protocol-independent workload descriptions.
+
+    A schedule lists (earliest start time, operation) pairs; the scenario
+    runtime serializes each client's operations (closed loop).  Keeping
+    the type outside {!Scenario.Make} lets one workload drive every
+    protocol in a comparison experiment. *)
+
+type op =
+  | Write of Value.t
+  | Read of { reader : int }
+
+type item = int * op
+
+type t = item list
+
+val writes : t -> int
+
+val reads : t -> int
+
+val reader_indices : t -> int list
+(** Sorted, deduplicated. *)
+
+val merge : t -> t -> t
+(** Union of two schedules, sorted by time. *)
+
+val sorted : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { ts : int; v : Value.t }
+
+let init = { ts = 0; v = Value.bottom }
+
+let make ~ts ~v = { ts; v }
+
+let equal a b = a.ts = b.ts && Value.equal a.v b.v
+
+let compare a b =
+  match Int.compare a.ts b.ts with 0 -> Value.compare a.v b.v | c -> c
+
+let newer a ~than = a.ts > than.ts
+
+let pp ppf { ts; v } = Format.fprintf ppf "<%d,%a>" ts Value.pp v
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,25 @@
+(** Timestamp-value pairs ⟨ts, v⟩ (the [pw] field contents, Figure 2).
+
+    The writer's timestamps count its WRITEs: [wr_k] carries [ts = k];
+    the initial pair is ⟨0, ⊥⟩. *)
+
+type t = { ts : int; v : Value.t }
+
+val init : t
+(** ⟨0, ⊥⟩. *)
+
+val make : ts:int -> v:Value.t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by timestamp, breaking ties on the value — a total order so
+    the pair can key maps; protocol decisions only ever compare
+    timestamps. *)
+
+val newer : t -> than:t -> bool
+(** Strictly higher timestamp. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,64 @@
+type phase =
+  | Idle
+  | Pw_wait of { acks : Ints.Set.t; current : Tsr_matrix.t }
+  | W_wait of { acks : Ints.Set.t }
+
+type t = {
+  cfg : Quorum.Config.t;
+  ts : int;
+  pw : Tsval.t;
+  w : Wtuple.t;
+  phase : phase;
+}
+
+type event = Nothing | Broadcast of Messages.t | Done of { rounds : int }
+
+let init ~cfg = { cfg; ts = 0; pw = Tsval.init; w = Wtuple.init; phase = Idle }
+
+let ts t = t.ts
+
+let is_idle t = match t.phase with Idle -> true | Pw_wait _ | W_wait _ -> false
+
+let quorum t = Quorum.Config.quorum t.cfg
+
+let start_write t v =
+  match t.phase with
+  | Pw_wait _ | W_wait _ -> Error "write already in progress"
+  | Idle ->
+      if Value.is_bottom v then Error "bottom is not a valid input value"
+      else
+        (* Figure 2 lines 3-5. *)
+        let ts = t.ts + 1 in
+        let pw = Tsval.make ~ts ~v in
+        let t =
+          {
+            t with
+            ts;
+            pw;
+            phase = Pw_wait { acks = Ints.Set.empty; current = Tsr_matrix.empty };
+          }
+        in
+        Ok (t, Messages.Pw { ts; pw; w = t.w })
+
+let on_message t ~obj msg =
+  match (t.phase, msg) with
+  | Pw_wait { acks; current }, Messages.Pw_ack { ts; tsr } when ts = t.ts ->
+      if Ints.Set.mem obj acks then (t, Nothing)
+      else
+        (* Figure 2 line 11: currenttsrarray[i] := tsr. *)
+        let acks = Ints.Set.add obj acks in
+        let current = Tsr_matrix.set_row current ~obj tsr in
+        if Ints.Set.cardinal acks >= quorum t then
+          (* Figure 2 lines 7-8: complete the tuple and start round W. *)
+          let w = Wtuple.make ~tsval:t.pw ~tsrarray:current in
+          let t = { t with w; phase = W_wait { acks = Ints.Set.empty } } in
+          (t, Broadcast (Messages.W { ts = t.ts; pw = t.pw; w }))
+        else ({ t with phase = Pw_wait { acks; current } }, Nothing)
+  | W_wait { acks }, Messages.W_ack { ts } when ts = t.ts ->
+      if Ints.Set.mem obj acks then (t, Nothing)
+      else
+        let acks = Ints.Set.add obj acks in
+        if Ints.Set.cardinal acks >= quorum t then
+          ({ t with phase = Idle }, Done { rounds = 2 })
+        else ({ t with phase = W_wait { acks } }, Nothing)
+  | (Idle | Pw_wait _ | W_wait _), _ -> (t, Nothing)

@@ -1,0 +1,34 @@
+(** The writer — Figure 2, verbatim.
+
+    Shared by the safe and regular storages (the paper reuses the same
+    WRITE implementation, §5).  A WRITE takes exactly two rounds:
+
+    + {b PW}: write ⟨pw, w⟩ and collect each responding object's reader
+      timestamps into [currenttsrarray];
+    + {b W}: write the completed tuple [w = ⟨pw, currenttsrarray⟩].
+
+    Each round terminates on [s - t] acknowledgments.  The state machine
+    is pure: callers broadcast the returned message to all objects and
+    feed acknowledgments back in. *)
+
+type t
+
+type event =
+  | Nothing  (** keep waiting *)
+  | Broadcast of Messages.t  (** round PW done: broadcast the W message *)
+  | Done of { rounds : int }  (** WRITE complete (always 2 rounds) *)
+
+val init : cfg:Quorum.Config.t -> t
+
+val ts : t -> int
+(** Timestamp of the latest (possibly in-progress) write. *)
+
+val is_idle : t -> bool
+
+val start_write : t -> Value.t -> (t * Messages.t, string) result
+(** Begin [WRITE(v)]; broadcast the returned PW message.  Errors if a
+    write is in progress or [v] is ⊥ (not a valid input, §2.2). *)
+
+val on_message : t -> obj:int -> Messages.t -> t * event
+(** Feed an acknowledgment received from object [obj].  Stale or
+    unexpected messages are ignored ([Nothing]). *)

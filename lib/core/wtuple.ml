@@ -1,0 +1,28 @@
+type t = { tsval : Tsval.t; tsrarray : Tsr_matrix.t }
+
+let init = { tsval = Tsval.init; tsrarray = Tsr_matrix.empty }
+
+let make ~tsval ~tsrarray = { tsval; tsrarray }
+
+let ts t = t.tsval.Tsval.ts
+
+let value t = t.tsval.Tsval.v
+
+let compare a b =
+  match Tsval.compare a.tsval b.tsval with
+  | 0 -> Tsr_matrix.compare a.tsrarray b.tsrarray
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "<%a,%a>" Tsval.pp t.tsval Tsr_matrix.pp t.tsrarray
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,28 @@
+(** Write tuples ⟨tsval, tsrarray⟩ — the contents of the [w] field
+    (Figure 2) and the reader's candidate values (Figure 4).
+
+    A tuple binds a timestamp-value pair to the matrix of reader
+    timestamps the writer collected in the PW round of the same WRITE;
+    the matrix is what lets readers catch objects forging concurrency
+    (the [conflict] predicate). *)
+
+type t = { tsval : Tsval.t; tsrarray : Tsr_matrix.t }
+
+val init : t
+(** w0 = ⟨⟨0, ⊥⟩, inittsrarray⟩. *)
+
+val make : tsval:Tsval.t -> tsrarray:Tsr_matrix.t -> t
+
+val ts : t -> int
+
+val value : t -> Value.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,148 @@
+open Core
+
+type t = Messages.t Byz.factory
+
+(* Run an honest safe object inside, rewriting only replies to readers:
+   timestamp echoes stay valid, data is corrupted. *)
+let wrap_safe rewrite : t =
+ fun ~cfg:_ ~index ~rng ->
+  let state = ref (Safe_object.init ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = Safe_object.handle !state ~src msg in
+        state := state';
+        match (reply, src) with
+        | None, _ -> []
+        | Some m, Sim.Proc_id.Reader j ->
+            [ (src, rewrite ~rng ~state:!state ~reader:j ~index m) ]
+        | Some m, (Sim.Proc_id.Writer | Sim.Proc_id.Obj _) -> [ (src, m) ])
+  }
+
+let rewrite_read_ack f msg =
+  match msg with
+  | Messages.Read1_ack { tsr; pw; w } ->
+      let pw, w = f ~tsr ~pw ~w in
+      Messages.Read1_ack { tsr; pw; w }
+  | Messages.Read2_ack { tsr; pw; w } ->
+      let pw, w = f ~tsr ~pw ~w in
+      Messages.Read2_ack { tsr; pw; w }
+  | Messages.Pw _ | Messages.Pw_ack _ | Messages.W _ | Messages.W_ack _
+  | Messages.Read1 _ | Messages.Read2 _ | Messages.Read1_ack_h _
+  | Messages.Read2_ack_h _ ->
+      msg
+
+let mute = Byz.silent
+
+let forged_pair ~ts ~value =
+  let tsval = Tsval.make ~ts ~v:(Value.v value) in
+  (tsval, Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty)
+
+let forge_high_value ~value ~ts_boost : t =
+  wrap_safe (fun ~rng:_ ~state ~reader:_ ~index:_ msg ->
+      rewrite_read_ack
+        (fun ~tsr:_ ~pw:_ ~w:_ ->
+          forged_pair ~ts:(Safe_object.ts state + ts_boost) ~value)
+        msg)
+
+let replay_initial : t =
+  wrap_safe (fun ~rng:_ ~state:_ ~reader:_ ~index:_ msg ->
+      rewrite_read_ack (fun ~tsr:_ ~pw:_ ~w:_ -> (Tsval.init, Wtuple.init)) msg)
+
+let simulate_unwritten_write ~value ~ts : t =
+  wrap_safe (fun ~rng:_ ~state:_ ~reader:_ ~index:_ msg ->
+      rewrite_read_ack (fun ~tsr:_ ~pw:_ ~w:_ -> forged_pair ~ts ~value) msg)
+
+let defaming_matrix ~targets ~reader ~claimed base =
+  List.fold_left
+    (fun m i ->
+      let row =
+        match Tsr_matrix.row m ~obj:i with
+        | Some row -> row
+        | None -> Ints.Map.empty
+      in
+      Tsr_matrix.set_row m ~obj:i (Ints.Map.add reader claimed row))
+    base targets
+
+let defame ~targets ~boost : t =
+  wrap_safe (fun ~rng:_ ~state:_ ~reader ~index:_ msg ->
+      rewrite_read_ack
+        (fun ~tsr ~pw ~w ->
+          let tsrarray =
+            defaming_matrix ~targets ~reader ~claimed:(tsr + boost)
+              w.Wtuple.tsrarray
+          in
+          (pw, Wtuple.make ~tsval:w.Wtuple.tsval ~tsrarray))
+        msg)
+
+let equivocate ~values ~ts_boost : t =
+  if values = [] then invalid_arg "Strategies.equivocate: empty value list";
+  wrap_safe (fun ~rng:_ ~state ~reader ~index:_ msg ->
+      let value = List.nth values (reader mod List.length values) in
+      rewrite_read_ack
+        (fun ~tsr:_ ~pw:_ ~w:_ ->
+          forged_pair ~ts:(Safe_object.ts state + ts_boost) ~value)
+        msg)
+
+let random_garbage : t =
+  wrap_safe (fun ~rng ~state:_ ~reader:_ ~index:_ msg ->
+      rewrite_read_ack
+        (fun ~tsr:_ ~pw:_ ~w:_ ->
+          let ts = Sim.Prng.int_in_range rng ~lo:1 ~hi:1000 in
+          let value = Printf.sprintf "junk-%d" (Sim.Prng.int rng ~bound:1_000_000) in
+          forged_pair ~ts ~value)
+        msg)
+
+(* Regular-protocol wrapper: honest Figure 5 object inside, history
+   replies to readers rewritten. *)
+let wrap_regular rewrite : t =
+ fun ~cfg:_ ~index ~rng ->
+  let state = ref (Regular_object.init ~index) in
+  {
+    Byz.handle =
+      (fun ~src ~now:_ msg ->
+        let state', reply = Regular_object.handle !state ~src msg in
+        state := state';
+        match (reply, src) with
+        | None, _ -> []
+        | Some m, Sim.Proc_id.Reader j ->
+            let rewrite_h h = rewrite ~rng ~state:!state ~reader:j h in
+            let m =
+              match m with
+              | Messages.Read1_ack_h { tsr; history } ->
+                  Messages.Read1_ack_h { tsr; history = rewrite_h history }
+              | Messages.Read2_ack_h { tsr; history } ->
+                  Messages.Read2_ack_h { tsr; history = rewrite_h history }
+              | other -> other
+            in
+            [ (src, m) ]
+        | Some m, (Sim.Proc_id.Writer | Sim.Proc_id.Obj _) -> [ (src, m) ])
+  }
+
+let forge_history ~value ~ts_boost : t =
+  wrap_regular (fun ~rng:_ ~state ~reader:_ history ->
+      let ts = Regular_object.ts state + ts_boost in
+      let tsval, w = forged_pair ~ts ~value in
+      History_store.set history ~ts { History_store.pw = tsval; w = Some w })
+
+let empty_history : t =
+  wrap_regular (fun ~rng:_ ~state:_ ~reader:_ _history -> History_store.empty)
+
+let stale_history ~keep : t =
+  wrap_regular (fun ~rng:_ ~state:_ ~reader:_ history ->
+      let bindings = History_store.bindings history in
+      List.fold_left
+        (fun acc (ts, entry) -> History_store.set acc ~ts entry)
+        History_store.empty
+        (List.filteri (fun pos _ -> pos < keep) bindings))
+
+let defame_history ~targets ~boost : t =
+  wrap_regular (fun ~rng:_ ~state ~reader history ->
+      let ts = Regular_object.ts state + 1 in
+      let claimed = boost + 1_000_000 in
+      let tsval = Tsval.make ~ts ~v:(Value.v "defamer") in
+      let tsrarray =
+        defaming_matrix ~targets ~reader ~claimed Tsr_matrix.empty
+      in
+      let w = Wtuple.make ~tsval ~tsrarray in
+      History_store.set history ~ts { History_store.pw = tsval; w = Some w })

@@ -1,0 +1,75 @@
+(** Byzantine object strategies for the paper's protocols.
+
+    Each strategy is a {!Core.Byz.factory} over {!Core.Messages.t}, so it
+    plugs into any scenario running the safe or regular storage.  Most
+    strategies wrap an {e honest} object automaton internally and corrupt
+    only its replies: this keeps timestamp echoes valid (so the client
+    accepts the reply) while lying about the data — the strongest
+    adversary position short of breaking the channel assumptions.
+
+    The strategies map to the attacks in the paper's proofs:
+    - {!forge_high_value} / {!random_garbage}: try to make a reader
+      return a never-written value (what the [safe] predicate's [b + 1]
+      threshold defeats, Theorem 1);
+    - {!simulate_unwritten_write}: the [run5] adversary of Proposition 1
+      — pretend a WRITE happened that never did;
+    - {!replay_initial}: the [run4] adversary — pretend a completed
+      WRITE never happened;
+    - {!defame}: forge the reader-timestamp matrix so correct objects
+      appear to conflict, attacking round-1 termination (what Lemma 1 /
+      the vertex-cover search defeats);
+    - {!equivocate}: answer different clients with different forgeries;
+    - {!mute}: maximal omission while still counting as Byzantine. *)
+
+type t = Core.Messages.t Core.Byz.factory
+
+(** {2 Strategies against the safe storage (state of Figure 3)} *)
+
+val mute : t
+(** Never reply. *)
+
+val forge_high_value : value:string -> ts_boost:int -> t
+(** Reply honestly to the writer; to readers, replace ⟨pw, w⟩ with a
+    forged tuple [ts_boost] above the highest timestamp seen, carrying
+    [value]. *)
+
+val replay_initial : t
+(** Reply to readers with the initial state σ0 = ⟨⟨0,⊥⟩, w0⟩ regardless
+    of writes applied — pretends no WRITE ever happened. *)
+
+val simulate_unwritten_write : value:string -> ts:int -> t
+(** Reply to readers as if [WRITE(value)] with timestamp [ts] completed,
+    even before/without any writer activity. *)
+
+val defame : targets:int list -> boost:int -> t
+(** Reply to readers with the honest tuple whose timestamp matrix is
+    altered to claim each object in [targets] reported the reading
+    client a timestamp [boost] above the client's current one —
+    manufacturing conflicts with correct objects. *)
+
+val equivocate : values:string list -> ts_boost:int -> t
+(** Answer reader [j] with a forged value chosen by [j mod length values]
+    — a split-brain adversary. *)
+
+val random_garbage : t
+(** Reply to readers with structurally valid but randomly generated
+    tuples (random timestamps and payloads drawn from the strategy's
+    private stream). *)
+
+(** {2 Strategies against the regular storage (state of Figure 5)} *)
+
+val forge_history : value:string -> ts_boost:int -> t
+(** Honest history plus a forged complete entry [ts_boost] above the
+    highest timestamp seen, carrying [value]. *)
+
+val empty_history : t
+(** Reply to readers with an empty history — denies even the initial
+    entry. *)
+
+val stale_history : keep:int -> t
+(** Reply with only the [keep] oldest entries of the honest history —
+    pretends to have missed every later write. *)
+
+val defame_history : targets:int list -> boost:int -> t
+(** {!defame} for the regular protocol: the forged matrix rides on a
+    fabricated history entry above the honest maximum. *)

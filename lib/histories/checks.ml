@@ -1,0 +1,187 @@
+type 'v violation = { read : 'v Op.t; rule : string; detail : string }
+
+let writes ops = List.filter Op.is_write ops
+
+let complete_reads ops =
+  List.filter (fun op -> Op.is_read op && Op.is_complete op) ops
+
+(* Highest index among complete writes that precede [rd]; 0 if none. *)
+let last_preceding_write_index ops rd =
+  List.fold_left
+    (fun acc wr ->
+      match Op.write_index wr with
+      | Some k when Op.precedes wr rd -> max acc k
+      | Some _ | None -> acc)
+    0 (writes ops)
+
+let value_of_write ops k =
+  List.find_map
+    (fun wr ->
+      match wr.Op.action with
+      | Op.Write { index; value } when index = k -> Some value
+      | Op.Write _ | Op.Read _ -> None)
+    ops
+
+(* Indices k such that val_k = x among all invoked writes. *)
+let indices_of_value ~equal ops x =
+  List.filter_map
+    (fun wr ->
+      match wr.Op.action with
+      | Op.Write { index; value } when equal value x -> Some (index, wr)
+      | Op.Write _ | Op.Read _ -> None)
+    ops
+
+let check_safety ~equal ops =
+  let has_concurrent_write rd =
+    List.exists (fun wr -> Op.concurrent wr rd) (writes ops)
+  in
+  List.filter_map
+    (fun rd ->
+      if has_concurrent_write rd then None
+      else
+        let k = last_preceding_write_index ops rd in
+        match (Op.read_result rd, k) with
+        | Some Op.Bottom, 0 -> None
+        | Some Op.Bottom, k ->
+            Some
+              {
+                read = rd;
+                rule = "safety";
+                detail =
+                  Printf.sprintf
+                    "returned bottom although wr%d precedes the read" k;
+              }
+        | Some (Op.Value x), 0 ->
+            ignore x;
+            Some
+              {
+                read = rd;
+                rule = "safety";
+                detail = "returned a value although no write precedes the read";
+              }
+        | Some (Op.Value x), k -> (
+            match value_of_write ops k with
+            | Some vk when equal vk x -> None
+            | Some _ ->
+                Some
+                  {
+                    read = rd;
+                    rule = "safety";
+                    detail =
+                      Printf.sprintf
+                        "returned a value different from val%d (the last \
+                         preceding write)"
+                        k;
+                  }
+            | None ->
+                Some
+                  {
+                    read = rd;
+                    rule = "safety";
+                    detail = Printf.sprintf "internal: missing wr%d" k;
+                  })
+        | None, _ -> None)
+    (complete_reads ops)
+
+let check_regularity ~equal ops =
+  List.filter_map
+    (fun rd ->
+      let kmin = last_preceding_write_index ops rd in
+      match Op.read_result rd with
+      | Some Op.Bottom ->
+          if kmin = 0 then None
+          else
+            Some
+              {
+                read = rd;
+                rule = "regularity(2)";
+                detail =
+                  Printf.sprintf
+                    "returned bottom although wr%d precedes the read" kmin;
+              }
+      | Some (Op.Value x) -> (
+          match indices_of_value ~equal ops x with
+          | [] ->
+              Some
+                {
+                  read = rd;
+                  rule = "regularity(1)";
+                  detail = "returned a value that was never written";
+                }
+          | candidates ->
+              let admissible (k, wr) =
+                k >= kmin && (Op.precedes wr rd || Op.concurrent wr rd)
+              in
+              if List.exists admissible candidates then None
+              else if List.exists (fun (k, _) -> k < kmin) candidates then
+                Some
+                  {
+                    read = rd;
+                    rule = "regularity(2)";
+                    detail =
+                      Printf.sprintf
+                        "returned a stale value: every matching write has \
+                         index < %d"
+                        kmin;
+                  }
+              else
+                Some
+                  {
+                    read = rd;
+                    rule = "regularity(3)";
+                    detail =
+                      "returned a value whose write neither precedes nor is \
+                       concurrent with the read";
+                  })
+      | None -> None)
+    (complete_reads ops)
+
+let observed_index ~equal ops rd =
+  match Op.read_result rd with
+  | Some Op.Bottom -> Some 0
+  | Some (Op.Value x) -> (
+      match indices_of_value ~equal ops x with
+      | [ (k, _) ] -> Some k
+      | [] -> None
+      | _ :: _ :: _ ->
+          invalid_arg
+            "Checks.check_atomicity: duplicate write values make the \
+             observed-write index ambiguous")
+  | None -> None
+
+let check_atomicity ~equal ops =
+  let regularity = check_regularity ~equal ops in
+  let reads = complete_reads ops in
+  let inversions =
+    List.concat_map
+      (fun rd1 ->
+        List.filter_map
+          (fun rd2 ->
+            if not (Op.precedes rd1 rd2) then None
+            else
+              match (observed_index ~equal ops rd1, observed_index ~equal ops rd2) with
+              | Some k1, Some k2 when k1 > k2 ->
+                  Some
+                    {
+                      read = rd2;
+                      rule = "atomicity(new-old inversion)";
+                      detail =
+                        Printf.sprintf
+                          "read observed wr%d although a preceding read \
+                           already observed wr%d"
+                          k2 k1;
+                    }
+              | _ -> None)
+          reads)
+      reads
+  in
+  regularity @ inversions
+
+let is_safe ~equal ops = check_safety ~equal ops = []
+
+let is_regular ~equal ops = check_regularity ~equal ops = []
+
+let is_atomic ~equal ops = check_atomicity ~equal ops = []
+
+let pp_violation ~pp_value ppf v =
+  Format.fprintf ppf "%s: %a -- %s" v.rule (Op.pp ~pp_value) v.read v.detail

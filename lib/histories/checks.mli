@@ -1,0 +1,44 @@
+(** Consistency checkers for SWMR register histories (paper §2.2).
+
+    Each checker consumes a finished history ({!Recorder.ops}) and returns
+    the list of violating reads — empty means the property holds.  The
+    properties are exactly the paper's:
+
+    - {b safety}: a READ not concurrent with any WRITE returns the value
+      of the last preceding WRITE (or ⊥ if there is none); a concurrent
+      READ may return anything.
+    - {b regularity}: (1) reads return only written values (or ⊥ before
+      any write), (2) a read succeeding [wr_k] returns [val_l] with
+      [l >= k], (3) a read returning [val_k] has [wr_k] preceding or
+      concurrent with it.
+    - {b atomicity}: regularity plus no new-old inversion between reads
+      (Lamport's characterization for single-writer registers); requires
+      distinct write values to identify which write a read observed. *)
+
+type 'v violation = {
+  read : 'v Op.t;
+  rule : string;  (** which clause failed *)
+  detail : string;  (** human-readable explanation *)
+}
+
+val check_safety : equal:('v -> 'v -> bool) -> 'v Op.t list -> 'v violation list
+
+val check_regularity :
+  equal:('v -> 'v -> bool) -> 'v Op.t list -> 'v violation list
+
+val check_atomicity :
+  equal:('v -> 'v -> bool) -> 'v Op.t list -> 'v violation list
+(** @raise Invalid_argument if two writes carry equal values (the
+    observed-write index would be ambiguous). *)
+
+val is_safe : equal:('v -> 'v -> bool) -> 'v Op.t list -> bool
+
+val is_regular : equal:('v -> 'v -> bool) -> 'v Op.t list -> bool
+
+val is_atomic : equal:('v -> 'v -> bool) -> 'v Op.t list -> bool
+
+val pp_violation :
+  pp_value:(Format.formatter -> 'v -> unit) ->
+  Format.formatter ->
+  'v violation ->
+  unit

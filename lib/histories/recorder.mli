@@ -1,0 +1,38 @@
+(** Mutable history recorder.
+
+    Protocol clients call [invoke_*]/[respond_*] as their operations start
+    and finish; the recorder assigns ids and monotonic stamps and hands the
+    finished history to the checkers.  Write indices are assigned in
+    invocation order, matching the paper's single-writer numbering
+    [wr_1, wr_2, …]. *)
+
+type 'v t
+
+type op_handle
+
+val create : unit -> 'v t
+
+val invoke_write : 'v t -> time:int -> 'v -> op_handle
+(** @raise Invalid_argument if a write is already in progress (the paper's
+    single writer invokes one operation at a time). *)
+
+val respond_write : 'v t -> op_handle -> time:int -> unit
+
+val invoke_read : 'v t -> time:int -> reader:int -> op_handle
+(** @raise Invalid_argument if this reader already has a read in
+    progress. *)
+
+val respond_read : 'v t -> op_handle -> time:int -> 'v Op.read_result -> unit
+
+val ops : 'v t -> 'v Op.t list
+(** All operations, in invocation order; in-progress operations appear
+    with [responded_stamp = None]. *)
+
+val write_count : 'v t -> int
+
+val read_count : 'v t -> int
+
+val complete_reads : 'v t -> 'v Op.t list
+
+val pp :
+  pp_value:(Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

@@ -1,0 +1,247 @@
+module Make (P : Core.Protocol_intf.S) = struct
+  type verdict =
+    | Violates_run4 of { returned : Core.Value.t; expected : Core.Value.t }
+    | Violates_run5 of { returned : Core.Value.t }
+    | Not_fast
+
+  type outcome = {
+    blocks : Quorum.Blocks.t;
+    write_rounds : int;
+    replies_equal : bool;
+    run4_value : Core.Value.t option;
+    run5_value : Core.Value.t option;
+    verdict : verdict;
+    transcript : string list;
+  }
+
+  (* Deliver [msg] from [src] to every object in [responders] (ascending),
+     collecting replies; objects not listed never receive it. *)
+  let deliver_broadcast objs ~src ~responders msg =
+    List.fold_left
+      (fun (objs, acks) i ->
+        let state = Core.Ints.Map.find i objs in
+        let state', reply = P.obj_handle state ~src msg in
+        let objs = Core.Ints.Map.add i state' objs in
+        match reply with
+        | None -> (objs, acks)
+        | Some ack -> (objs, acks @ [ (i, ack) ]))
+      (objs, []) responders
+
+  (* Run P's writer to completion against [responders], however many
+     rounds it takes (the proof makes no assumption on k). *)
+  let run_write ~objs ~responders writer v =
+    match P.writer_start writer v with
+    | Error e -> invalid_arg ("Lower_bound: writer_start: " ^ e)
+    | Ok (writer, first_round) ->
+        let objs, acks =
+          deliver_broadcast objs ~src:Sim.Proc_id.Writer ~responders first_round
+        in
+        let rec feed writer objs pending =
+          match pending with
+          | [] ->
+              invalid_arg
+                "Lower_bound: writer blocked although a full quorum responded"
+          | (i, ack) :: rest ->
+              let writer, events = P.writer_on_msg writer ~obj:i ack in
+              let rec apply objs pending = function
+                | [] -> feed writer objs pending
+                | Core.Events.Broadcast m :: more ->
+                    let objs, acks =
+                      deliver_broadcast objs ~src:Sim.Proc_id.Writer ~responders
+                        m
+                    in
+                    apply objs (pending @ acks) more
+                | Core.Events.Write_done { rounds } :: _ -> (objs, rounds)
+                | Core.Events.Read_done _ :: more -> apply objs pending more
+              in
+              apply objs rest events
+        in
+        feed writer objs acks
+
+  (* Drive P's reader on a fixed per-object reply list; decide whether it
+     is fast (returns on these replies alone). *)
+  let drive_reader ~cfg replies =
+    let reader = P.reader_init ~cfg ~j:1 in
+    match P.reader_start reader with
+    | Error e -> invalid_arg ("Lower_bound: reader_start: " ^ e)
+    | Ok (reader, _read1) ->
+        let rec feed reader = function
+          | [] -> None
+          | (i, ack) :: rest -> (
+              let reader, events = P.reader_on_msg reader ~obj:i ack in
+              let value =
+                List.find_map
+                  (function
+                    | Core.Events.Read_done { value; _ } -> Some value
+                    | Core.Events.Broadcast _ | Core.Events.Write_done _ ->
+                        None)
+                  events
+              in
+              match value with Some v -> Some v | None -> feed reader rest)
+        in
+        feed reader replies
+
+  let analyse ~t ~b ~value =
+    if Core.Value.is_bottom value then
+      invalid_arg "Lower_bound.analyse: v1 must not be bottom";
+    let blocks = Quorum.Blocks.partition_exn ~t ~b in
+    let s = (2 * t) + (2 * b) in
+    let cfg = Quorum.Config.make_exn ~s ~t ~b in
+    let transcript = ref [] in
+    let say fmt = Format.kasprintf (fun s -> transcript := s :: !transcript) fmt in
+    say "Configuration: %s (S = 2t+2b, one below the fast-read threshold)"
+      (Quorum.Config.to_string cfg);
+    say "Blocks: %s" (Format.asprintf "%a" Quorum.Blocks.pp blocks);
+    let b1 = Quorum.Blocks.members blocks `B1 in
+    let b2 = Quorum.Blocks.members blocks `B2 in
+    let t1 = Quorum.Blocks.members blocks `T1 in
+    let t2 = Quorum.Blocks.members blocks `T2 in
+    let objs =
+      List.fold_left
+        (fun m i -> Core.Ints.Map.add i (P.obj_init ~cfg ~index:i) m)
+        Core.Ints.Map.empty
+        (Quorum.Blocks.all_objects blocks)
+    in
+
+    (* The READ1 message all runs use: a fresh reader's first round. *)
+    let read1 =
+      match P.reader_start (P.reader_init ~cfg ~j:1) with
+      | Ok (_, m) -> m
+      | Error e -> invalid_arg ("Lower_bound: reader_start: " ^ e)
+    in
+
+    (* run1: READ1 reaches only B1; its replies stay in transit. *)
+    let objs_run1, b1_pre_acks =
+      deliver_broadcast objs ~src:(Sim.Proc_id.Reader 1) ~responders:b1 read1
+    in
+    say "run1: rd1 reaches only B1; %d reply(ies) left in transit"
+      (List.length b1_pre_acks);
+
+    (* run2/run'2: WRITE(v1) completes against B1, B2, T2 (T1 delayed). *)
+    let responders = List.sort Int.compare (b1 @ b2 @ t2) in
+    let writer = P.writer_init ~cfg in
+    let objs_post_write, write_rounds =
+      run_write ~objs:objs_run1 ~responders writer value
+    in
+    say "run2: wr1(v1) completes in %d round(s), skipping T1" write_rounds;
+
+    (* Replies the reader receives in runs 3, 4, 5 — computed per run. *)
+    let fresh_reply i =
+      (* an object in its initial state answering READ1 *)
+      match P.obj_handle (P.obj_init ~cfg ~index:i) ~src:(Sim.Proc_id.Reader 1) read1 with
+      | _, Some ack -> (i, ack)
+      | _, None ->
+          invalid_arg "Lower_bound: object refused to answer a fresh READ1"
+    in
+    let post_write_reply i =
+      match
+        P.obj_handle
+          (Core.Ints.Map.find i objs_post_write)
+          ~src:(Sim.Proc_id.Reader 1) read1
+      with
+      | _, Some ack -> (i, ack)
+      | _, None ->
+          invalid_arg "Lower_bound: post-write object refused to answer READ1"
+    in
+    (* run3: B1's in-transit (pre-write) replies; T1 fresh (its write
+       messages are still in transit); B2 post-write. *)
+    let run3 = b1_pre_acks @ List.map fresh_reply t1 @ List.map post_write_reply b2 in
+    (* run4: B1 malicious, replaying its pre-write self from sigma0. *)
+    let run4 =
+      List.map fresh_reply b1 @ List.map fresh_reply t1
+      @ List.map post_write_reply b2
+    in
+    (* run5: no write ever; B2 malicious, impersonating its post-write
+       self. *)
+    let run5 =
+      List.map fresh_reply b1 @ List.map fresh_reply t1
+      @ List.map post_write_reply b2
+    in
+    let replies_equal =
+      (* Structural comparison is sound here: all three lists are built by
+         the same pure automata on identical inputs. *)
+      Stdlib.compare run3 run4 = 0 && Stdlib.compare run4 run5 = 0
+    in
+    say "run3/run4/run5: reader receives identical replies from %s"
+      (String.concat ", "
+         (List.map (fun (i, _) -> "s" ^ string_of_int i) run4));
+    say "indistinguishability: %b" replies_equal;
+
+    let run4_value = drive_reader ~cfg run4 in
+    let run5_value = drive_reader ~cfg run5 in
+    let verdict =
+      match (run4_value, run5_value) with
+      | None, _ | _, None -> Not_fast
+      | Some v4, Some v5 ->
+          (* A deterministic reader on identical replies: v4 = v5. *)
+          if not (Core.Value.equal v4 value) then
+            Violates_run4 { returned = v4; expected = value }
+          else Violates_run5 { returned = v5 }
+    in
+    (match verdict with
+    | Not_fast ->
+        say
+          "verdict: reader did not decide on the round-1 replies — not a \
+           fast READ implementation, the bound does not apply"
+    | Violates_run4 { returned; _ } ->
+        say
+          "verdict: SAFETY VIOLATED in run4 — read after wr1(%s) returned %s"
+          (Core.Value.to_string value)
+          (Core.Value.to_string returned)
+    | Violates_run5 { returned } ->
+        say
+          "verdict: SAFETY VIOLATED in run5 — nothing was ever written, yet \
+           the read returned %s"
+          (Core.Value.to_string returned));
+    {
+      blocks;
+      write_rounds;
+      replies_equal;
+      run4_value;
+      run5_value;
+      verdict;
+      transcript = List.rev !transcript;
+    }
+
+  (* ASCII rendering of Figure 1: one panel per run; columns are the
+     rounds of the operations present in that run, rows the blocks. *)
+  let figure (o : outcome) =
+    let k = o.write_rounds in
+    let blocks = [ "T1"; "T2"; "B1"; "B2" ] in
+    (* mark: block -> column list of true/false; columns described per
+       run below.  rd1 is always a single round-1 column. *)
+    let panel ~title ~byz ~write_cols ~read_col =
+      let header =
+        let wr = if write_cols = 0 then "" else Printf.sprintf "wr1 rnd1..%d  " k in
+        Printf.sprintf "  %s:  %srd1 rnd1" title wr
+      in
+      let row name =
+        let mark = if List.mem name byz then "@" else " " in
+        let wr_cells =
+          if write_cols = 0 then ""
+          else
+            String.concat ""
+              (List.init write_cols (fun _ ->
+                   if List.mem name [ "B1"; "B2"; "T2" ] then " x" else " ."))
+            ^ "   "
+        in
+        let rd_cell = if List.mem name read_col then "x" else "." in
+        Printf.sprintf "    %s%s  %s       %s" name mark wr_cells rd_cell
+      in
+      header :: List.map row blocks
+    in
+    List.concat
+      [
+        [ "Figure 1 (x = block receives and answers, @ = malicious):" ];
+        panel ~title:"run1 (rd1 only; T1 crashed)" ~byz:[] ~write_cols:0
+          ~read_col:[ "B1" ];
+        panel ~title:"run2 (wr1 after run1; T1 skipped)" ~byz:[] ~write_cols:k
+          ~read_col:[ "B1" ];
+        panel ~title:"run3 (all correct; rd1 || wr1)" ~byz:[] ~write_cols:k
+          ~read_col:[ "B1"; "T1"; "B2" ];
+        panel ~title:"run4 (rd1 after wr1; B1 malicious)" ~byz:[ "B1" ]
+          ~write_cols:k ~read_col:[ "B1"; "T1"; "B2" ];
+        panel ~title:"run5 (no write; B2 malicious)" ~byz:[ "B2" ] ~write_cols:0
+          ~read_col:[ "B1"; "T1"; "B2" ];
+      ]
+end

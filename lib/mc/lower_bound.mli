@@ -1,0 +1,67 @@
+(** Mechanization of Proposition 1 (Figure 1): no fast-READ safe storage
+    on [s <= 2t + 2b] objects.
+
+    [Make (P)] replays the proof's run construction against a concrete
+    protocol [P] deployed on exactly [s = 2t + 2b] objects, partitioned
+    into the proof's blocks T1, T2, B1, B2:
+
+    - {b run1}: the reader's round-1 message reaches only B1 (T1
+      "crashed", B2 and T2 skipped); B1's reply is captured in transit.
+    - {b run2/run'2}: the writer completes [WRITE(v1)] against B1, B2
+      and T2 (T1's messages delayed), using [P]'s real writer — however
+      many rounds it takes.
+    - {b run3}: the reader completes on the in-transit B1 reply plus
+      fresh replies from T1 (which never saw the write) and B2 (which
+      did) — a legal all-correct run where read and write are
+      concurrent.
+    - {b run4}: same replies, but now the read {e follows} the completed
+      write and B1 is malicious (replaying its pre-write self): safety
+      demands [v1].
+    - {b run5}: same replies, but no write ever happened and B2 is
+      malicious (impersonating its post-write self): safety demands ⊥.
+
+    The analysis computes each run's reply set independently with [P]'s
+    own object automata and the adversary's forgeries, checks that the
+    three reply sets are identical per object (the indistinguishability
+    at the heart of the proof), and then drives [P]'s reader on them:
+
+    - a {e fast} reader (decides on these [s - t] replies) returns the
+      same value in run4 and run5 and therefore violates safety in one
+      of them — the verdict names which;
+    - a reader that refuses to decide (e.g. the paper's own two-round
+      algorithm, which instead starts a second round) earns [`Not_fast]:
+      it escapes the impossibility exactly as designed. *)
+
+module Make (P : Core.Protocol_intf.S) : sig
+  type verdict =
+    | Violates_run4 of { returned : Core.Value.t; expected : Core.Value.t }
+        (** the fast read returned something other than v1 after wr1 *)
+    | Violates_run5 of { returned : Core.Value.t }
+        (** the fast read returned a non-⊥ value although nothing was
+            ever written *)
+    | Not_fast
+        (** the reader did not decide on the round-1 replies — it is not
+            a fast READ implementation, so the bound does not apply *)
+
+  type outcome = {
+    blocks : Quorum.Blocks.t;
+    write_rounds : int;  (** rounds P's writer used for wr1 *)
+    replies_equal : bool;
+        (** run3/run4/run5 reader replies identical per object *)
+    run4_value : Core.Value.t option;  (** what the reader returned, if fast *)
+    run5_value : Core.Value.t option;
+    verdict : verdict;
+    transcript : string list;  (** human-readable narration of the runs *)
+  }
+
+  val analyse : t:int -> b:int -> value:Core.Value.t -> outcome
+  (** Build the construction for the given failure bounds ([t >= 1],
+      [b >= 1]) writing [value] as v1.  @raise Invalid_argument on bad
+      parameters or if [value] is ⊥. *)
+
+  val figure : outcome -> string list
+  (** ASCII rendering of the paper's Figure 1 block diagrams for this
+      outcome: one panel per run, rows T1/T2/B1/B2, a column per round,
+      [x] where the block receives and answers, [@] marking the run's
+      malicious block. *)
+end

@@ -1,0 +1,52 @@
+type t = { t1 : int list; t2 : int list; b1 : int list; b2 : int list }
+
+let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let partition ~t ~b =
+  if t < 1 then Error "t must be at least 1"
+  else if b < 1 then Error "b must be at least 1 (the paper assumes b > 0)"
+  else
+    Ok
+      {
+        t1 = range 1 t;
+        t2 = range (t + 1) (2 * t);
+        b1 = range ((2 * t) + 1) ((2 * t) + b);
+        b2 = range ((2 * t) + b + 1) ((2 * t) + (2 * b));
+      }
+
+let partition_exn ~t ~b =
+  match partition ~t ~b with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Blocks.partition: " ^ e)
+
+let size p =
+  List.length p.t1 + List.length p.t2 + List.length p.b1 + List.length p.b2
+
+let all_objects p = p.t1 @ p.t2 @ p.b1 @ p.b2
+
+let members p = function
+  | `T1 -> p.t1
+  | `T2 -> p.t2
+  | `B1 -> p.b1
+  | `B2 -> p.b2
+
+let block_of p i =
+  if List.mem i p.t1 then `T1
+  else if List.mem i p.t2 then `T2
+  else if List.mem i p.b1 then `B1
+  else if List.mem i p.b2 then `B2
+  else raise Not_found
+
+let complement p blocks =
+  let excluded = List.concat_map (members p) blocks in
+  List.filter (fun i -> not (List.mem i excluded)) (all_objects p)
+
+let pp ppf p =
+  let pp_block name l =
+    Format.fprintf ppf "%s={%s} " name
+      (String.concat "," (List.map string_of_int l))
+  in
+  pp_block "T1" p.t1;
+  pp_block "T2" p.t2;
+  pp_block "B1" p.b1;
+  pp_block "B2" p.b2

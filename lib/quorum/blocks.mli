@@ -1,0 +1,35 @@
+(** The block partition of the Proposition 1 proof (paper §3).
+
+    For a system of [s = 2t + 2b] base objects, the proof partitions the
+    objects into four blocks: [T1] and [T2] of size exactly [t], and [B1]
+    and [B2] of size between 1 and [b].  The five runs of Figure 1 are
+    phrased entirely in terms of which blocks an operation round skips. *)
+
+type t = private {
+  t1 : int list;  (** crashes at the start of run1 / is delayed elsewhere *)
+  t2 : int list;  (** crashes at t1 in run''2 / is delayed in run3 *)
+  b1 : int list;  (** malicious in run4: replays the reader's round-1 state *)
+  b2 : int list;  (** malicious in run5: pretends the write happened *)
+}
+
+val partition : t:int -> b:int -> (t, string) result
+(** Canonical partition of [{1, …, 2t+2b}]: [T1 = 1…t], [T2 = t+1…2t],
+    [B1 = 2t+1…2t+b], [B2 = 2t+b+1…2t+2b].  Requires [t >= 1] and
+    [b >= 1] (the paper assumes both blocks T non-empty and [b > 0]). *)
+
+val partition_exn : t:int -> b:int -> t
+
+val size : t -> int
+
+val all_objects : t -> int list
+(** Ascending object indices of the whole universe. *)
+
+val members : t -> [ `T1 | `T2 | `B1 | `B2 ] -> int list
+
+val block_of : t -> int -> [ `T1 | `T2 | `B1 | `B2 ]
+(** @raise Not_found if the index is outside the universe. *)
+
+val complement : t -> [ `T1 | `T2 | `B1 | `B2 ] list -> int list
+(** Objects in none of the given blocks, ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+module Int_set = Set.Make (Int)
+
+let universe s = Int_set.of_list (List.init s (fun i -> i + 1))
+
+let subsets_of_size s ~size =
+  let rec go candidates size =
+    if size = 0 then [ Int_set.empty ]
+    else
+      match candidates with
+      | [] -> []
+      | x :: rest ->
+          let with_x = List.map (Int_set.add x) (go rest (size - 1)) in
+          let without_x = go rest size in
+          with_x @ without_x
+  in
+  if size < 0 || size > s then []
+  else go (List.init s (fun i -> i + 1)) size
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let min_pairwise_intersection ~s ~q = max 0 ((2 * q) - s)
+
+let check_crash_intersection (c : Config.t) =
+  let q = Config.quorum c in
+  min_pairwise_intersection ~s:c.s ~q >= 1
+
+let check_byzantine_intersection (c : Config.t) =
+  let q = Config.quorum c in
+  min_pairwise_intersection ~s:c.s ~q >= c.b + 1
+
+let check_byzantine_intersection_by_enumeration (c : Config.t) =
+  let q = Config.quorum c in
+  let quorums = subsets_of_size c.s ~size:q in
+  let byz_placements = subsets_of_size c.s ~size:c.b in
+  List.for_all
+    (fun q1 ->
+      List.for_all
+        (fun q2 ->
+          let inter = Int_set.inter q1 q2 in
+          List.for_all
+            (fun byz -> Int_set.cardinal (Int_set.diff inter byz) >= 1)
+            byz_placements)
+        quorums)
+    quorums
+
+let check_write_persistence (c : Config.t) = Config.quorum c - c.t >= c.b + 1

@@ -1,0 +1,45 @@
+(** Quorum-intersection laws, checked by enumeration.
+
+    For small universes these functions exhaustively verify the set-
+    theoretic facts the protocols rest on: any two [(s-t)]-sized reply
+    sets intersect in at least [s - 2t] objects, of which at least
+    [s - 2t - b] are correct — with [s = 2t + b + 1] that is exactly
+    [b + 1], the magic threshold behind the [safe]/[invalid] predicates. *)
+
+module Int_set : Set.S with type elt = int
+
+val universe : int -> Int_set.t
+(** [universe s] = {1, …, s}. *)
+
+val subsets_of_size : int -> size:int -> Int_set.t list
+(** All [size]-subsets of [universe s]; intended for small [s] (<= ~12). *)
+
+val choose : int -> int -> int
+(** Binomial coefficient; exact for the small arguments used here. *)
+
+val min_pairwise_intersection : s:int -> q:int -> int
+(** Smallest [|Q1 ∩ Q2|] over all pairs of [q]-subsets of [universe s]
+    (computed in closed form [max 0 (2q - s)], validated by tests against
+    enumeration). *)
+
+val check_crash_intersection : Config.t -> bool
+(** Any two quorums of size [s - t] intersect in at least one object —
+    the crash-tolerant (ABD) requirement.  True iff [s >= 2t + 1]. *)
+
+val check_byzantine_intersection : Config.t -> bool
+(** Any two quorums of size [s - t] intersect in at least [b + 1]
+    objects — hence in at least one {e correct} object even with [b]
+    Byzantine members.  Holds iff [s >= 2t + b + 1]: the property that
+    lets a reader see at least one honest copy of the last written
+    value in a single reply quorum. *)
+
+val check_byzantine_intersection_by_enumeration : Config.t -> bool
+(** Same property established by brute force over all quorum pairs and
+    all placements of [b] Byzantine objects.  Exponential; only for
+    test-sized configurations. *)
+
+val check_write_persistence : Config.t -> bool
+(** A write quorum of size [s - t] contains at least [b + 1] objects
+    that are correct {e forever} ([s - 2t >= b + 1]) — the vouching
+    threshold behind the [safe] predicate (Theorem 1): those objects
+    will eventually confirm the written value to any reader. *)

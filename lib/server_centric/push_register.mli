@@ -1,0 +1,64 @@
+(** The server-centric model of paper §6, executably.
+
+    Here base objects are first-class {e servers}: they may send
+    unsolicited messages, in particular {e push} every write they apply
+    to every reader.  Readers accumulate pushed state and may answer a
+    READ from it without contacting anyone ([zero_round = true]: a
+    "0-round" read), falling back to a one-round poll with the
+    [b + 1]-endorsement rule otherwise.
+
+    What the experiments (E9) demonstrate with this module:
+
+    - pushes {e do not} make reads safe "for free": a 0-round read
+      returns stale values whenever the latest write's pushes are still
+      in transit — asynchrony makes locally-cached state unverifiable,
+      at {e any} number of servers ({!run} with [freeze_pushes_at]
+      scripts the adversarial delay deterministically);
+    - with the 0-round path disabled, the server-centric storage is
+      exactly as constrained as the data-centric one: its 1-round polls
+      are safe iff [s >= 2t + 2b + 1] — Proposition 1 migrates to the
+      server-centric model just as §6 claims.
+
+    This subsystem deliberately does not implement
+    {!Core.Protocol_intf.S} (whose objects are reply-only); it owns a
+    small runtime over the engine. *)
+
+type read_mode =
+  | Pushed  (** answered from pushed state, zero rounds *)
+  | Polled  (** one-round poll *)
+
+type outcome = {
+  op : Core.Schedule.op;
+  invoked_at : int;
+  completed_at : int;
+  mode : read_mode option;  (** [None] for writes *)
+  result : Core.Value.t option;
+}
+
+type report = {
+  history : string Histories.Op.t list;
+  outcomes : outcome list;
+  pushes_delivered : int;  (** update messages that reached readers *)
+  zero_round_reads : int;
+  polled_reads : int;
+}
+
+val run :
+  ?zero_round:bool ->
+  ?freeze_pushes_at:int ->
+  ?unfreeze_pushes_at:int ->
+  ?byz_forgers:int list ->
+  ?crashes:(Sim.Proc_id.t * int) list ->
+  ?max_events:int ->
+  cfg:Quorum.Config.t ->
+  seed:int ->
+  delay:Sim.Delay.t ->
+  Core.Schedule.t ->
+  report
+(** Simulate the schedule.  [zero_round] (default true) enables the
+    pushed-state fast path.  [freeze_pushes_at]/[unfreeze_pushes_at]
+    block and release every server→reader link at the given virtual
+    times — the §6 adversary delaying pushes (polls use the same links,
+    so freeze windows also delay poll replies; the staleness
+    demonstration completes its read before polling).  [byz_forgers]
+    are servers that push and reply forged high-timestamp values. *)

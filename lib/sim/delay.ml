@@ -1,0 +1,73 @@
+type t = {
+  sample : rng:Prng.t -> src:Proc_id.t -> dst:Proc_id.t -> now:int -> int;
+}
+
+let sample t ~rng ~src ~dst ~now = t.sample ~rng ~src ~dst ~now
+
+let constant d =
+  if d < 0 then invalid_arg "Delay.constant: negative delay";
+  { sample = (fun ~rng:_ ~src:_ ~dst:_ ~now:_ -> d) }
+
+let uniform ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Delay.uniform: bad range";
+  { sample = (fun ~rng ~src:_ ~dst:_ ~now:_ -> Prng.int_in_range rng ~lo ~hi) }
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Delay.exponential: mean must be positive";
+  {
+    sample =
+      (fun ~rng ~src:_ ~dst:_ ~now:_ ->
+        max 1 (int_of_float (ceil (Prng.exponential rng ~mean))));
+  }
+
+let bimodal ~fast ~slow ~slow_fraction =
+  if slow_fraction < 0.0 || slow_fraction > 1.0 then
+    invalid_arg "Delay.bimodal: slow_fraction not in [0,1]";
+  {
+    sample =
+      (fun ~rng ~src ~dst ~now ->
+        let pick = if Prng.float rng ~bound:1.0 < slow_fraction then slow else fast in
+        pick.sample ~rng ~src ~dst ~now);
+  }
+
+module Link_map = Map.Make (struct
+  type t = Proc_id.t * Proc_id.t
+
+  let compare (a1, a2) (b1, b2) =
+    match Proc_id.compare a1 b1 with 0 -> Proc_id.compare a2 b2 | c -> c
+end)
+
+let per_link ~default overrides =
+  let table =
+    List.fold_left
+      (fun acc (link, model) -> Link_map.add link model acc)
+      Link_map.empty overrides
+  in
+  {
+    sample =
+      (fun ~rng ~src ~dst ~now ->
+        let model =
+          match Link_map.find_opt (src, dst) table with
+          | Some m -> m
+          | None -> default
+        in
+        model.sample ~rng ~src ~dst ~now);
+  }
+
+let slow_process ~slow ~factor base =
+  if factor < 1 then invalid_arg "Delay.slow_process: factor < 1";
+  {
+    sample =
+      (fun ~rng ~src ~dst ~now ->
+        let d = base.sample ~rng ~src ~dst ~now in
+        if Proc_id.Set.mem src slow || Proc_id.Set.mem dst slow then d * factor
+        else d);
+  }
+
+let jitter ~base ~amplitude =
+  if amplitude < 0 then invalid_arg "Delay.jitter: negative amplitude";
+  {
+    sample =
+      (fun ~rng ~src ~dst ~now ->
+        base.sample ~rng ~src ~dst ~now + Prng.int_in_range rng ~lo:0 ~hi:amplitude);
+  }

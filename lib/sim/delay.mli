@@ -1,0 +1,37 @@
+(** Message-delay models for the simulated asynchronous network.
+
+    The paper's model is fully asynchronous: correctness results must hold
+    for every delay assignment, while the latency experiments (E7) need
+    realistic stochastic ones.  A model maps (link, time, randomness) to a
+    non-negative integer delay in simulated time units. *)
+
+type t
+
+val sample :
+  t -> rng:Prng.t -> src:Proc_id.t -> dst:Proc_id.t -> now:int -> int
+(** Draw the delay for one message. *)
+
+val constant : int -> t
+(** Every message takes exactly the given delay. *)
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform integer delay in the inclusive range. *)
+
+val exponential : mean:float -> t
+(** Exponentially distributed delay (rounded up, at least 1): the classic
+    heavy-ish tail model for loaded networks. *)
+
+val bimodal : fast:t -> slow:t -> slow_fraction:float -> t
+(** With probability [slow_fraction] draw from [slow], otherwise from
+    [fast]: models sporadic congestion / a straggler path. *)
+
+val per_link : default:t -> ((Proc_id.t * Proc_id.t) * t) list -> t
+(** Override the model on specific directed links; symmetric links must be
+    listed in both directions. *)
+
+val slow_process : slow:Proc_id.Set.t -> factor:int -> t -> t
+(** Multiply by [factor] every delay on links whose source or destination
+    is in [slow]: models slow or distant replicas. *)
+
+val jitter : base:t -> amplitude:int -> t
+(** Add uniform jitter in [0, amplitude] to the base model. *)

@@ -1,0 +1,195 @@
+type 'msg envelope = {
+  src : Proc_id.t;
+  dst : Proc_id.t;
+  sent_at : int;
+  msg : 'msg;
+}
+
+module Event = struct
+  type t = { at : int; seq : int; run : unit -> unit }
+
+  let compare a b =
+    match Int.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+end
+
+module Queue = Heap.Make (Event)
+
+module Link = struct
+  type t = Proc_id.t * Proc_id.t
+
+  let compare (a1, a2) (b1, b2) =
+    match Proc_id.compare a1 b1 with 0 -> Proc_id.compare a2 b2 | c -> c
+end
+
+module Link_map = Map.Make (Link)
+module Link_set = Set.Make (Link)
+
+type 'msg t = {
+  mutable queue : Queue.t;
+  mutable now : int;
+  mutable seq : int;
+  mutable handlers : ('msg envelope -> unit) Proc_id.Map.t;
+  mutable crashed : Proc_id.Set.t;
+  mutable blocked : Link_set.t;
+  mutable buffered : 'msg envelope list Link_map.t;  (* newest first *)
+  mutable delivered : int;
+  mutable dropped : int;
+  rng : Prng.t;
+  delay : Delay.t;
+  trace : Trace.t option;
+  msg_info : 'msg -> string;
+}
+
+let create ?trace ?(msg_info = fun _ -> "msg") ~seed ~delay () =
+  {
+    queue = Queue.empty;
+    now = 0;
+    seq = 0;
+    handlers = Proc_id.Map.empty;
+    crashed = Proc_id.Set.empty;
+    blocked = Link_set.empty;
+    buffered = Link_map.empty;
+    delivered = 0;
+    dropped = 0;
+    rng = Prng.create ~seed;
+    delay;
+    trace;
+    msg_info;
+  }
+
+let rng t = t.rng
+
+let now t = t.now
+
+let tracing t f = match t.trace with None -> () | Some tr -> Trace.record tr (f ())
+
+let register t id handler = t.handlers <- Proc_id.Map.add id handler t.handlers
+
+let enqueue t ~at run =
+  if at < t.now then invalid_arg "Engine: scheduling in the past";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.queue <- Queue.insert t.queue { Event.at; seq; run }
+
+let deliver t env =
+  if Proc_id.Set.mem env.dst t.crashed then begin
+    t.dropped <- t.dropped + 1;
+    tracing t (fun () ->
+        Trace.Drop
+          {
+            time = t.now;
+            src = env.src;
+            dst = env.dst;
+            info = t.msg_info env.msg;
+            reason = "destination crashed";
+          })
+  end
+  else
+    match Proc_id.Map.find_opt env.dst t.handlers with
+    | None ->
+        t.dropped <- t.dropped + 1;
+        tracing t (fun () ->
+            Trace.Drop
+              {
+                time = t.now;
+                src = env.src;
+                dst = env.dst;
+                info = t.msg_info env.msg;
+                reason = "no handler";
+              })
+    | Some handler ->
+        t.delivered <- t.delivered + 1;
+        tracing t (fun () ->
+            Trace.Deliver
+              {
+                time = t.now;
+                src = env.src;
+                dst = env.dst;
+                info = t.msg_info env.msg;
+              });
+        handler env
+
+let schedule_delivery t env =
+  let d =
+    Delay.sample t.delay ~rng:t.rng ~src:env.src ~dst:env.dst ~now:t.now
+  in
+  enqueue t ~at:(t.now + d) (fun () -> deliver t env)
+
+let send t ~src ~dst msg =
+  (* A crashed process takes no further steps, hence sends nothing. *)
+  if Proc_id.Set.mem src t.crashed then ()
+  else begin
+    tracing t (fun () ->
+        Trace.Send { time = t.now; src; dst; info = t.msg_info msg });
+    let env = { src; dst; sent_at = t.now; msg } in
+    if Link_set.mem (src, dst) t.blocked then
+      t.buffered <-
+        Link_map.update (src, dst)
+          (fun prev -> Some (env :: Option.value prev ~default:[]))
+          t.buffered
+    else schedule_delivery t env
+  end
+
+let at t ~time action = enqueue t ~at:time action
+
+let after t ~delay action = enqueue t ~at:(t.now + delay) action
+
+let crash t id =
+  if not (Proc_id.Set.mem id t.crashed) then begin
+    t.crashed <- Proc_id.Set.add id t.crashed;
+    tracing t (fun () -> Trace.Crash { time = t.now; proc = id })
+  end
+
+let is_crashed t id = Proc_id.Set.mem id t.crashed
+
+let block_link t ~src ~dst = t.blocked <- Link_set.add (src, dst) t.blocked
+
+let unblock_link t ~src ~dst =
+  t.blocked <- Link_set.remove (src, dst) t.blocked;
+  match Link_map.find_opt (src, dst) t.buffered with
+  | None -> ()
+  | Some envs ->
+      t.buffered <- Link_map.remove (src, dst) t.buffered;
+      List.iter (schedule_delivery t) (List.rev envs)
+
+let all_links_of t id =
+  let endpoints =
+    Proc_id.Map.fold (fun p _ acc -> p :: acc) t.handlers []
+  in
+  List.concat_map (fun p -> [ (id, p); (p, id) ]) endpoints
+
+let block_process t id =
+  List.iter (fun (src, dst) -> block_link t ~src ~dst) (all_links_of t id)
+
+let unblock_process t id =
+  List.iter (fun (src, dst) -> unblock_link t ~src ~dst) (all_links_of t id)
+
+let step t =
+  match Queue.pop t.queue with
+  | None -> false
+  | Some (ev, rest) ->
+      t.queue <- rest;
+      t.now <- ev.Event.at;
+      ev.Event.run ();
+      true
+
+let run ?until ?max_events t =
+  let budget = Option.value max_events ~default:max_int in
+  let horizon = Option.value until ~default:max_int in
+  let rec loop n =
+    if n >= budget then n
+    else
+      match Queue.min t.queue with
+      | None -> n
+      | Some ev when ev.Event.at > horizon -> n
+      | Some _ ->
+          ignore (step t);
+          loop (n + 1)
+  in
+  loop 0
+
+let pending_events t = Queue.size t.queue
+
+let delivered_count t = t.delivered
+
+let dropped_count t = t.dropped

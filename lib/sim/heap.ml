@@ -1,0 +1,56 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  (* Leftist heap: the rank (null-path length) of the left child is always
+     >= that of the right child, so the right spine has length O(log n). *)
+  type t =
+    | Leaf
+    | Node of { rank : int; size : int; elt : Elt.t; left : t; right : t }
+
+  let empty = Leaf
+
+  let is_empty = function Leaf -> true | Node _ -> false
+
+  let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+  let size = function Leaf -> 0 | Node { size; _ } -> size
+
+  let node elt a b =
+    let sz = 1 + size a + size b in
+    if rank a >= rank b then
+      Node { rank = rank b + 1; size = sz; elt; left = a; right = b }
+    else Node { rank = rank a + 1; size = sz; elt; left = b; right = a }
+
+  let rec merge a b =
+    match (a, b) with
+    | Leaf, h | h, Leaf -> h
+    | Node na, Node nb ->
+        if Elt.compare na.elt nb.elt <= 0 then
+          node na.elt na.left (merge na.right b)
+        else node nb.elt nb.left (merge a nb.right)
+
+  let insert h elt = merge h (Node { rank = 1; size = 1; elt; left = Leaf; right = Leaf })
+
+  let min = function Leaf -> None | Node { elt; _ } -> Some elt
+
+  let pop = function
+    | Leaf -> None
+    | Node { elt; left; right; _ } -> Some (elt, merge left right)
+
+  let of_list l = List.fold_left insert empty l
+
+  let to_sorted_list h =
+    let rec loop acc h =
+      match pop h with None -> List.rev acc | Some (e, h') -> loop (e :: acc) h'
+    in
+    loop [] h
+
+  let rec fold f h acc =
+    match h with
+    | Leaf -> acc
+    | Node { elt; left; right; _ } -> fold f right (fold f left (f elt acc))
+end

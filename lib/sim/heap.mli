@@ -1,0 +1,41 @@
+(** Purely functional leftist min-heap.
+
+    Backs the simulation event queue.  Implemented from scratch (no
+    external dependency): O(log n) [insert] and [pop], O(log (n+m))
+    [merge], structural persistence so snapshots of the queue are free —
+    the bounded model checker exploits this to fork explorations. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val size : t -> int
+  (** O(1): the size is cached in every node. *)
+
+  val insert : t -> Elt.t -> t
+
+  val min : t -> Elt.t option
+  (** Smallest element without removing it. *)
+
+  val pop : t -> (Elt.t * t) option
+  (** Smallest element and the remaining heap. *)
+
+  val merge : t -> t -> t
+
+  val of_list : Elt.t list -> t
+
+  val to_sorted_list : t -> Elt.t list
+  (** Ascending order; O(n log n). *)
+
+  val fold : (Elt.t -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Folds in unspecified order. *)
+end

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer: Stafford's mix13 variant. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Take 62 non-negative bits and reduce; bias is negligible for
+     simulation-scale bounds. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  raw mod bound
+
+let int_in_range g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int g ~bound:(hi - lo + 1)
+
+let float g ~bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = ref (float g ~bound:1.0) in
+  if !u = 0.0 then u := 1e-12;
+  -.mean *. log !u
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g ~bound:(Array.length a))

@@ -1,0 +1,47 @@
+type t = Writer | Reader of int | Obj of int
+
+let rank = function Writer -> 0 | Reader _ -> 1 | Obj _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Writer, Writer -> 0
+  | Reader i, Reader j | Obj i, Obj j -> Int.compare i j
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Writer -> "w"
+  | Reader j -> "r" ^ string_of_int j
+  | Obj i -> "s" ^ string_of_int i
+
+let pp ppf id = Format.pp_print_string ppf (to_string id)
+
+let is_object = function Obj _ -> true | Writer | Reader _ -> false
+
+let is_client = function Writer | Reader _ -> true | Obj _ -> false
+
+let objects ~s = List.init s (fun i -> Obj (i + 1))
+
+let readers ~r = List.init r (fun j -> Reader (j + 1))
+
+let obj_index = function
+  | Obj i -> i
+  | (Writer | Reader _) as id ->
+      invalid_arg ("Proc_id.obj_index: " ^ to_string id)
+
+let reader_index = function
+  | Reader j -> j
+  | (Writer | Obj _) as id ->
+      invalid_arg ("Proc_id.reader_index: " ^ to_string id)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

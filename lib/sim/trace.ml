@@ -1,0 +1,55 @@
+type entry =
+  | Send of { time : int; src : Proc_id.t; dst : Proc_id.t; info : string }
+  | Deliver of { time : int; src : Proc_id.t; dst : Proc_id.t; info : string }
+  | Drop of {
+      time : int;
+      src : Proc_id.t;
+      dst : Proc_id.t;
+      info : string;
+      reason : string;
+    }
+  | Crash of { time : int; proc : Proc_id.t }
+  | Note of { time : int; text : string }
+
+type t = { mutable rev_entries : entry list; mutable length : int }
+
+let create () = { rev_entries = []; length = 0 }
+
+let record t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.length <- t.length + 1
+
+let note t ~time text = record t (Note { time; text })
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.length
+
+let pp_entry ppf = function
+  | Send { time; src; dst; info } ->
+      Format.fprintf ppf "[%6d] %a -> %a : send %s" time Proc_id.pp src
+        Proc_id.pp dst info
+  | Deliver { time; src; dst; info } ->
+      Format.fprintf ppf "[%6d] %a => %a : deliver %s" time Proc_id.pp src
+        Proc_id.pp dst info
+  | Drop { time; src; dst; info; reason } ->
+      Format.fprintf ppf "[%6d] %a -x %a : drop %s (%s)" time Proc_id.pp src
+        Proc_id.pp dst info reason
+  | Crash { time; proc } ->
+      Format.fprintf ppf "[%6d] %a crashes" time Proc_id.pp proc
+  | Note { time; text } -> Format.fprintf ppf "[%6d] note: %s" time text
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+
+let count t ~pred = List.length (List.filter pred (entries t))
+
+let sends_between t ~src ~dst =
+  count t ~pred:(function
+    | Send s -> Proc_id.equal s.src src && Proc_id.equal s.dst dst
+    | Deliver _ | Drop _ | Crash _ | Note _ -> false)
+
+let delivered_to t ~dst =
+  count t ~pred:(function
+    | Deliver d -> Proc_id.equal d.dst dst
+    | Send _ | Drop _ | Crash _ | Note _ -> false)

@@ -1,0 +1,44 @@
+(** Execution traces.
+
+    The engine can record every network- and fault-event; traces are the
+    raw material for debugging runs, for the lower-bound demonstrator's
+    human-readable transcripts, and for asserting fine-grained scheduling
+    properties in tests. *)
+
+type entry =
+  | Send of { time : int; src : Proc_id.t; dst : Proc_id.t; info : string }
+  | Deliver of { time : int; src : Proc_id.t; dst : Proc_id.t; info : string }
+  | Drop of {
+      time : int;
+      src : Proc_id.t;
+      dst : Proc_id.t;
+      info : string;
+      reason : string;
+    }
+  | Crash of { time : int; proc : Proc_id.t }
+  | Note of { time : int; text : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> entry -> unit
+
+val note : t -> time:int -> string -> unit
+
+val entries : t -> entry list
+(** In chronological (recording) order. *)
+
+val length : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val count : t -> pred:(entry -> bool) -> int
+
+val sends_between : t -> src:Proc_id.t -> dst:Proc_id.t -> int
+(** Number of [Send] entries on the given directed link. *)
+
+val delivered_to : t -> dst:Proc_id.t -> int
+(** Number of [Deliver] entries at [dst]. *)

@@ -1,0 +1,71 @@
+type line = Row of string list | Separator
+
+type t = { headers : string list; mutable rev_lines : line list; width : int }
+
+let create ~headers =
+  { headers; rev_lines = []; width = List.length headers }
+
+let add_row t row =
+  if List.length row <> t.width then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rev_lines <- Row row :: t.rev_lines
+
+let add_separator t = t.rev_lines <- Separator :: t.rev_lines
+
+let row_count t =
+  List.length
+    (List.filter (function Row _ -> true | Separator -> false) t.rev_lines)
+
+let lines t = List.rev t.rev_lines
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen = function
+    | Separator -> ()
+    | Row cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells
+  in
+  List.iter widen (lines t);
+  widths
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let pp ppf t =
+  let widths = column_widths t in
+  let render_row cells =
+    let padded = List.mapi (fun i c -> pad widths.(i) c) cells in
+    Format.fprintf ppf "| %s |@." (String.concat " | " padded)
+  in
+  let rule () =
+    let dashes =
+      Array.to_list (Array.map (fun w -> String.make w '-') widths)
+    in
+    Format.fprintf ppf "+-%s-+@." (String.concat "-+-" dashes)
+  in
+  rule ();
+  render_row t.headers;
+  rule ();
+  List.iter
+    (function Row cells -> render_row cells | Separator -> rule ())
+    (lines t);
+  rule ()
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_csv t =
+  let escape cell = String.map (fun c -> if c = ',' then ';' else c) cell in
+  let line cells = String.concat "," (List.map escape cells) in
+  let rows =
+    List.filter_map
+      (function Row cells -> Some (line cells) | Separator -> None)
+      (lines t)
+  in
+  String.concat "\n" (line t.headers :: rows) ^ "\n"
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let cell_bool b = if b then "yes" else "no"

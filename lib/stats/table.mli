@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment in the bench harness prints its results as one of
+    these tables, mirroring how the paper's claims are tabulated in
+    EXPERIMENTS.md. *)
+
+type t
+
+val create : headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header's. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val row_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Comma-separated rendering (headers first, separators dropped, commas
+    in cells replaced by semicolons) for downstream plotting. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_bool : bool -> string
+(** Renders as "yes"/"no". *)

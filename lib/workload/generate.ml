@@ -1,0 +1,65 @@
+open Core
+
+let payload k = Value.v (Printf.sprintf "v%d" k)
+
+let sequential ~writes ~readers ~gap =
+  let items = ref [] in
+  let time = ref 0 in
+  for k = 1 to writes do
+    items := (!time, Schedule.Write (payload k)) :: !items;
+    time := !time + gap;
+    for j = 1 to readers do
+      items := (!time, Schedule.Read { reader = j }) :: !items;
+      time := !time + gap
+    done
+  done;
+  Schedule.sorted (List.rev !items)
+
+let read_mostly ~rng ~writes ~readers ~reads_per_reader ~horizon =
+  let write_items =
+    List.init writes (fun i ->
+        let time = (i * horizon) / max 1 writes in
+        (time, Schedule.Write (payload (i + 1))))
+  in
+  let read_items =
+    List.concat_map
+      (fun j ->
+        List.init reads_per_reader (fun _ ->
+            ( Sim.Prng.int_in_range rng ~lo:0 ~hi:horizon,
+              Schedule.Read { reader = j } )))
+      (List.init readers (fun j -> j + 1))
+  in
+  Schedule.merge write_items read_items
+
+let write_storm ~writes ~readers ~every =
+  let write_items =
+    List.init writes (fun i -> (i * every, Schedule.Write (payload (i + 1))))
+  in
+  let read_items =
+    List.concat_map
+      (fun j ->
+        List.init writes (fun i ->
+            ((i * every) + (every / 2), Schedule.Read { reader = j })))
+      (List.init readers (fun j -> j + 1))
+  in
+  Schedule.merge write_items read_items
+
+let read_burst ~readers ~reads_per_reader ~at =
+  List.concat_map
+    (fun j ->
+      List.init reads_per_reader (fun _ -> (at, Schedule.Read { reader = j })))
+    (List.init readers (fun j -> j + 1))
+
+let poisson_reads ~rng ~readers ~mean_gap ~horizon =
+  let reads_of_reader j =
+    let rec go acc time =
+      let time =
+        time + max 1 (int_of_float (Sim.Prng.exponential rng ~mean:mean_gap))
+      in
+      if time > horizon then List.rev acc
+      else go ((time, Schedule.Read { reader = j }) :: acc) time
+    in
+    go [] 0
+  in
+  Schedule.sorted
+    (List.concat_map reads_of_reader (List.init readers (fun j -> j + 1)))

@@ -1,0 +1,48 @@
+(** Workload generators.
+
+    Produce {!Core.Schedule.t} values for the experiment harness: the
+    read-mostly storage traffic the paper's introduction motivates
+    ("the read operation is considered the most frequent in practice"),
+    plus targeted shapes — write bursts, read storms around writes (to
+    manufacture read/write concurrency), and quiet sequential phases
+    (where safety fully constrains results).
+
+    All generators label write payloads ["v1", "v2", …] so histories
+    have distinct write values and the atomicity checker's
+    observed-write mapping is unambiguous. *)
+
+val payload : int -> Core.Value.t
+(** ["v<k>"]. *)
+
+val sequential : writes:int -> readers:int -> gap:int -> Core.Schedule.t
+(** Alternating phases: write k, then one read per reader, [gap] time
+    units apart — no intended concurrency. *)
+
+val read_mostly :
+  rng:Sim.Prng.t ->
+  writes:int ->
+  readers:int ->
+  reads_per_reader:int ->
+  horizon:int ->
+  Core.Schedule.t
+(** Writes evenly spread over the horizon; each reader issues reads at
+    uniformly random times — the paper's motivating regime. *)
+
+val write_storm :
+  writes:int -> readers:int -> every:int -> Core.Schedule.t
+(** Back-to-back writes with each reader reading continuously — maximal
+    read/write concurrency. *)
+
+val read_burst :
+  readers:int -> reads_per_reader:int -> at:int -> Core.Schedule.t
+(** All readers fire a burst of reads at the same instant — contention
+    among readers (stresses the per-reader [tsr] discipline). *)
+
+val poisson_reads :
+  rng:Sim.Prng.t ->
+  readers:int ->
+  mean_gap:float ->
+  horizon:int ->
+  Core.Schedule.t
+(** Per-reader Poisson arrival process with the given mean inter-read
+    gap. *)

@@ -1,0 +1,215 @@
+(* Protocol conformance: generic laws every Protocol_intf.S implementation
+   must satisfy, checked uniformly across the whole protocol zoo.
+
+   Laws (fault-free runs at each protocol's design configuration):
+   - liveness: every scheduled operation completes;
+   - round bounds: writes and reads within the protocol's advertised
+     maximum;
+   - safety of the history (and regularity where advertised);
+   - determinism: identical (seed, schedule) gives identical outcomes;
+   - serial reads after a write return that write's value. *)
+
+type spec =
+  | Spec : {
+      name : string;
+      proto : (module Core.Protocol_intf.S with type msg = 'm);
+      cfg : Quorum.Config.t;
+      max_write_rounds : int;
+      max_read_rounds : int;
+      regular : bool;  (* claims regular (or stronger) semantics *)
+    }
+      -> spec
+
+let specs =
+  [
+    Spec
+      {
+        name = "safe";
+        proto = (module Core.Proto_safe);
+        cfg = Quorum.Config.optimal ~t:1 ~b:1;
+        max_write_rounds = 2;
+        max_read_rounds = 2;
+        regular = false;
+      };
+    Spec
+      {
+        name = "safe(t=2,b=2)";
+        proto = (module Core.Proto_safe);
+        cfg = Quorum.Config.optimal ~t:2 ~b:2;
+        max_write_rounds = 2;
+        max_read_rounds = 2;
+        regular = false;
+      };
+    Spec
+      {
+        name = "regular";
+        proto = (module Core.Proto_regular.Plain);
+        cfg = Quorum.Config.optimal ~t:1 ~b:1;
+        max_write_rounds = 2;
+        max_read_rounds = 2;
+        regular = true;
+      };
+    Spec
+      {
+        name = "regular-opt";
+        proto = (module Core.Proto_regular.Optimized);
+        cfg = Quorum.Config.optimal ~t:2 ~b:1;
+        max_write_rounds = 2;
+        max_read_rounds = 2;
+        regular = true;
+      };
+    Spec
+      {
+        name = "regular-gc";
+        proto =
+          (module Core.Proto_regular_gc.Make (struct
+            let readers = 2
+          end));
+        cfg = Quorum.Config.optimal ~t:1 ~b:1;
+        max_write_rounds = 2;
+        max_read_rounds = 2;
+        regular = true;
+      };
+    Spec
+      {
+        name = "abd";
+        proto = (module Baseline.Abd.Regular);
+        cfg = Quorum.Config.make_exn ~s:3 ~t:1 ~b:0;
+        max_write_rounds = 1;
+        max_read_rounds = 1;
+        regular = true;
+      };
+    Spec
+      {
+        name = "abd-atomic";
+        proto = (module Baseline.Abd.Atomic);
+        cfg = Quorum.Config.make_exn ~s:5 ~t:2 ~b:0;
+        max_write_rounds = 1;
+        max_read_rounds = 2;
+        regular = true;
+      };
+    Spec
+      {
+        name = "nonmod";
+        proto = (module Baseline.Nonmod);
+        cfg = Quorum.Config.optimal ~t:1 ~b:1;
+        max_write_rounds = 2;
+        max_read_rounds = 3;
+        regular = false;
+      };
+    Spec
+      {
+        name = "auth";
+        proto = (module Baseline.Auth);
+        cfg = Quorum.Config.optimal ~t:1 ~b:1;
+        max_write_rounds = 1;
+        max_read_rounds = 1;
+        regular = true;
+      };
+    Spec
+      {
+        name = "fast-safe";
+        proto = (module Baseline.Fast_safe);
+        cfg = Quorum.Config.make_exn ~s:5 ~t:1 ~b:1;
+        max_write_rounds = 1;
+        max_read_rounds = 1;
+        regular = false;
+      };
+    Spec
+      {
+        name = "naive-fast (fault-free only)";
+        proto = (module Baseline.Naive_fast);
+        cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1;
+        max_write_rounds = 1;
+        max_read_rounds = 1;
+        regular = true;
+      };
+  ]
+
+let schedule =
+  [
+    (0, Core.Schedule.Write (Core.Value.v "c1"));
+    (100, Core.Schedule.Read { reader = 1 });
+    (150, Core.Schedule.Read { reader = 2 });
+    (200, Core.Schedule.Write (Core.Value.v "c2"));
+    (300, Core.Schedule.Read { reader = 1 });
+    (320, Core.Schedule.Read { reader = 2 });
+    (400, Core.Schedule.Write (Core.Value.v "c3"));
+    (500, Core.Schedule.Read { reader = 2 });
+  ]
+
+let run_spec (Spec { name; proto = (module P); cfg; _ }) ~seed =
+  let module Sc = Core.Scenario.Make (P) in
+  ignore name;
+  let rep =
+    Sc.run ~cfg ~seed
+      ~delay:(Sim.Delay.uniform ~lo:1 ~hi:10)
+      ~faults:Sc.no_faults schedule
+  in
+  ( rep.history,
+    List.map
+      (fun (o : Sc.outcome) ->
+        (o.op, o.invoked_at, o.completed_at, o.rounds, o.result))
+      rep.outcomes )
+
+let test_laws (Spec s as spec) () =
+  let _history, outcomes = run_spec spec ~seed:5 in
+  Alcotest.(check int)
+    (s.name ^ ": all operations complete")
+    (List.length schedule) (List.length outcomes);
+  List.iter
+    (fun (op, _, _, rounds, result) ->
+      match op with
+      | Core.Schedule.Write _ ->
+          Alcotest.(check bool)
+            (s.name ^ ": write round bound")
+            true
+            (rounds >= 1 && rounds <= s.max_write_rounds)
+      | Core.Schedule.Read _ ->
+          Alcotest.(check bool)
+            (s.name ^ ": read round bound")
+            true
+            (rounds >= 0 && rounds <= s.max_read_rounds);
+          Alcotest.(check bool) (s.name ^ ": read has a result") true
+            (result <> None))
+    outcomes;
+  let history, _ = run_spec spec ~seed:5 in
+  Alcotest.(check bool)
+    (s.name ^ ": history safe")
+    true
+    (Histories.Checks.is_safe ~equal:String.equal history);
+  if s.regular then
+    Alcotest.(check bool)
+      (s.name ^ ": history regular")
+      true
+      (Histories.Checks.is_regular ~equal:String.equal history)
+
+let test_determinism (Spec s as spec) () =
+  Alcotest.(check bool)
+    (s.name ^ ": deterministic")
+    true
+    (run_spec spec ~seed:9 = run_spec spec ~seed:9)
+
+let test_serial_read_sees_write (Spec s as spec) () =
+  let _, outcomes = run_spec spec ~seed:11 in
+  (* the final read at t=500 follows the completed c3 write *)
+  match List.rev outcomes with
+  | (Core.Schedule.Read _, _, _, _, Some v) :: _ ->
+      Alcotest.(check bool)
+        (s.name ^ ": last read sees last write")
+        true
+        (Core.Value.equal v (Core.Value.v "c3"))
+  | _ -> Alcotest.fail (s.name ^ ": last operation should be a completed read")
+
+let suite =
+  ( "conformance",
+    List.concat_map
+      (fun (Spec s as spec) ->
+        [
+          Alcotest.test_case (s.name ^ " laws") `Quick (test_laws spec);
+          Alcotest.test_case (s.name ^ " determinism") `Quick
+            (test_determinism spec);
+          Alcotest.test_case (s.name ^ " serial read") `Quick
+            (test_serial_read_sees_write spec);
+        ])
+      specs )

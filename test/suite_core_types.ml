@@ -1,0 +1,177 @@
+(* Tests for the core data types: values, timestamp pairs, matrices,
+   write tuples, history stores and message sizing. *)
+
+open Core
+
+let test_value () =
+  Alcotest.(check bool) "bottom is bottom" true (Value.is_bottom Value.bottom);
+  Alcotest.(check bool) "v is not bottom" false (Value.is_bottom (Value.v "x"));
+  Alcotest.(check bool) "equal" true (Value.equal (Value.v "a") (Value.v "a"));
+  Alcotest.(check bool) "unequal" false (Value.equal (Value.v "a") Value.bottom);
+  Alcotest.(check bool) "bottom smallest" true
+    (Value.compare Value.bottom (Value.v "") < 0);
+  Alcotest.(check (option string)) "payload" (Some "a") (Value.payload (Value.v "a"));
+  Alcotest.(check (option string)) "bottom payload" None (Value.payload Value.bottom);
+  Alcotest.(check string) "to_string bottom" "_|_" (Value.to_string Value.bottom)
+
+let test_tsval () =
+  Alcotest.(check int) "init ts" 0 Tsval.init.Tsval.ts;
+  Alcotest.(check bool) "init is bottom" true (Value.is_bottom Tsval.init.Tsval.v);
+  let a = Tsval.make ~ts:1 ~v:(Value.v "a") in
+  let b = Tsval.make ~ts:2 ~v:(Value.v "b") in
+  Alcotest.(check bool) "newer" true (Tsval.newer b ~than:a);
+  Alcotest.(check bool) "not newer" false (Tsval.newer a ~than:b);
+  Alcotest.(check bool) "compare by ts" true (Tsval.compare a b < 0);
+  Alcotest.(check bool) "equal" true (Tsval.equal a (Tsval.make ~ts:1 ~v:(Value.v "a")))
+
+let test_tsr_matrix () =
+  let m = Tsr_matrix.empty in
+  Alcotest.(check (option int)) "nil row" None (Tsr_matrix.get m ~obj:1 ~reader:1);
+  Alcotest.(check bool) "row absent" false (Tsr_matrix.row_present m ~obj:1);
+  let row = Ints.Map.singleton 2 5 in
+  let m = Tsr_matrix.set_row m ~obj:1 row in
+  Alcotest.(check (option int)) "set entry" (Some 5)
+    (Tsr_matrix.get m ~obj:1 ~reader:2);
+  Alcotest.(check (option int)) "absent reader defaults to 0" (Some 0)
+    (Tsr_matrix.get m ~obj:1 ~reader:9);
+  Alcotest.(check (list int)) "rows present" [ 1 ] (Tsr_matrix.rows_present m);
+  Alcotest.(check bool) "exceeds true" true
+    (Tsr_matrix.exceeds m ~obj:1 ~reader:2 ~bound:4);
+  Alcotest.(check bool) "exceeds false at bound" false
+    (Tsr_matrix.exceeds m ~obj:1 ~reader:2 ~bound:5);
+  Alcotest.(check bool) "exceeds false on nil row" false
+    (Tsr_matrix.exceeds m ~obj:3 ~reader:2 ~bound:0)
+
+let test_tsr_matrix_compare () =
+  let row = Ints.Map.singleton 1 1 in
+  let a = Tsr_matrix.set_row Tsr_matrix.empty ~obj:1 row in
+  let b = Tsr_matrix.set_row Tsr_matrix.empty ~obj:1 row in
+  Alcotest.(check bool) "structural equality" true (Tsr_matrix.equal a b);
+  Alcotest.(check bool) "empty differs" false (Tsr_matrix.equal a Tsr_matrix.empty)
+
+let test_wtuple () =
+  Alcotest.(check int) "init ts 0" 0 (Wtuple.ts Wtuple.init);
+  Alcotest.(check bool) "init value bottom" true
+    (Value.is_bottom (Wtuple.value Wtuple.init));
+  let tsval = Tsval.make ~ts:3 ~v:(Value.v "x") in
+  let w = Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty in
+  Alcotest.(check int) "ts" 3 (Wtuple.ts w);
+  Alcotest.(check bool) "ordered by ts" true (Wtuple.compare Wtuple.init w < 0);
+  (* same tsval, different matrix: distinct tuples *)
+  let m = Tsr_matrix.set_row Tsr_matrix.empty ~obj:1 (Ints.Map.singleton 1 9) in
+  let w' = Wtuple.make ~tsval ~tsrarray:m in
+  Alcotest.(check bool) "matrix distinguishes" false (Wtuple.equal w w')
+
+let test_history_store_init () =
+  let h = History_store.init in
+  Alcotest.(check int) "one entry" 1 (History_store.length h);
+  match History_store.find h ~ts:0 with
+  | Some { History_store.pw; w = Some w0 } ->
+      Alcotest.(check bool) "pw0" true (Tsval.equal pw Tsval.init);
+      Alcotest.(check bool) "w0" true (Wtuple.equal w0 Wtuple.init)
+  | _ -> Alcotest.fail "entry 0 missing or nil"
+
+let test_history_store_on_pw () =
+  (* PW of write 2 certifies write 1's complete tuple retroactively. *)
+  let tsval1 = Tsval.make ~ts:1 ~v:(Value.v "a") in
+  let w1 = Wtuple.make ~tsval:tsval1 ~tsrarray:Tsr_matrix.empty in
+  let tsval2 = Tsval.make ~ts:2 ~v:(Value.v "b") in
+  let h = History_store.on_pw History_store.init ~ts':2 ~pw':tsval2 ~w':w1 in
+  (match History_store.find h ~ts:2 with
+  | Some { History_store.pw; w = None } ->
+      Alcotest.(check bool) "pw of write 2" true (Tsval.equal pw tsval2)
+  | _ -> Alcotest.fail "entry 2 wrong");
+  match History_store.find h ~ts:1 with
+  | Some { History_store.pw; w = Some w } ->
+      Alcotest.(check bool) "pw of write 1" true (Tsval.equal pw tsval1);
+      Alcotest.(check bool) "w of write 1" true (Wtuple.equal w w1)
+  | _ -> Alcotest.fail "entry 1 wrong"
+
+let test_history_store_on_w () =
+  let tsval1 = Tsval.make ~ts:1 ~v:(Value.v "a") in
+  let w1 = Wtuple.make ~tsval:tsval1 ~tsrarray:Tsr_matrix.empty in
+  let h = History_store.on_w History_store.init ~ts':1 ~pw':tsval1 ~w':w1 in
+  match History_store.find h ~ts:1 with
+  | Some { History_store.w = Some w; _ } ->
+      Alcotest.(check bool) "complete entry" true (Wtuple.equal w w1)
+  | _ -> Alcotest.fail "entry 1 wrong"
+
+let test_history_store_suffix () =
+  let entry ts =
+    let tsval = Tsval.make ~ts ~v:(Value.v (string_of_int ts)) in
+    { History_store.pw = tsval; w = Some (Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty) }
+  in
+  let h =
+    List.fold_left
+      (fun h ts -> History_store.set h ~ts (entry ts))
+      History_store.init [ 1; 2; 3; 4 ]
+  in
+  let s = History_store.suffix h ~from_ts:3 in
+  Alcotest.(check int) "suffix length" 2 (History_store.length s);
+  Alcotest.(check bool) "entry 2 pruned" true (History_store.find s ~ts:2 = None);
+  Alcotest.(check bool) "entry 3 kept" true (History_store.find s ~ts:3 <> None);
+  Alcotest.(check int) "max_ts" 4 (History_store.max_ts s);
+  Alcotest.(check int) "max_ts of empty" (-1) (History_store.max_ts History_store.empty)
+
+let test_history_store_tuples () =
+  let tsval1 = Tsval.make ~ts:1 ~v:(Value.v "a") in
+  let w1 = Wtuple.make ~tsval:tsval1 ~tsrarray:Tsr_matrix.empty in
+  let tsval2 = Tsval.make ~ts:2 ~v:(Value.v "b") in
+  let h = History_store.on_pw History_store.init ~ts':2 ~pw':tsval2 ~w':w1 in
+  (* tuples: w0 (entry 0) and w1 (entry 1); entry 2 has nil w *)
+  Alcotest.(check int) "non-nil tuples" 2 (List.length (History_store.tuples h))
+
+let test_message_sizes () =
+  let tsval = Tsval.make ~ts:1 ~v:(Value.v "payload") in
+  let w = Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty in
+  let small = Messages.size_words (Messages.W_ack { ts = 1 }) in
+  let big = Messages.size_words (Messages.Pw { ts = 1; pw = tsval; w }) in
+  Alcotest.(check bool) "ack smaller than data message" true (small < big);
+  (* history acks grow with history length *)
+  let h1 = History_store.init in
+  let h4 =
+    List.fold_left
+      (fun h ts ->
+        History_store.set h ~ts
+          { History_store.pw = Tsval.make ~ts ~v:(Value.v "x"); w = None })
+      h1 [ 1; 2; 3 ]
+  in
+  let words h = Messages.size_words (Messages.Read1_ack_h { tsr = 1; history = h }) in
+  Alcotest.(check bool) "longer history, bigger message" true (words h4 > words h1)
+
+let test_message_info () =
+  Alcotest.(check string) "pw info" "PW(ts=3)"
+    (Messages.info (Messages.Pw { ts = 3; pw = Tsval.init; w = Wtuple.init }));
+  Alcotest.(check (option int)) "read round 1" (Some 1)
+    (Messages.is_read_round (Messages.Read1 { tsr = 1; from_ts = 0 }));
+  Alcotest.(check (option int)) "read round 2" (Some 2)
+    (Messages.is_read_round (Messages.Read2 { tsr = 2; from_ts = 0 }));
+  Alcotest.(check (option int)) "ack not a read round" None
+    (Messages.is_read_round (Messages.W_ack { ts = 1 }))
+
+let qcheck_tsval_order_total =
+  QCheck.Test.make ~name:"tsval compare is a total order on ts" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let ta = Core.Tsval.make ~ts:a ~v:(Core.Value.v "x") in
+      let tb = Core.Tsval.make ~ts:b ~v:(Core.Value.v "x") in
+      (Core.Tsval.compare ta tb < 0) = (a < b)
+      && (Core.Tsval.compare ta tb = 0) = (a = b))
+
+let suite =
+  ( "core-types",
+    [
+      Alcotest.test_case "value" `Quick test_value;
+      Alcotest.test_case "tsval" `Quick test_tsval;
+      Alcotest.test_case "tsr matrix" `Quick test_tsr_matrix;
+      Alcotest.test_case "tsr matrix compare" `Quick test_tsr_matrix_compare;
+      Alcotest.test_case "wtuple" `Quick test_wtuple;
+      Alcotest.test_case "history init" `Quick test_history_store_init;
+      Alcotest.test_case "history on_pw" `Quick test_history_store_on_pw;
+      Alcotest.test_case "history on_w" `Quick test_history_store_on_w;
+      Alcotest.test_case "history suffix" `Quick test_history_store_suffix;
+      Alcotest.test_case "history tuples" `Quick test_history_store_tuples;
+      Alcotest.test_case "message sizes" `Quick test_message_sizes;
+      Alcotest.test_case "message info" `Quick test_message_info;
+      QCheck_alcotest.to_alcotest qcheck_tsval_order_total;
+    ] )

@@ -1,0 +1,177 @@
+(* Tests for the discrete-event engine: determinism, delivery, faults,
+   link blocking — the devices the Proposition 1 runs are scripted with. *)
+
+open Sim
+
+type msg = Ping of int | Pong of int
+
+let msg_info = function
+  | Ping n -> "ping" ^ string_of_int n
+  | Pong n -> "pong" ^ string_of_int n
+
+let make ?trace ?(seed = 1) ?(delay = Delay.constant 5) () =
+  Engine.create ?trace ~msg_info ~seed ~delay ()
+
+let test_delivery_and_reply () =
+  let eng = make () in
+  let got = ref [] in
+  Engine.register eng (Proc_id.Obj 1) (fun env ->
+      match env.Engine.msg with
+      | Ping n -> Engine.send eng ~src:(Proc_id.Obj 1) ~dst:env.Engine.src (Pong n)
+      | Pong _ -> ());
+  Engine.register eng Proc_id.Writer (fun env ->
+      match env.Engine.msg with Pong n -> got := n :: !got | Ping _ -> ());
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 7);
+  let events = Engine.run eng in
+  Alcotest.(check int) "two deliveries" 2 events;
+  Alcotest.(check (list int)) "pong received" [ 7 ] !got;
+  Alcotest.(check int) "time advanced by two hops" 10 (Engine.now eng)
+
+let test_deterministic_across_runs () =
+  let run () =
+    let eng = make ~seed:99 ~delay:(Delay.uniform ~lo:1 ~hi:20) () in
+    let order = ref [] in
+    Engine.register eng Proc_id.Writer (fun env ->
+        match env.Engine.msg with Pong n -> order := n :: !order | Ping _ -> ());
+    List.iter
+      (fun i ->
+        Engine.register eng (Proc_id.Obj i) (fun env ->
+            match env.Engine.msg with
+            | Ping n ->
+                Engine.send eng ~src:(Proc_id.Obj i) ~dst:env.Engine.src (Pong n)
+            | Pong _ -> ()))
+      [ 1; 2; 3; 4 ];
+    List.iter
+      (fun i -> Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj i) (Ping i))
+      [ 1; 2; 3; 4 ];
+    ignore (Engine.run eng);
+    !order
+  in
+  Alcotest.(check (list int)) "identical seeds, identical order" (run ()) (run ())
+
+let test_crash_drops_deliveries () =
+  let eng = make () in
+  let got = ref 0 in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> incr got);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  Engine.crash eng (Proc_id.Obj 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "no delivery to crashed process" 0 !got;
+  Alcotest.(check int) "drop counted" 1 (Engine.dropped_count eng);
+  Alcotest.(check bool) "is_crashed" true (Engine.is_crashed eng (Proc_id.Obj 1))
+
+let test_crashed_process_cannot_send () =
+  let eng = make () in
+  let got = ref 0 in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> incr got);
+  Engine.crash eng Proc_id.Writer;
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "crashed source sends nothing" 0 !got
+
+let test_timers_fire_in_order () =
+  let eng = make () in
+  let order = ref [] in
+  Engine.at eng ~time:30 (fun () -> order := 30 :: !order);
+  Engine.at eng ~time:10 (fun () -> order := 10 :: !order);
+  Engine.at eng ~time:20 (fun () -> order := 20 :: !order);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !order)
+
+let test_after_schedules_relative () =
+  let eng = make () in
+  let fired_at = ref (-1) in
+  Engine.at eng ~time:10 (fun () ->
+      Engine.after eng ~delay:5 (fun () -> fired_at := Engine.now eng));
+  ignore (Engine.run eng);
+  Alcotest.(check int) "after fires at 15" 15 !fired_at
+
+let test_tie_break_is_fifo () =
+  let eng = make () in
+  let order = ref [] in
+  Engine.at eng ~time:10 (fun () -> order := 1 :: !order);
+  Engine.at eng ~time:10 (fun () -> order := 2 :: !order);
+  Engine.at eng ~time:10 (fun () -> order := 3 :: !order);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "same-time events in schedule order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_block_unblock_link () =
+  let eng = make () in
+  let got_at = ref [] in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> got_at := Engine.now eng :: !got_at);
+  Engine.block_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  Engine.at eng ~time:100 (fun () ->
+      Engine.unblock_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1));
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "released after unblock plus delay" [ 105 ] !got_at
+
+let test_blocked_message_order_preserved () =
+  let eng = make () in
+  let got = ref [] in
+  Engine.register eng (Proc_id.Obj 1) (fun env ->
+      match env.Engine.msg with Ping n -> got := n :: !got | Pong _ -> ());
+  Engine.block_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 2);
+  Engine.unblock_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "constant delay keeps send order" [ 1; 2 ]
+    (List.rev !got)
+
+let test_run_until_horizon () =
+  let eng = make () in
+  let fired = ref 0 in
+  Engine.at eng ~time:10 (fun () -> incr fired);
+  Engine.at eng ~time:50 (fun () -> incr fired);
+  let n = Engine.run ~until:20 eng in
+  Alcotest.(check int) "one event within horizon" 1 n;
+  Alcotest.(check int) "late event pending" 1 (Engine.pending_events eng)
+
+let test_run_max_events () =
+  let eng = make () in
+  for i = 1 to 10 do
+    Engine.at eng ~time:i (fun () -> ())
+  done;
+  let n = Engine.run ~max_events:4 eng in
+  Alcotest.(check int) "stops at budget" 4 n;
+  Alcotest.(check int) "rest pending" 6 (Engine.pending_events eng)
+
+let test_trace_records () =
+  let trace = Trace.create () in
+  let eng = make ~trace () in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> ());
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "one send traced" 1
+    (Trace.sends_between trace ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1));
+  Alcotest.(check int) "one delivery traced" 1
+    (Trace.delivered_to trace ~dst:(Proc_id.Obj 1))
+
+let test_no_handler_drops () =
+  let eng = make () in
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 9) (Ping 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "unregistered destination drops" 1
+    (Engine.dropped_count eng)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "delivery and reply" `Quick test_delivery_and_reply;
+      Alcotest.test_case "determinism" `Quick test_deterministic_across_runs;
+      Alcotest.test_case "crash drops deliveries" `Quick test_crash_drops_deliveries;
+      Alcotest.test_case "crashed process cannot send" `Quick
+        test_crashed_process_cannot_send;
+      Alcotest.test_case "timers in order" `Quick test_timers_fire_in_order;
+      Alcotest.test_case "after is relative" `Quick test_after_schedules_relative;
+      Alcotest.test_case "tie-break FIFO" `Quick test_tie_break_is_fifo;
+      Alcotest.test_case "block/unblock link" `Quick test_block_unblock_link;
+      Alcotest.test_case "blocked order preserved" `Quick
+        test_blocked_message_order_preserved;
+      Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
+      Alcotest.test_case "run max events" `Quick test_run_max_events;
+      Alcotest.test_case "trace records" `Quick test_trace_records;
+      Alcotest.test_case "no handler drops" `Quick test_no_handler_drops;
+    ] )

@@ -1,0 +1,104 @@
+(* Property tests of the engine's channel semantics: reliable exactly-once
+   delivery to live processes, monotone virtual time, and fairness of the
+   blocked-link buffer. *)
+
+open Sim
+
+type msg = Tagged of int
+
+let msg_info (Tagged n) = string_of_int n
+
+let qcheck_exactly_once =
+  QCheck.Test.make ~name:"every message to a live process delivered exactly once"
+    ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 1 30))
+    (fun (seed, n) ->
+      let eng =
+        Engine.create ~msg_info ~seed ~delay:(Delay.uniform ~lo:1 ~hi:20) ()
+      in
+      let received = Hashtbl.create 16 in
+      Engine.register eng (Proc_id.Obj 1) (fun env ->
+          let (Tagged k) = env.Engine.msg in
+          Hashtbl.replace received k
+            (1 + Option.value (Hashtbl.find_opt received k) ~default:0));
+      for k = 1 to n do
+        Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Tagged k)
+      done;
+      ignore (Engine.run eng);
+      List.for_all
+        (fun k -> Hashtbl.find_opt received k = Some 1)
+        (List.init n (fun i -> i + 1)))
+
+let qcheck_time_monotone =
+  QCheck.Test.make ~name:"delivery times never decrease" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let eng =
+        Engine.create ~msg_info ~seed ~delay:(Delay.exponential ~mean:7.0) ()
+      in
+      let last = ref 0 in
+      let ok = ref true in
+      Engine.register eng (Proc_id.Obj 1) (fun _ ->
+          let now = Engine.now eng in
+          if now < !last then ok := false;
+          last := now;
+          (* objects replying keeps the run going a little *)
+          Engine.send eng ~src:(Proc_id.Obj 1) ~dst:Proc_id.Writer (Tagged 0));
+      Engine.register eng Proc_id.Writer (fun _ ->
+          let now = Engine.now eng in
+          if now < !last then ok := false;
+          last := now);
+      for k = 1 to 20 do
+        Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Tagged k)
+      done;
+      ignore (Engine.run eng);
+      !ok)
+
+let qcheck_blocked_links_lose_nothing =
+  QCheck.Test.make ~name:"blocking then unblocking loses no messages"
+    ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 1 20))
+    (fun (seed, n) ->
+      let eng =
+        Engine.create ~msg_info ~seed ~delay:(Delay.uniform ~lo:1 ~hi:5) ()
+      in
+      let count = ref 0 in
+      Engine.register eng (Proc_id.Obj 1) (fun _ -> incr count);
+      Engine.block_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+      for k = 1 to n do
+        Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Tagged k)
+      done;
+      Engine.at eng ~time:50 (fun () ->
+          Engine.unblock_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1));
+      ignore (Engine.run eng);
+      !count = n)
+
+let qcheck_crash_stops_everything =
+  QCheck.Test.make ~name:"after a crash a process never handles again"
+    ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 1 30))
+    (fun (seed, crash_after) ->
+      let eng =
+        Engine.create ~msg_info ~seed ~delay:(Delay.uniform ~lo:1 ~hi:10) ()
+      in
+      let handled_after_crash = ref false in
+      let crashed = ref false in
+      Engine.register eng (Proc_id.Obj 1) (fun _ ->
+          if !crashed then handled_after_crash := true);
+      for k = 1 to 30 do
+        Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Tagged k)
+      done;
+      Engine.at eng ~time:crash_after (fun () ->
+          crashed := true;
+          Engine.crash eng (Proc_id.Obj 1));
+      ignore (Engine.run eng);
+      not !handled_after_crash)
+
+let suite =
+  ( "engine-props",
+    [
+      QCheck_alcotest.to_alcotest qcheck_exactly_once;
+      QCheck_alcotest.to_alcotest qcheck_time_monotone;
+      QCheck_alcotest.to_alcotest qcheck_blocked_links_lose_nothing;
+      QCheck_alcotest.to_alcotest qcheck_crash_stops_everything;
+    ] )

@@ -1,0 +1,223 @@
+(* Tests for the bounded model checker (E5 in miniature): exhaustive
+   delivery-order exploration on small scenarios. *)
+
+module ES = Mc.Explorer.Make (Core.Proto_safe)
+module ER = Mc.Explorer.Make (Core.Proto_regular.Plain)
+module EF = Mc.Explorer.Make (Baseline.Naive_fast)
+module EA = Mc.Explorer.Make (Baseline.Abd.Regular)
+
+let cfg_core = Quorum.Config.optimal ~t:1 ~b:1
+
+let forge_naive : EF.pure_byz =
+  {
+    rewrite =
+      (fun ~src:_ m ->
+        match m with
+        | Baseline.Naive_fast.Read_ack { rid; ts; v = _ } ->
+            [
+              Baseline.Naive_fast.Read_ack
+                { rid; ts = ts + 10; v = Core.Value.v "ghost" };
+            ]
+        | m -> [ m ]);
+  }
+
+let forge_safe : ES.pure_byz =
+  {
+    rewrite =
+      (fun ~src:_ m ->
+        let forged_pair () =
+          let tsval = Core.Tsval.make ~ts:9 ~v:(Core.Value.v "ghost") in
+          (tsval, Core.Wtuple.make ~tsval ~tsrarray:Core.Tsr_matrix.empty)
+        in
+        match m with
+        | Core.Messages.Read1_ack { tsr; _ } ->
+            let pw, w = forged_pair () in
+            [ Core.Messages.Read1_ack { tsr; pw; w } ]
+        | Core.Messages.Read2_ack { tsr; _ } ->
+            let pw, w = forged_pair () in
+            [ Core.Messages.Read2_ack { tsr; pw; w } ]
+        | m -> [ m ]);
+  }
+
+let test_safe_read_only_byz_exhaustive () =
+  let r =
+    ES.check ~max_states:100_000
+      {
+        ES.cfg = cfg_core;
+        writes = [];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [ (1, forge_safe) ];
+        crashed = [];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length r.violations);
+  Alcotest.(check bool) "explored non-trivially" true (r.explored > 100)
+
+let test_safe_read_only_crash_exhaustive () =
+  let r =
+    ES.check ~max_states:100_000
+      {
+        ES.cfg = cfg_core;
+        writes = [];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [];
+        crashed = [ 4 ];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check int) "no violations (incl. wait-freedom)" 0
+    (List.length r.violations)
+
+let test_safe_sequential_write_read_bounded () =
+  (* The full space fits in ~750k states; explore a 150k-state prefix in
+     the quick suite (the bench harness runs it exhaustively). *)
+  let r =
+    ES.check ~max_states:150_000
+      {
+        ES.cfg = cfg_core;
+        writes = [ Core.Value.v "a" ];
+        reads = [ (1, 1) ];
+        sequential = true;
+        byz = [];
+        crashed = [];
+      }
+  in
+  Alcotest.(check int) "no violations in explored prefix" 0
+    (List.length r.violations)
+
+let test_naive_violation_found_automatically () =
+  let r =
+    EF.check ~max_states:100_000
+      {
+        EF.cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1;
+        writes = [ Core.Value.v "a" ];
+        reads = [ (1, 1) ];
+        sequential = true;
+        byz = [ (1, forge_naive) ];
+        crashed = [];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check bool) "violation found" true (List.length r.violations > 0);
+  Alcotest.(check bool) "it is a safety violation" true
+    (List.exists (fun (v : EF.violation) -> v.kind = "safety") r.violations)
+
+let test_naive_run5_shape_found () =
+  let r =
+    EF.check ~max_states:50_000
+      {
+        EF.cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1;
+        writes = [];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [ (1, forge_naive) ];
+        crashed = [];
+      }
+  in
+  Alcotest.(check bool) "violation without any write" true
+    (List.length r.violations > 0)
+
+let test_naive_clean_without_byz () =
+  let r =
+    EF.check ~max_states:200_000
+      {
+        EF.cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1;
+        writes = [ Core.Value.v "a" ];
+        reads = [ (1, 1) ];
+        sequential = true;
+        byz = [];
+        crashed = [ 2 ];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check int) "crash-only is clean" 0 (List.length r.violations)
+
+let test_abd_atomicity_check_exhaustive () =
+  let r =
+    EA.check ~max_states:400_000 ~property:`Regular
+      {
+        EA.cfg = Quorum.Config.make_exn ~s:3 ~t:1 ~b:0;
+        writes = [ Core.Value.v "a" ];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [];
+        crashed = [];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check int) "regular in all interleavings" 0 (List.length r.violations)
+
+let test_regular_sequential_write_read_bounded () =
+  (* ~758k states exhaustively in the bench harness; a 150k-state prefix
+     here keeps the suite fast. *)
+  let r =
+    ER.check ~max_states:150_000 ~property:`Regular
+      {
+        ER.cfg = cfg_core;
+        writes = [ Core.Value.v "a" ];
+        reads = [ (1, 1) ];
+        sequential = true;
+        byz = [];
+        crashed = [];
+      }
+  in
+  Alcotest.(check int) "no violations in explored prefix" 0
+    (List.length r.violations)
+
+let test_regular_read_only_exhaustive () =
+  let r =
+    ER.check ~max_states:150_000 ~property:`Regular
+      {
+        ER.cfg = cfg_core;
+        writes = [];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [];
+        crashed = [ 2 ];
+      }
+  in
+  Alcotest.(check bool) "exhaustive" false r.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length r.violations)
+
+let test_wait_freedom_detects_stuck_protocols () =
+  (* Crash one more object than the budget allows: the quorum can never
+     form, reads hang, and the checker must report it. *)
+  let r =
+    ES.check ~max_states:50_000
+      {
+        ES.cfg = cfg_core;
+        writes = [];
+        reads = [ (1, 1) ];
+        sequential = false;
+        byz = [];
+        crashed = [ 1; 2 ];  (* two crashes, t = 1 *)
+      }
+  in
+  Alcotest.(check bool) "wait-freedom violation reported" true
+    (List.exists (fun (v : ES.violation) -> v.kind = "wait-freedom") r.violations)
+
+let suite =
+  ( "explorer",
+    [
+      Alcotest.test_case "safe read-only + byz exhaustive" `Quick
+        test_safe_read_only_byz_exhaustive;
+      Alcotest.test_case "safe read-only + crash exhaustive" `Quick
+        test_safe_read_only_crash_exhaustive;
+      Alcotest.test_case "safe sequential W;R bounded" `Slow
+        test_safe_sequential_write_read_bounded;
+      Alcotest.test_case "naive violation found" `Quick
+        test_naive_violation_found_automatically;
+      Alcotest.test_case "naive run5 shape found" `Quick test_naive_run5_shape_found;
+      Alcotest.test_case "naive clean without byz" `Slow test_naive_clean_without_byz;
+      Alcotest.test_case "abd regular exhaustive" `Slow
+        test_abd_atomicity_check_exhaustive;
+      Alcotest.test_case "regular read-only exhaustive" `Quick
+        test_regular_read_only_exhaustive;
+      Alcotest.test_case "regular sequential W;R bounded" `Slow
+        test_regular_sequential_write_read_bounded;
+      Alcotest.test_case "wait-freedom detector" `Quick
+        test_wait_freedom_detects_stuck_protocols;
+    ] )

@@ -1,0 +1,168 @@
+(* Unit tests of the Byzantine strategy library: drive each behaviour
+   directly with protocol messages and check exactly how it lies. *)
+
+open Core
+
+let cfg = Quorum.Config.optimal ~t:1 ~b:1
+
+let rng () = Sim.Prng.create ~seed:5
+
+let make (factory : Fault.Strategies.t) =
+  factory ~cfg ~index:2 ~rng:(rng ())
+
+let tsval ts v = Tsval.make ~ts ~v:(Value.v v)
+
+let wtuple ts v = Wtuple.make ~tsval:(tsval ts v) ~tsrarray:Tsr_matrix.empty
+
+let apply_write behaviour ~ts v =
+  (* feed a W message from the writer; return its sends *)
+  behaviour.Byz.handle ~src:Sim.Proc_id.Writer ~now:0
+    (Messages.W { ts; pw = tsval ts v; w = wtuple ts v })
+
+let read1 behaviour ~tsr =
+  behaviour.Byz.handle ~src:(Sim.Proc_id.Reader 1) ~now:0
+    (Messages.Read1 { tsr; from_ts = 0 })
+
+let test_mute_says_nothing () =
+  let b = make Fault.Strategies.mute in
+  Alcotest.(check int) "no reply to write" 0 (List.length (apply_write b ~ts:1 "a"));
+  Alcotest.(check int) "no reply to read" 0 (List.length (read1 b ~tsr:1))
+
+let test_forge_high_value () =
+  let b = make (Fault.Strategies.forge_high_value ~value:"evil" ~ts_boost:5) in
+  (* honest towards the writer *)
+  (match apply_write b ~ts:3 "a" with
+  | [ (Sim.Proc_id.Writer, Messages.W_ack { ts = 3 }) ] -> ()
+  | _ -> Alcotest.fail "writer must get an honest ack");
+  (* forged towards readers: honest ts 3 + boost 5 *)
+  match read1 b ~tsr:1 with
+  | [ (Sim.Proc_id.Reader 1, Messages.Read1_ack { tsr = 1; pw; w }) ] ->
+      Alcotest.(check int) "forged pw ts" 8 pw.Tsval.ts;
+      Alcotest.(check int) "forged w ts" 8 (Wtuple.ts w);
+      Alcotest.(check bool) "forged value" true
+        (Value.equal (Wtuple.value w) (Value.v "evil"))
+  | _ -> Alcotest.fail "expected one forged READ1_ACK"
+
+let test_replay_initial () =
+  let b = make Fault.Strategies.replay_initial in
+  let _ = apply_write b ~ts:3 "a" in
+  match read1 b ~tsr:1 with
+  | [ (_, Messages.Read1_ack { pw; w; _ }) ] ->
+      Alcotest.(check bool) "pw is initial" true (Tsval.equal pw Tsval.init);
+      Alcotest.(check bool) "w is initial" true (Wtuple.equal w Wtuple.init)
+  | _ -> Alcotest.fail "expected READ1_ACK"
+
+let test_simulate_unwritten_write () =
+  let b = make (Fault.Strategies.simulate_unwritten_write ~value:"ghost" ~ts:7) in
+  (* no write ever applied *)
+  match read1 b ~tsr:1 with
+  | [ (_, Messages.Read1_ack { pw; w; _ }) ] ->
+      Alcotest.(check int) "fabricated ts" 7 pw.Tsval.ts;
+      Alcotest.(check int) "fabricated w ts" 7 (Wtuple.ts w)
+  | _ -> Alcotest.fail "expected READ1_ACK"
+
+let test_defame_inserts_matrix_rows () =
+  let b = make (Fault.Strategies.defame ~targets:[ 1; 3 ] ~boost:4) in
+  let _ = apply_write b ~ts:2 "a" in
+  match read1 b ~tsr:5 with
+  | [ (_, Messages.Read1_ack { w; _ }) ] ->
+      (* claimed = tsr echo + boost = 9 > tsrFR = 5 *)
+      Alcotest.(check bool) "defames object 1" true
+        (Tsr_matrix.exceeds w.Wtuple.tsrarray ~obj:1 ~reader:1 ~bound:5);
+      Alcotest.(check bool) "defames object 3" true
+        (Tsr_matrix.exceeds w.Wtuple.tsrarray ~obj:3 ~reader:1 ~bound:5);
+      Alcotest.(check bool) "does not defame object 4" false
+        (Tsr_matrix.exceeds w.Wtuple.tsrarray ~obj:4 ~reader:1 ~bound:5);
+      Alcotest.(check bool) "keeps the honest value" true
+        (Value.equal (Wtuple.value w) (Value.v "a"))
+  | _ -> Alcotest.fail "expected READ1_ACK"
+
+let test_equivocate_by_reader () =
+  let b = make (Fault.Strategies.equivocate ~values:[ "x"; "y" ] ~ts_boost:2) in
+  let to_reader j =
+    match
+      b.Byz.handle ~src:(Sim.Proc_id.Reader j) ~now:0
+        (Messages.Read1 { tsr = 1; from_ts = 0 })
+    with
+    | [ (_, Messages.Read1_ack { w; _ }) ] -> Wtuple.value w
+    | _ -> Alcotest.fail "expected READ1_ACK"
+  in
+  let v1 = to_reader 1 and v2 = to_reader 2 in
+  Alcotest.(check bool) "different readers, different lies" false
+    (Value.equal v1 v2)
+
+let test_random_garbage_is_deterministic_per_seed () =
+  let once () =
+    let b = make Fault.Strategies.random_garbage in
+    match read1 b ~tsr:1 with
+    | [ (_, Messages.Read1_ack { w; _ }) ] -> (Wtuple.ts w, Wtuple.value w)
+    | _ -> Alcotest.fail "expected READ1_ACK"
+  in
+  Alcotest.(check bool) "same seed, same garbage" true (once () = once ())
+
+let test_stale_read_still_silent () =
+  (* the wrapped honest automaton's timestamp discipline survives: a
+     stale READ1 gets no reply even from a liar *)
+  let b = make (Fault.Strategies.forge_high_value ~value:"evil" ~ts_boost:5) in
+  let _ = read1 b ~tsr:5 in
+  Alcotest.(check int) "stale read unanswered" 0 (List.length (read1 b ~tsr:5))
+
+(* --- regular-protocol strategies --------------------------------------- *)
+
+let apply_regular_write behaviour ~ts v =
+  behaviour.Byz.handle ~src:Sim.Proc_id.Writer ~now:0
+    (Messages.W { ts; pw = tsval ts v; w = wtuple ts v })
+
+let read1_h behaviour ~tsr =
+  behaviour.Byz.handle ~src:(Sim.Proc_id.Reader 1) ~now:0
+    (Messages.Read1 { tsr; from_ts = 0 })
+
+let test_forge_history_appends_entry () =
+  let b = make (Fault.Strategies.forge_history ~value:"evil" ~ts_boost:5) in
+  let _ = apply_regular_write b ~ts:2 "a" in
+  match read1_h b ~tsr:1 with
+  | [ (_, Messages.Read1_ack_h { history; _ }) ] ->
+      (* honest entries 0..2 plus forged entry at 7 *)
+      Alcotest.(check bool) "forged entry present" true
+        (History_store.find history ~ts:7 <> None);
+      Alcotest.(check bool) "honest entry preserved" true
+        (History_store.find history ~ts:2 <> None)
+  | _ -> Alcotest.fail "expected history ack"
+
+let test_empty_history () =
+  let b = make Fault.Strategies.empty_history in
+  let _ = apply_regular_write b ~ts:2 "a" in
+  match read1_h b ~tsr:1 with
+  | [ (_, Messages.Read1_ack_h { history; _ }) ] ->
+      Alcotest.(check int) "empty" 0 (History_store.length history)
+  | _ -> Alcotest.fail "expected history ack"
+
+let test_stale_history_keeps_prefix () =
+  let b = make (Fault.Strategies.stale_history ~keep:1) in
+  let _ = apply_regular_write b ~ts:1 "a" in
+  let _ = apply_regular_write b ~ts:2 "b" in
+  match read1_h b ~tsr:1 with
+  | [ (_, Messages.Read1_ack_h { history; _ }) ] ->
+      Alcotest.(check int) "only the oldest entry" 1 (History_store.length history);
+      Alcotest.(check bool) "it is entry 0" true
+        (History_store.find history ~ts:0 <> None)
+  | _ -> Alcotest.fail "expected history ack"
+
+let suite =
+  ( "fault-strategies",
+    [
+      Alcotest.test_case "mute" `Quick test_mute_says_nothing;
+      Alcotest.test_case "forge_high_value" `Quick test_forge_high_value;
+      Alcotest.test_case "replay_initial" `Quick test_replay_initial;
+      Alcotest.test_case "simulate_unwritten_write" `Quick
+        test_simulate_unwritten_write;
+      Alcotest.test_case "defame matrix rows" `Quick test_defame_inserts_matrix_rows;
+      Alcotest.test_case "equivocate by reader" `Quick test_equivocate_by_reader;
+      Alcotest.test_case "random garbage deterministic" `Quick
+        test_random_garbage_is_deterministic_per_seed;
+      Alcotest.test_case "stale read still silent" `Quick
+        test_stale_read_still_silent;
+      Alcotest.test_case "forge_history" `Quick test_forge_history_appends_entry;
+      Alcotest.test_case "empty_history" `Quick test_empty_history;
+      Alcotest.test_case "stale_history" `Quick test_stale_history_keeps_prefix;
+    ] )

@@ -1,0 +1,183 @@
+(* Fuzzing the pure automata: arbitrary (including nonsensical) message
+   sequences must never raise and must preserve basic invariants —
+   timestamps never regress, idle machines stay idle on garbage. *)
+
+open Core
+
+let cfg = Quorum.Config.optimal ~t:1 ~b:1
+
+(* Generator for arbitrary protocol messages. *)
+let gen_msg =
+  QCheck.Gen.(
+    let value = oneof [ return Value.bottom; map Value.v (string_size (0 -- 6)) ] in
+    let tsval = map2 (fun ts v -> Tsval.make ~ts ~v) (0 -- 10) value in
+    let matrix =
+      map
+        (fun entries ->
+          List.fold_left
+            (fun m (i, j, ts) ->
+              let row =
+                Option.value (Tsr_matrix.row m ~obj:i) ~default:Ints.Map.empty
+              in
+              Tsr_matrix.set_row m ~obj:i (Ints.Map.add j ts row))
+            Tsr_matrix.empty entries)
+        (list_size (0 -- 3) (triple (1 -- 4) (1 -- 2) (0 -- 8)))
+    in
+    let wtuple = map2 (fun tsval tsrarray -> Wtuple.make ~tsval ~tsrarray) tsval matrix in
+    let history =
+      map
+        (fun entries ->
+          List.fold_left
+            (fun h (ts, pw, w) ->
+              History_store.set h ~ts { History_store.pw; w })
+            History_store.init entries)
+        (list_size (0 -- 3) (triple (0 -- 10) tsval (option wtuple)))
+    in
+    oneof
+      [
+        map2 (fun ts (pw, w) -> Messages.Pw { ts; pw; w }) (0 -- 10) (pair tsval wtuple);
+        map2 (fun ts (pw, w) -> Messages.W { ts; pw; w }) (0 -- 10) (pair tsval wtuple);
+        map2
+          (fun ts tsr -> Messages.Pw_ack { ts; tsr = Ints.Map.singleton 1 tsr })
+          (0 -- 10) (0 -- 10);
+        map (fun ts -> Messages.W_ack { ts }) (0 -- 10);
+        map2 (fun tsr from_ts -> Messages.Read1 { tsr; from_ts }) (0 -- 10) (0 -- 5);
+        map2 (fun tsr from_ts -> Messages.Read2 { tsr; from_ts }) (0 -- 10) (0 -- 5);
+        map2
+          (fun tsr (pw, w) -> Messages.Read1_ack { tsr; pw; w })
+          (0 -- 10) (pair tsval wtuple);
+        map2
+          (fun tsr (pw, w) -> Messages.Read2_ack { tsr; pw; w })
+          (0 -- 10) (pair tsval wtuple);
+        map2 (fun tsr history -> Messages.Read1_ack_h { tsr; history }) (0 -- 10) history;
+        map2 (fun tsr history -> Messages.Read2_ack_h { tsr; history }) (0 -- 10) history;
+      ])
+
+let gen_src =
+  QCheck.Gen.(
+    oneof
+      [
+        return Sim.Proc_id.Writer;
+        map (fun j -> Sim.Proc_id.Reader j) (1 -- 3);
+        map (fun i -> Sim.Proc_id.Obj i) (1 -- 4);
+      ])
+
+let gen_feed = QCheck.Gen.(list_size (0 -- 40) (pair gen_src gen_msg))
+
+let arb_feed = QCheck.make ~print:(fun l -> Printf.sprintf "<%d msgs>" (List.length l)) gen_feed
+
+let fuzz_safe_object =
+  QCheck.Test.make ~name:"safe object survives arbitrary messages" ~count:300
+    arb_feed
+    (fun feed ->
+      let final =
+        List.fold_left
+          (fun o (src, m) ->
+            let o', _ = Safe_object.handle o ~src m in
+            (* writer timestamp never regresses *)
+            assert (Safe_object.ts o' >= Safe_object.ts o);
+            o')
+          (Safe_object.init ~index:1) feed
+      in
+      Safe_object.ts final >= 0)
+
+let fuzz_regular_object =
+  QCheck.Test.make ~name:"regular object survives arbitrary messages" ~count:300
+    arb_feed
+    (fun feed ->
+      let final =
+        List.fold_left
+          (fun o (src, m) ->
+            let o', _ = Regular_object.handle o ~src m in
+            assert (Regular_object.ts o' >= Regular_object.ts o);
+            o')
+          (Regular_object.init ~index:1) feed
+      in
+      (* entry 0 only disappears via explicit pruning, never via handle *)
+      History_store.find (Regular_object.history final) ~ts:0 <> None)
+
+let fuzz_gc_object =
+  QCheck.Test.make ~name:"gc object survives arbitrary messages" ~count:300
+    arb_feed
+    (fun feed ->
+      let final =
+        List.fold_left
+          (fun o (src, m) -> fst (Regular_object_gc.handle o ~src m))
+          (Regular_object_gc.init ~index:1 ~readers:2)
+          feed
+      in
+      Regular_object_gc.history_length final >= 0)
+
+let fuzz_writer =
+  QCheck.Test.make ~name:"writer survives arbitrary acks" ~count:300 arb_feed
+    (fun feed ->
+      let w = Writer.init ~cfg in
+      let w =
+        match Writer.start_write w (Value.v "x") with
+        | Ok (w, _) -> w
+        | Error _ -> w
+      in
+      let _ =
+        List.fold_left
+          (fun w (src, m) ->
+            match src with
+            | Sim.Proc_id.Obj i -> fst (Writer.on_message w ~obj:i m)
+            | _ -> w)
+          w feed
+      in
+      true)
+
+let fuzz_safe_reader =
+  QCheck.Test.make ~name:"safe reader survives arbitrary acks" ~count:300
+    arb_feed
+    (fun feed ->
+      let r = Safe_reader.init ~cfg ~j:1 () in
+      let r = match Safe_reader.start_read r with Ok (r, _) -> r | Error _ -> r in
+      let _ =
+        List.fold_left
+          (fun r (src, m) ->
+            match src with
+            | Sim.Proc_id.Obj i ->
+                let r', events = Safe_reader.on_message r ~obj:i m in
+                (* a read returns at most once *)
+                let returns =
+                  List.length
+                    (List.filter
+                       (function Safe_reader.Return _ -> true | _ -> false)
+                       events)
+                in
+                assert (returns <= 1);
+                r'
+            | _ -> r)
+          r feed
+      in
+      true)
+
+let fuzz_regular_reader =
+  QCheck.Test.make ~name:"regular reader survives arbitrary acks" ~count:300
+    arb_feed
+    (fun feed ->
+      let r = Regular_reader.init ~cfg ~j:1 ~cached:true in
+      let r =
+        match Regular_reader.start_read r with Ok (r, _) -> r | Error _ -> r
+      in
+      let _ =
+        List.fold_left
+          (fun r (src, m) ->
+            match src with
+            | Sim.Proc_id.Obj i -> fst (Regular_reader.on_message r ~obj:i m)
+            | _ -> r)
+          r feed
+      in
+      true)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest fuzz_safe_object;
+      QCheck_alcotest.to_alcotest fuzz_regular_object;
+      QCheck_alcotest.to_alcotest fuzz_gc_object;
+      QCheck_alcotest.to_alcotest fuzz_writer;
+      QCheck_alcotest.to_alcotest fuzz_safe_reader;
+      QCheck_alcotest.to_alcotest fuzz_regular_reader;
+    ] )

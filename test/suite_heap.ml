@@ -1,0 +1,88 @@
+(* Tests for the leftist min-heap backing the event queue. *)
+
+module H = Sim.Heap.Make (Int)
+
+let drain h =
+  let rec go acc h =
+    match H.pop h with None -> List.rev acc | Some (x, h') -> go (x :: acc) h'
+  in
+  go [] h
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (H.is_empty H.empty);
+  Alcotest.(check int) "empty size" 0 (H.size H.empty);
+  Alcotest.(check (option int)) "empty min" None (H.min H.empty);
+  Alcotest.(check bool) "empty pop" true (H.pop H.empty = None)
+
+let test_insert_pop_sorted () =
+  let h = H.of_list [ 5; 3; 8; 1; 9; 2; 7 ] in
+  Alcotest.(check (list int)) "ascending drain" [ 1; 2; 3; 5; 7; 8; 9 ] (drain h)
+
+let test_duplicates () =
+  let h = H.of_list [ 4; 4; 1; 4; 1 ] in
+  Alcotest.(check (list int)) "duplicates preserved" [ 1; 1; 4; 4; 4 ] (drain h)
+
+let test_size_tracks () =
+  let h = H.of_list [ 10; 20; 30 ] in
+  Alcotest.(check int) "size 3" 3 (H.size h);
+  (match H.pop h with
+  | Some (_, h') -> Alcotest.(check int) "size 2 after pop" 2 (H.size h')
+  | None -> Alcotest.fail "unexpected empty");
+  Alcotest.(check int) "original unchanged (persistent)" 3 (H.size h)
+
+let test_merge () =
+  let a = H.of_list [ 1; 5; 9 ] in
+  let b = H.of_list [ 2; 6; 8 ] in
+  Alcotest.(check (list int))
+    "merged drain" [ 1; 2; 5; 6; 8; 9 ]
+    (drain (H.merge a b))
+
+let test_merge_empty () =
+  let a = H.of_list [ 3 ] in
+  Alcotest.(check (list int)) "merge with empty (l)" [ 3 ] (drain (H.merge H.empty a));
+  Alcotest.(check (list int)) "merge with empty (r)" [ 3 ] (drain (H.merge a H.empty))
+
+let test_to_sorted_list () =
+  let h = H.of_list [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "sorted list" [ 1; 2; 3 ] (H.to_sorted_list h)
+
+let test_fold_counts () =
+  let h = H.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sums" 10 (H.fold ( + ) h 0)
+
+let test_persistence_snapshots () =
+  (* The model checker relies on old heap versions staying valid. *)
+  let h0 = H.of_list [ 2; 4 ] in
+  let h1 = H.insert h0 1 in
+  let h2 = H.insert h0 3 in
+  Alcotest.(check (list int)) "h0 intact" [ 2; 4 ] (drain h0);
+  Alcotest.(check (list int)) "h1 fork" [ 1; 2; 4 ] (drain h1);
+  Alcotest.(check (list int)) "h2 fork" [ 2; 3; 4 ] (drain h2)
+
+let qcheck_sorted =
+  QCheck.Test.make ~name:"heap drain equals List.sort" ~count:200
+    QCheck.(list small_int)
+    (fun xs -> drain (H.of_list xs) = List.sort compare xs)
+
+let qcheck_merge_is_union =
+  QCheck.Test.make ~name:"heap merge drains the multiset union" ~count:200
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      drain (H.merge (H.of_list xs) (H.of_list ys))
+      = List.sort compare (xs @ ys))
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "insert/pop sorted" `Quick test_insert_pop_sorted;
+      Alcotest.test_case "duplicates" `Quick test_duplicates;
+      Alcotest.test_case "size tracks" `Quick test_size_tracks;
+      Alcotest.test_case "merge" `Quick test_merge;
+      Alcotest.test_case "merge with empty" `Quick test_merge_empty;
+      Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+      Alcotest.test_case "fold" `Quick test_fold_counts;
+      Alcotest.test_case "persistence" `Quick test_persistence_snapshots;
+      QCheck_alcotest.to_alcotest qcheck_sorted;
+      QCheck_alcotest.to_alcotest qcheck_merge_is_union;
+    ] )

@@ -1,0 +1,182 @@
+(* The paper's lemmas as executable properties, at the state-machine
+   level (no simulator: messages fed directly in adversarial orders).
+
+   - Lemma 1 / Lemma 2: with only correct objects there is never a
+     conflict, so round 1 completes exactly when the (s-t)-th distinct
+     acknowledgment arrives — under ANY interleaving of writes and reads.
+   - Lemma 3 (observable content): against arbitrary forged round-2
+     evidence, the read decides by the time all correct objects'
+     round-2 acknowledgments are in. *)
+
+open Core
+
+let cfg = Quorum.Config.optimal ~t:1 ~b:1 (* S = 4, quorum 3 *)
+
+(* Apply a random number of full writes directly to a set of honest
+   objects, with each object seeing a random prefix of the writes —
+   modelling arbitrary write/network interleavings. *)
+let random_object_states rng ~writes =
+  let tuples =
+    List.init writes (fun i ->
+        let ts = i + 1 in
+        let tsval = Tsval.make ~ts ~v:(Value.v (Printf.sprintf "w%d" ts)) in
+        (ts, tsval, Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty))
+  in
+  List.init 4 (fun idx ->
+      let seen = Sim.Prng.int rng ~bound:(writes + 1) in
+      List.fold_left
+        (fun o (ts, tsval, w) ->
+          if ts > seen then o
+          else
+            let o, _ =
+              Safe_object.handle o ~src:Sim.Proc_id.Writer
+                (Messages.W { ts; pw = tsval; w })
+            in
+            o)
+        (Safe_object.init ~index:(idx + 1))
+        tuples)
+
+let lemma1_no_conflict_among_correct =
+  QCheck.Test.make
+    ~name:"lemma 1/2: round 1 completes on the quorum-th honest ack" ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 0 5))
+    (fun (seed, writes) ->
+      let rng = Sim.Prng.create ~seed in
+      let objects = random_object_states rng ~writes in
+      let reader = Safe_reader.init ~cfg ~j:1 () in
+      match Safe_reader.start_read reader with
+      | Error _ -> false
+      | Ok (reader, read1) ->
+          (* honest acks, delivered in a random order *)
+          let acks =
+            List.mapi
+              (fun idx o ->
+                match
+                  Safe_object.handle o ~src:(Sim.Proc_id.Reader 1) read1
+                with
+                | _, Some ack -> (idx + 1, ack)
+                | _, None -> Alcotest.fail "honest object must ack READ1")
+              objects
+          in
+          let order = Array.of_list acks in
+          Sim.Prng.shuffle rng order;
+          let quorum = Quorum.Config.quorum cfg in
+          let _, _, completed_at =
+            Array.fold_left
+              (fun (reader, delivered, completed_at) (obj, ack) ->
+                let reader, events = Safe_reader.on_message reader ~obj ack in
+                let delivered = delivered + 1 in
+                let round2_started =
+                  List.exists
+                    (function
+                      | Safe_reader.Broadcast (Messages.Read2 _) -> true
+                      | _ -> false)
+                    events
+                in
+                match completed_at with
+                | Some _ -> (reader, delivered, completed_at)
+                | None ->
+                    ( reader,
+                      delivered,
+                      if round2_started then Some delivered else None ))
+              (reader, 0, None) order
+          in
+          (* no conflicts among correct objects: completion exactly at the
+             quorum-th ack, never later *)
+          completed_at = Some quorum)
+
+let lemma3_decides_on_full_round2 =
+  QCheck.Test.make
+    ~name:"lemma 3: read decides once all correct round-2 acks are in"
+    ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 1 5))
+    (fun (seed, writes) ->
+      let rng = Sim.Prng.create ~seed in
+      (* objects 1..3 honest with random prefixes; object 4 byzantine,
+         forging a random high candidate in both rounds *)
+      let objects = random_object_states rng ~writes in
+      let honest = List.filteri (fun i _ -> i < 3) objects in
+      let forged_ts = writes + 1 + Sim.Prng.int rng ~bound:5 in
+      let forged_tsval = Tsval.make ~ts:forged_ts ~v:(Value.v "forged") in
+      let forged_w = Wtuple.make ~tsval:forged_tsval ~tsrarray:Tsr_matrix.empty in
+      let reader = Safe_reader.init ~cfg ~j:1 () in
+      match Safe_reader.start_read reader with
+      | Error _ -> false
+      | Ok (reader, read1) -> (
+          (* round 1: byz ack then honest acks *)
+          let honest_acks round_msg =
+            List.mapi
+              (fun idx o ->
+                match
+                  Safe_object.handle o ~src:(Sim.Proc_id.Reader 1) round_msg
+                with
+                | o', Some ack -> ((idx + 1, ack), o')
+                | _, None -> Alcotest.fail "honest object must ack")
+              honest
+          in
+          let r1 = honest_acks read1 in
+          let byz_r1 =
+            match read1 with
+            | Messages.Read1 { tsr; _ } ->
+                Messages.Read1_ack { tsr; pw = forged_tsval; w = forged_w }
+            | _ -> assert false
+          in
+          let reader, _ = Safe_reader.on_message reader ~obj:4 byz_r1 in
+          let reader, events =
+            List.fold_left
+              (fun (reader, events) ((obj, ack), _) ->
+                let reader, e = Safe_reader.on_message reader ~obj ack in
+                (reader, events @ e))
+              (reader, []) r1
+          in
+          let read2 =
+            List.find_map
+              (function Safe_reader.Broadcast m -> Some m | _ -> None)
+              events
+          in
+          let already_done =
+            List.exists
+              (function Safe_reader.Return _ -> true | _ -> false)
+              events
+          in
+          if already_done then true
+          else
+            match read2 with
+            | None -> false (* round 1 must have completed *)
+            | Some read2 ->
+                (* round 2: byz forges again, honest objects answer *)
+                let byz_r2 =
+                  match read2 with
+                  | Messages.Read2 { tsr; _ } ->
+                      Messages.Read2_ack { tsr; pw = forged_tsval; w = forged_w }
+                  | _ -> assert false
+                in
+                let reader, e0 = Safe_reader.on_message reader ~obj:4 byz_r2 in
+                let _, decided =
+                  List.fold_left
+                    (fun (reader, decided) ((obj, _), o) ->
+                      match
+                        Safe_object.handle o ~src:(Sim.Proc_id.Reader 1) read2
+                      with
+                      | _, Some ack ->
+                          let reader, e = Safe_reader.on_message reader ~obj ack in
+                          ( reader,
+                            decided
+                            || List.exists
+                                 (function Safe_reader.Return _ -> true | _ -> false)
+                                 e )
+                      | _, None -> (reader, decided))
+                    ( reader,
+                      List.exists
+                        (function Safe_reader.Return _ -> true | _ -> false)
+                        e0 )
+                    r1
+                in
+                decided))
+
+let suite =
+  ( "lemmas",
+    [
+      QCheck_alcotest.to_alcotest lemma1_no_conflict_among_correct;
+      QCheck_alcotest.to_alcotest lemma3_decides_on_full_round2;
+    ] )

@@ -1,0 +1,129 @@
+(* Tests for the Proposition 1 mechanization: every fast protocol on
+   2t+2b objects violates safety in run4 or run5; the paper's two-round
+   protocols escape as "not fast". *)
+
+module LB_naive = Mc.Lower_bound.Make (Baseline.Naive_fast)
+module LB_abd = Mc.Lower_bound.Make (Baseline.Abd.Regular)
+module LB_safe = Mc.Lower_bound.Make (Core.Proto_safe)
+module LB_regular = Mc.Lower_bound.Make (Core.Proto_regular.Plain)
+module LB_opt = Mc.Lower_bound.Make (Core.Proto_regular.Optimized)
+module LB_nonmod = Mc.Lower_bound.Make (Baseline.Nonmod)
+
+let grid = [ (1, 1); (2, 1); (2, 2); (3, 2); (3, 3) ]
+
+let test_naive_fast_violates_everywhere () =
+  List.iter
+    (fun (t, b) ->
+      let o = LB_naive.analyse ~t ~b ~value:(Core.Value.v "v1") in
+      Alcotest.(check bool)
+        (Printf.sprintf "replies equal t=%d b=%d" t b)
+        true o.replies_equal;
+      match o.verdict with
+      | LB_naive.Violates_run4 _ | LB_naive.Violates_run5 _ -> ()
+      | LB_naive.Not_fast ->
+          Alcotest.fail "naive fast protocol must be classified fast")
+    grid
+
+let test_naive_fast_returns_v1_in_run5 () =
+  let o = LB_naive.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  match o.verdict with
+  | LB_naive.Violates_run5 { returned } ->
+      Alcotest.(check bool) "returned the never-written v1" true
+        (Core.Value.equal returned (Core.Value.v "v1"))
+  | _ -> Alcotest.fail "expected run5 violation for the naive protocol"
+
+let test_abd_also_violates () =
+  (* A crash-only protocol placed in the Byzantine setting is fast and
+     therefore doomed. *)
+  let o = LB_abd.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  match o.verdict with
+  | LB_abd.Violates_run4 _ | LB_abd.Violates_run5 _ -> ()
+  | LB_abd.Not_fast -> Alcotest.fail "ABD reads are one round; must be fast"
+
+let test_core_protocols_escape () =
+  List.iter
+    (fun (t, b) ->
+      let o = LB_safe.analyse ~t ~b ~value:(Core.Value.v "v1") in
+      (match o.verdict with
+      | LB_safe.Not_fast -> ()
+      | _ -> Alcotest.fail "safe protocol must not decide on round-1 replies");
+      Alcotest.(check int)
+        (Printf.sprintf "write is 2 rounds t=%d b=%d" t b)
+        2 o.write_rounds)
+    grid;
+  (match (LB_regular.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1")).verdict with
+  | LB_regular.Not_fast -> ()
+  | _ -> Alcotest.fail "regular protocol must escape");
+  match (LB_opt.analyse ~t:2 ~b:2 ~value:(Core.Value.v "v1")).verdict with
+  | LB_opt.Not_fast -> ()
+  | _ -> Alcotest.fail "optimized regular protocol must escape"
+
+let test_nonmod_escapes () =
+  (* The non-modifying baseline also refuses to decide fast (it needs
+     b+1 vouchers, which one honest post-write reply cannot supply). *)
+  let o = LB_nonmod.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  match o.verdict with
+  | LB_nonmod.Not_fast -> ()
+  | _ -> Alcotest.fail "nonmod must not decide on these replies"
+
+let test_indistinguishability_always () =
+  List.iter
+    (fun (t, b) ->
+      List.iter
+        (fun check ->
+          Alcotest.(check bool)
+            (Printf.sprintf "indistinguishable t=%d b=%d" t b)
+            true (check t b))
+        [
+          (fun t b -> (LB_naive.analyse ~t ~b ~value:(Core.Value.v "x")).replies_equal);
+          (fun t b -> (LB_safe.analyse ~t ~b ~value:(Core.Value.v "x")).replies_equal);
+          (fun t b ->
+            (LB_regular.analyse ~t ~b ~value:(Core.Value.v "x")).replies_equal);
+        ])
+    grid
+
+let test_transcript_narrates () =
+  let o = LB_naive.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  Alcotest.(check bool) "transcript non-empty" true (List.length o.transcript >= 5)
+
+let test_rejects_bottom () =
+  Alcotest.(check bool) "bottom rejected" true
+    (try
+       ignore (LB_naive.analyse ~t:1 ~b:1 ~value:Core.Value.bottom);
+       false
+     with Invalid_argument _ -> true)
+
+let test_figure_rendering () =
+  let o = LB_naive.analyse ~t:1 ~b:1 ~value:(Core.Value.v "v1") in
+  let fig = LB_naive.figure o in
+  Alcotest.(check bool) "five panels plus header" true (List.length fig >= 26);
+  Alcotest.(check bool) "marks the malicious blocks" true
+    (List.exists (fun l -> String.length l > 6 && String.sub l 4 3 = "B1@") fig
+    && List.exists (fun l -> String.length l > 6 && String.sub l 4 3 = "B2@") fig)
+
+let test_blocks_have_proof_shape () =
+  let o = LB_naive.analyse ~t:3 ~b:2 ~value:(Core.Value.v "v1") in
+  Alcotest.(check int) "|T1| = t" 3
+    (List.length (Quorum.Blocks.members o.blocks `T1));
+  Alcotest.(check int) "|B2| = b" 2
+    (List.length (Quorum.Blocks.members o.blocks `B2));
+  Alcotest.(check int) "universe = 2t+2b" 10 (Quorum.Blocks.size o.blocks)
+
+let suite =
+  ( "lower-bound",
+    [
+      Alcotest.test_case "naive fast violates everywhere" `Quick
+        test_naive_fast_violates_everywhere;
+      Alcotest.test_case "naive fast returns v1 in run5" `Quick
+        test_naive_fast_returns_v1_in_run5;
+      Alcotest.test_case "abd also violates" `Quick test_abd_also_violates;
+      Alcotest.test_case "core protocols escape" `Quick test_core_protocols_escape;
+      Alcotest.test_case "nonmod escapes" `Quick test_nonmod_escapes;
+      Alcotest.test_case "indistinguishability" `Quick
+        test_indistinguishability_always;
+      Alcotest.test_case "transcript narrates" `Quick test_transcript_narrates;
+      Alcotest.test_case "rejects bottom" `Quick test_rejects_bottom;
+      Alcotest.test_case "blocks have proof shape" `Quick
+        test_blocks_have_proof_shape;
+      Alcotest.test_case "figure rendering" `Quick test_figure_rendering;
+    ] )

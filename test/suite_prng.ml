@@ -1,0 +1,144 @@
+(* Tests for the deterministic splitmix64 generator. *)
+
+let test_determinism () =
+  let a = Sim.Prng.create ~seed:42 in
+  let b = Sim.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Sim.Prng.next_int64 a) (Sim.Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Prng.create ~seed:1 in
+  let b = Sim.Prng.create ~seed:2 in
+  Alcotest.(check bool)
+    "different seeds diverge" true
+    (Sim.Prng.next_int64 a <> Sim.Prng.next_int64 b)
+
+let test_copy_independent () =
+  let a = Sim.Prng.create ~seed:7 in
+  let _ = Sim.Prng.next_int64 a in
+  let b = Sim.Prng.copy a in
+  let xa = Sim.Prng.next_int64 a in
+  let xb = Sim.Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  let _ = Sim.Prng.next_int64 a in
+  let ya = Sim.Prng.next_int64 a in
+  let yb = Sim.Prng.next_int64 b in
+  Alcotest.(check bool) "streams then diverge by position" true (ya <> yb)
+
+let test_split_diverges () =
+  let a = Sim.Prng.create ~seed:9 in
+  let b = Sim.Prng.split a in
+  let xs = List.init 10 (fun _ -> Sim.Prng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Sim.Prng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Sim.Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.int g ~bound:17 in
+    Alcotest.(check bool) "0 <= x < 17" true (x >= 0 && x < 17)
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Sim.Prng.create ~seed:3 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Sim.Prng.int g ~bound:0))
+
+let test_int_in_range () =
+  let g = Sim.Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.int_in_range g ~lo:5 ~hi:9 in
+    Alcotest.(check bool) "5 <= x <= 9" true (x >= 5 && x <= 9)
+  done
+
+let test_int_in_range_degenerate () =
+  let g = Sim.Prng.create ~seed:4 in
+  Alcotest.(check int) "singleton range" 6 (Sim.Prng.int_in_range g ~lo:6 ~hi:6)
+
+let test_float_bounds () =
+  let g = Sim.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.float g ~bound:2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_exponential_positive () =
+  let g = Sim.Prng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool)
+      "exponential draws are positive" true
+      (Sim.Prng.exponential g ~mean:3.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let g = Sim.Prng.create ~seed:8 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Sim.Prng.exponential g ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.2f within 10%% of 5.0" mean)
+    true
+    (mean > 4.5 && mean < 5.5)
+
+let test_shuffle_is_permutation () =
+  let g = Sim.Prng.create ~seed:10 in
+  let a = Array.init 50 Fun.id in
+  Sim.Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_pick_member () =
+  let g = Sim.Prng.create ~seed:11 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element is a member" true
+      (Array.mem (Sim.Prng.pick g a) a)
+  done
+
+let test_bool_both_values () =
+  let g = Sim.Prng.create ~seed:12 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Sim.Prng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "coin not fully biased" true (!trues > 100 && !trues < 900)
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"prng int covers every residue" ~count:50
+    QCheck.(int_range 2 20)
+    (fun bound ->
+      let g = Sim.Prng.create ~seed:bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Sim.Prng.int g ~bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy independent" `Quick test_copy_independent;
+      Alcotest.test_case "split diverges" `Quick test_split_diverges;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+      Alcotest.test_case "int_in_range bounds" `Quick test_int_in_range;
+      Alcotest.test_case "int_in_range degenerate" `Quick
+        test_int_in_range_degenerate;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "shuffle is a permutation" `Quick
+        test_shuffle_is_permutation;
+      Alcotest.test_case "pick returns member" `Quick test_pick_member;
+      Alcotest.test_case "bool takes both values" `Quick test_bool_both_values;
+      QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+    ] )

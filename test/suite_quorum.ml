@@ -1,0 +1,186 @@
+(* Tests for resilience configurations, quorum intersection laws and the
+   Proposition 1 block partition. *)
+
+let test_make_validation () =
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Quorum.Config.make ~s:4 ~t:1 ~b:1));
+  Alcotest.(check bool) "b negative rejected" true
+    (Result.is_error (Quorum.Config.make ~s:4 ~t:1 ~b:(-1)));
+  Alcotest.(check bool) "b > t rejected" true
+    (Result.is_error (Quorum.Config.make ~s:4 ~t:1 ~b:2));
+  Alcotest.(check bool) "s = 0 rejected" true
+    (Result.is_error (Quorum.Config.make ~s:0 ~t:0 ~b:0))
+
+let test_optimal_s () =
+  Alcotest.(check int) "2t+b+1 for t=b=1" 4 (Quorum.Config.optimal_s ~t:1 ~b:1);
+  Alcotest.(check int) "2t+b+1 for t=2 b=1" 6 (Quorum.Config.optimal_s ~t:2 ~b:1);
+  Alcotest.(check int) "2t+b+1 for t=3 b=2" 9 (Quorum.Config.optimal_s ~t:3 ~b:2);
+  Alcotest.(check int) "ABD majority when b=0" 3 (Quorum.Config.optimal_s ~t:1 ~b:0)
+
+let test_predicates () =
+  let c = Quorum.Config.optimal ~t:1 ~b:1 in
+  Alcotest.(check bool) "optimal is optimal" true
+    (Quorum.Config.is_optimally_resilient c);
+  Alcotest.(check bool) "meets bound" true (Quorum.Config.meets_resilience_bound c);
+  Alcotest.(check int) "quorum = s-t" 3 (Quorum.Config.quorum c);
+  (* S = 4 = 2t+2b: exactly at the fast-read impossibility threshold *)
+  Alcotest.(check bool) "fast reads not admissible at 2t+2b" false
+    (Quorum.Config.fast_read_admissible c);
+  let c5 = Quorum.Config.make_exn ~s:5 ~t:1 ~b:1 in
+  Alcotest.(check bool) "fast reads admissible above 2t+2b" true
+    (Quorum.Config.fast_read_admissible c5);
+  Alcotest.(check bool) "s=5 not optimal" false
+    (Quorum.Config.is_optimally_resilient c5)
+
+let test_min_intersection_closed_form () =
+  (* validate against brute force *)
+  for s = 2 to 8 do
+    for q = 1 to s do
+      let subsets = Quorum.Intersect.subsets_of_size s ~size:q in
+      let brute =
+        List.fold_left
+          (fun acc q1 ->
+            List.fold_left
+              (fun acc q2 ->
+                min acc
+                  (Quorum.Intersect.Int_set.cardinal
+                     (Quorum.Intersect.Int_set.inter q1 q2)))
+              acc subsets)
+          max_int subsets
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "s=%d q=%d" s q)
+        brute
+        (Quorum.Intersect.min_pairwise_intersection ~s ~q)
+    done
+  done
+
+let test_choose () =
+  Alcotest.(check int) "C(5,2)" 10 (Quorum.Intersect.choose 5 2);
+  Alcotest.(check int) "C(6,3)" 20 (Quorum.Intersect.choose 6 3);
+  Alcotest.(check int) "C(n,0)" 1 (Quorum.Intersect.choose 7 0);
+  Alcotest.(check int) "C(n,n)" 1 (Quorum.Intersect.choose 7 7);
+  Alcotest.(check int) "out of range" 0 (Quorum.Intersect.choose 3 5)
+
+let test_subsets () =
+  Alcotest.(check int) "number of subsets" 10
+    (List.length (Quorum.Intersect.subsets_of_size 5 ~size:2));
+  Alcotest.(check int) "empty subset" 1
+    (List.length (Quorum.Intersect.subsets_of_size 5 ~size:0))
+
+let test_byzantine_intersection_at_optimal () =
+  (* At s = 2t+b+1, two quorums of size s-t intersect in >= b+1 objects
+     (one correct survivor) and write quorums keep b+1 correct members
+     forever — together the transfer properties behind Theorem 1. *)
+  List.iter
+    (fun (t, b) ->
+      let c = Quorum.Config.optimal ~t ~b in
+      Alcotest.(check bool)
+        (Printf.sprintf "intersection t=%d b=%d" t b)
+        true
+        (Quorum.Intersect.check_byzantine_intersection c);
+      Alcotest.(check bool)
+        (Printf.sprintf "persistence t=%d b=%d" t b)
+        true
+        (Quorum.Intersect.check_write_persistence c))
+    [ (1, 1); (2, 1); (2, 2); (3, 2) ]
+
+let test_byzantine_intersection_below_optimal () =
+  (* One object fewer breaks the property. *)
+  List.iter
+    (fun (t, b) ->
+      let s = Quorum.Config.optimal_s ~t ~b - 1 in
+      match Quorum.Config.make ~s ~t ~b with
+      | Error _ -> Alcotest.fail "config should build"
+      | Ok c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fails at s-1, t=%d b=%d" t b)
+            false
+            (Quorum.Intersect.check_byzantine_intersection c))
+    [ (1, 1); (2, 1); (2, 2) ]
+
+let test_enumeration_agrees () =
+  List.iter
+    (fun (s, t, b) ->
+      let c = Quorum.Config.make_exn ~s ~t ~b in
+      Alcotest.(check bool)
+        (Printf.sprintf "enum = closed form s=%d t=%d b=%d" s t b)
+        (Quorum.Intersect.check_byzantine_intersection c)
+        (Quorum.Intersect.check_byzantine_intersection_by_enumeration c))
+    [ (4, 1, 1); (5, 1, 1); (3, 1, 0); (6, 2, 1); (5, 2, 1) ]
+
+let test_crash_intersection () =
+  Alcotest.(check bool) "majority ok" true
+    (Quorum.Intersect.check_crash_intersection
+       (Quorum.Config.make_exn ~s:3 ~t:1 ~b:0));
+  Alcotest.(check bool) "s=2t fails" false
+    (Quorum.Intersect.check_crash_intersection
+       (Quorum.Config.make_exn ~s:2 ~t:1 ~b:0))
+
+let test_blocks_partition () =
+  let p = Quorum.Blocks.partition_exn ~t:2 ~b:1 in
+  Alcotest.(check int) "size 2t+2b" 6 (Quorum.Blocks.size p);
+  Alcotest.(check (list int)) "T1" [ 1; 2 ] (Quorum.Blocks.members p `T1);
+  Alcotest.(check (list int)) "T2" [ 3; 4 ] (Quorum.Blocks.members p `T2);
+  Alcotest.(check (list int)) "B1" [ 5 ] (Quorum.Blocks.members p `B1);
+  Alcotest.(check (list int)) "B2" [ 6 ] (Quorum.Blocks.members p `B2);
+  Alcotest.(check (list int)) "complement of T1,B2" [ 3; 4; 5 ]
+    (Quorum.Blocks.complement p [ `T1; `B2 ]);
+  Alcotest.(check bool) "block_of roundtrip" true
+    (List.for_all
+       (fun i -> Quorum.Blocks.members p (Quorum.Blocks.block_of p i) |> List.mem i)
+       (Quorum.Blocks.all_objects p))
+
+let test_blocks_validation () =
+  Alcotest.(check bool) "t=0 rejected" true
+    (Result.is_error (Quorum.Blocks.partition ~t:0 ~b:1));
+  Alcotest.(check bool) "b=0 rejected" true
+    (Result.is_error (Quorum.Blocks.partition ~t:1 ~b:0))
+
+let qcheck_optimal_configs_have_transfer =
+  QCheck.Test.make ~name:"optimal configs satisfy byzantine intersection"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (t, b') ->
+      let b = min t b' in
+      let c = Quorum.Config.optimal ~t ~b in
+      Quorum.Intersect.check_byzantine_intersection c
+      && Quorum.Intersect.check_write_persistence c)
+
+let qcheck_subset_count_is_choose =
+  QCheck.Test.make ~name:"subset enumeration count equals C(n,k)" ~count:100
+    QCheck.(pair (int_range 0 8) (int_range 0 8))
+    (fun (n, k) ->
+      List.length (Quorum.Intersect.subsets_of_size n ~size:k)
+      = Quorum.Intersect.choose n k)
+
+let qcheck_blocks_partition_universe =
+  QCheck.Test.make ~name:"blocks partition the universe exactly" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (t, b') ->
+      let b = min t b' in
+      let p = Quorum.Blocks.partition_exn ~t ~b in
+      Quorum.Blocks.all_objects p = List.init ((2 * t) + (2 * b)) (fun i -> i + 1))
+
+let suite =
+  ( "quorum",
+    [
+      Alcotest.test_case "config validation" `Quick test_make_validation;
+      Alcotest.test_case "optimal_s" `Quick test_optimal_s;
+      Alcotest.test_case "predicates" `Quick test_predicates;
+      Alcotest.test_case "min intersection closed form" `Quick
+        test_min_intersection_closed_form;
+      Alcotest.test_case "choose" `Quick test_choose;
+      Alcotest.test_case "subsets" `Quick test_subsets;
+      Alcotest.test_case "byzantine intersection at optimal" `Quick
+        test_byzantine_intersection_at_optimal;
+      Alcotest.test_case "byzantine intersection below optimal" `Quick
+        test_byzantine_intersection_below_optimal;
+      Alcotest.test_case "enumeration agrees" `Quick test_enumeration_agrees;
+      Alcotest.test_case "crash intersection" `Quick test_crash_intersection;
+      Alcotest.test_case "blocks partition" `Quick test_blocks_partition;
+      Alcotest.test_case "blocks validation" `Quick test_blocks_validation;
+      QCheck_alcotest.to_alcotest qcheck_optimal_configs_have_transfer;
+      QCheck_alcotest.to_alcotest qcheck_subset_count_is_choose;
+      QCheck_alcotest.to_alcotest qcheck_blocks_partition_universe;
+    ] )

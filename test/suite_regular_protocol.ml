@@ -1,0 +1,251 @@
+(* Unit tests of the regular protocol's automata (Figures 5 and 6),
+   including the §5.1 cache/suffix optimization. *)
+
+open Core
+
+let cfg = Quorum.Config.optimal ~t:1 ~b:1 (* S=4, quorum 3 *)
+
+let tsval ts v = Tsval.make ~ts ~v:(Value.v v)
+
+let wtuple ts v = Wtuple.make ~tsval:(tsval ts v) ~tsrarray:Tsr_matrix.empty
+
+(* --- Regular_object (Figure 5) ----------------------------------------- *)
+
+let test_object_pw_builds_history () =
+  let o = Regular_object.init ~index:1 in
+  (* PW of write 1 carries w0 as the previous complete tuple *)
+  let o, ack =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 1; pw = tsval 1 "a"; w = Wtuple.init })
+  in
+  (match ack with
+  | Some (Messages.Pw_ack { ts = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected PW_ACK");
+  let h = Regular_object.history o in
+  (match History_store.find h ~ts:1 with
+  | Some { History_store.w = None; pw } ->
+      Alcotest.(check bool) "entry 1 pre-written" true (Tsval.equal pw (tsval 1 "a"))
+  | _ -> Alcotest.fail "entry 1 should be <pw, nil>");
+  match History_store.find h ~ts:0 with
+  | Some { History_store.w = Some w0; _ } ->
+      Alcotest.(check bool) "entry 0 intact" true (Wtuple.equal w0 Wtuple.init)
+  | _ -> Alcotest.fail "entry 0 lost"
+
+let test_object_w_completes_entry () =
+  let o = Regular_object.init ~index:1 in
+  let o, _ =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 1; pw = tsval 1 "a"; w = Wtuple.init })
+  in
+  let o, ack =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.W { ts = 1; pw = tsval 1 "a"; w = wtuple 1 "a" })
+  in
+  (match ack with
+  | Some (Messages.W_ack { ts = 1 }) -> ()
+  | _ -> Alcotest.fail "expected W_ACK");
+  match History_store.find (Regular_object.history o) ~ts:1 with
+  | Some { History_store.w = Some w; _ } ->
+      Alcotest.(check bool) "entry 1 completed" true (Wtuple.equal w (wtuple 1 "a"))
+  | _ -> Alcotest.fail "entry 1 should be complete"
+
+let test_object_missed_write_backfilled () =
+  (* Object misses write 1 entirely; PW of write 2 certifies write 1. *)
+  let o = Regular_object.init ~index:1 in
+  let o, _ =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 2; pw = tsval 2 "b"; w = wtuple 1 "a" })
+  in
+  match History_store.find (Regular_object.history o) ~ts:1 with
+  | Some { History_store.w = Some w; _ } ->
+      Alcotest.(check bool) "write 1 backfilled from write 2's PW" true
+        (Wtuple.equal w (wtuple 1 "a"))
+  | _ -> Alcotest.fail "write 1 entry missing"
+
+let test_object_read_sends_suffix () =
+  let o = Regular_object.init ~index:1 in
+  let o, _ =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.W { ts = 1; pw = tsval 1 "a"; w = wtuple 1 "a" })
+  in
+  let o, _ =
+    Regular_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.W { ts = 2; pw = tsval 2 "b"; w = wtuple 2 "b" })
+  in
+  (match
+     Regular_object.handle o ~src:(Sim.Proc_id.Reader 1)
+       (Messages.Read1 { tsr = 1; from_ts = 0 })
+   with
+  | _, Some (Messages.Read1_ack_h { history; _ }) ->
+      Alcotest.(check int) "full history" 3 (History_store.length history)
+  | _ -> Alcotest.fail "expected full-history ack");
+  match
+    Regular_object.handle o ~src:(Sim.Proc_id.Reader 2)
+      (Messages.Read1 { tsr = 1; from_ts = 2 })
+  with
+  | _, Some (Messages.Read1_ack_h { history; _ }) ->
+      Alcotest.(check int) "suffix only" 1 (History_store.length history);
+      Alcotest.(check bool) "entry 2 present" true
+        (History_store.find history ~ts:2 <> None)
+  | _ -> Alcotest.fail "expected suffix ack"
+
+(* --- Regular_reader (Figure 6) ------------------------------------------ *)
+
+let history_with entries =
+  List.fold_left
+    (fun h (ts, pw, w) -> History_store.set h ~ts { History_store.pw; w })
+    History_store.init entries
+
+let start_reader ?(cached = false) () =
+  let r = Regular_reader.init ~cfg ~j:1 ~cached in
+  match Regular_reader.start_read r with
+  | Ok (r, Messages.Read1 { tsr; from_ts }) -> (r, tsr, from_ts)
+  | _ -> Alcotest.fail "expected READ1"
+
+let ack1 ~tsr h = Messages.Read1_ack_h { tsr; history = h }
+
+let ack2 ~tsr h = Messages.Read2_ack_h { tsr; history = h }
+
+let test_reader_fast_path () =
+  let r, tsr, from_ts = start_reader () in
+  Alcotest.(check int) "uncached reader asks for everything" 0 from_ts;
+  let h = history_with [ (1, tsval 1 "a", Some (wtuple 1 "a")) ] in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr h) in
+  let _, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr h) in
+  match e with
+  | [ Regular_reader.Broadcast (Messages.Read2 _);
+      Regular_reader.Return { value; rounds = 1 } ] ->
+      Alcotest.(check bool) "returns a" true (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected fast return"
+
+let test_reader_initial_returns_bottom () =
+  let r, tsr, _ = start_reader () in
+  let h = History_store.init in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr h) in
+  let _, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr h) in
+  match e with
+  | [ _; Regular_reader.Return { value; rounds = 1 } ] ->
+      Alcotest.(check bool) "bottom before writes" true (Value.is_bottom value)
+  | _ -> Alcotest.fail "expected fast bottom"
+
+let test_reader_forged_entry_invalidated () =
+  (* One history forges entry 9; honest round-2 histories miss entry 9,
+     so invalid(c) fires at t+b+1 = 3 contradictions. *)
+  let r, tsr, _ = start_reader () in
+  let honest = history_with [ (1, tsval 1 "a", Some (wtuple 1 "a")) ] in
+  let forged =
+    history_with
+      [ (1, tsval 1 "a", Some (wtuple 1 "a")); (9, tsval 9 "ghost", Some (wtuple 9 "ghost")) ]
+  in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr honest) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr honest) in
+  let r, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr forged) in
+  (match e with
+  | [ Regular_reader.Broadcast (Messages.Read2 _) ] -> ()
+  | _ -> Alcotest.fail "forged entry must force round 2");
+  let tsr2 = tsr + 1 in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack2 ~tsr:tsr2 honest) in
+  let r, e = Regular_reader.on_message r ~obj:2 (ack2 ~tsr:tsr2 honest) in
+  Alcotest.(check bool) "two contradictions not enough" true (e = []);
+  let _, e = Regular_reader.on_message r ~obj:4 (ack2 ~tsr:tsr2 honest) in
+  match e with
+  | [ Regular_reader.Return { value; rounds = 2 } ] ->
+      Alcotest.(check bool) "genuine value" true (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected 2-round return"
+
+let test_reader_cached_prunes_and_falls_back () =
+  (* Cached reader: first read caches <1,"a">; second read sends
+     from_ts = 1 and, with all candidates below pruned away and empty
+     histories (objects legitimately pruned), falls back to the cache. *)
+  let r, tsr, _ = start_reader ~cached:true () in
+  let h = history_with [ (1, tsval 1 "a", Some (wtuple 1 "a")) ] in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr h) in
+  let r, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr h) in
+  (match e with
+  | [ _; Regular_reader.Return { value; _ } ] ->
+      Alcotest.(check bool) "first read returns a" true (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected first read to complete");
+  Alcotest.(check int) "cache ts" 1 (Regular_reader.cache r).Tsval.ts;
+  (* second read *)
+  let r, tsr, from_ts =
+    match Regular_reader.start_read r with
+    | Ok (r, Messages.Read1 { tsr; from_ts }) -> (r, tsr, from_ts)
+    | _ -> Alcotest.fail "expected READ1"
+  in
+  Alcotest.(check int) "second read prunes below cache" 1 from_ts;
+  (* suffix replies still contain entry 1 -> returns "a" again *)
+  let suffix = History_store.suffix h ~from_ts:1 in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr suffix) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr suffix) in
+  let _, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr suffix) in
+  match e with
+  | [ _; Regular_reader.Return { value; _ } ] ->
+      Alcotest.(check bool) "second read returns cached-era value" true
+        (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected second read to complete"
+
+let test_reader_uncached_w0_never_invalid () =
+  (* In the unoptimized protocol the candidate set always holds w0, so no
+     read can get stuck with an empty candidate set (Lemma 6). *)
+  let r, tsr, _ = start_reader () in
+  let h = History_store.init in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  Alcotest.(check bool) "w0 among candidates" true
+    (Wtuple.Set.mem Wtuple.init (Regular_reader.candidates r))
+
+let test_reader_busy_and_dedupe () =
+  let r, tsr, _ = start_reader () in
+  (match Regular_reader.start_read r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "busy reader must reject start_read");
+  let h = History_store.init in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr h) in
+  Alcotest.(check int) "object counted once" 1
+    (Ints.Set.cardinal (Regular_reader.responded_round1 r))
+
+let test_reader_conflict_via_history () =
+  (* A candidate inside a history defames object 2: round 1 must not
+     complete on replies {1,2,3} (edge s1-s2), completes with s4. *)
+  let r, tsr, _ = start_reader () in
+  let defaming =
+    let m = Tsr_matrix.set_row Tsr_matrix.empty ~obj:2 (Ints.Map.singleton 1 (tsr + 5)) in
+    Wtuple.make ~tsval:(tsval 2 "evil") ~tsrarray:m
+  in
+  let bad_history = history_with [ (2, tsval 2 "evil", Some defaming) ] in
+  let r, _ = Regular_reader.on_message r ~obj:1 (ack1 ~tsr bad_history) in
+  let r, _ = Regular_reader.on_message r ~obj:2 (ack1 ~tsr History_store.init) in
+  let r, e = Regular_reader.on_message r ~obj:3 (ack1 ~tsr History_store.init) in
+  Alcotest.(check bool) "conflict blocks round 1" true (e = []);
+  let _, e = Regular_reader.on_message r ~obj:4 (ack1 ~tsr History_store.init) in
+  match e with
+  | Regular_reader.Broadcast (Messages.Read2 _) :: _ -> ()
+  | _ -> Alcotest.fail "round 1 should complete with a clean quorum"
+
+let suite =
+  ( "regular-protocol",
+    [
+      Alcotest.test_case "object: PW builds history" `Quick
+        test_object_pw_builds_history;
+      Alcotest.test_case "object: W completes entry" `Quick
+        test_object_w_completes_entry;
+      Alcotest.test_case "object: missed write backfilled" `Quick
+        test_object_missed_write_backfilled;
+      Alcotest.test_case "object: read sends suffix" `Quick
+        test_object_read_sends_suffix;
+      Alcotest.test_case "reader: fast path" `Quick test_reader_fast_path;
+      Alcotest.test_case "reader: initial bottom" `Quick
+        test_reader_initial_returns_bottom;
+      Alcotest.test_case "reader: forged entry invalidated" `Quick
+        test_reader_forged_entry_invalidated;
+      Alcotest.test_case "reader: cache prune and fallback" `Quick
+        test_reader_cached_prunes_and_falls_back;
+      Alcotest.test_case "reader: w0 never invalid (uncached)" `Quick
+        test_reader_uncached_w0_never_invalid;
+      Alcotest.test_case "reader: busy and dedupe" `Quick test_reader_busy_and_dedupe;
+      Alcotest.test_case "reader: conflict via history" `Quick
+        test_reader_conflict_via_history;
+    ] )

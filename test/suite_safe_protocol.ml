@@ -1,0 +1,379 @@
+(* Unit tests of the safe protocol's three automata driven directly with
+   handcrafted messages — line-level checks against Figures 2, 3, 4. *)
+
+open Core
+
+let cfg = Quorum.Config.optimal ~t:1 ~b:1 (* S=4, quorum=3, b+1=2, t+b+1=3 *)
+
+let tsval ts v = Tsval.make ~ts ~v:(Value.v v)
+
+let wtuple ts v = Wtuple.make ~tsval:(tsval ts v) ~tsrarray:Tsr_matrix.empty
+
+(* --- Safe_object (Figure 3) ------------------------------------------- *)
+
+let test_object_pw_fresh () =
+  let o = Safe_object.init ~index:1 in
+  let pw = tsval 1 "a" in
+  let w = Wtuple.init in
+  match Safe_object.handle o ~src:Sim.Proc_id.Writer (Messages.Pw { ts = 1; pw; w }) with
+  | o, Some (Messages.Pw_ack { ts = 1; _ }) ->
+      Alcotest.(check int) "ts adopted" 1 (Safe_object.ts o);
+      Alcotest.(check bool) "pw adopted" true (Tsval.equal (Safe_object.pw o) pw)
+  | _ -> Alcotest.fail "expected PW_ACK"
+
+let test_object_pw_stale_ignored () =
+  let o = Safe_object.init ~index:1 in
+  let o, _ =
+    Safe_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 5; pw = tsval 5 "e"; w = wtuple 4 "d" })
+  in
+  match
+    Safe_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 5; pw = tsval 5 "x"; w = wtuple 4 "y" })
+  with
+  | o, None ->
+      Alcotest.(check bool) "state unchanged" true
+        (Value.equal (Safe_object.pw o).Tsval.v (Value.v "e"))
+  | _, Some _ -> Alcotest.fail "stale PW must not be acknowledged (Fig 3, l.4)"
+
+let test_object_w_equal_ts_applied () =
+  (* W uses >= so the W of the currently pre-written timestamp lands. *)
+  let o = Safe_object.init ~index:1 in
+  let o, _ =
+    Safe_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.Pw { ts = 1; pw = tsval 1 "a"; w = Wtuple.init })
+  in
+  match
+    Safe_object.handle o ~src:Sim.Proc_id.Writer
+      (Messages.W { ts = 1; pw = tsval 1 "a"; w = wtuple 1 "a" })
+  with
+  | o, Some (Messages.W_ack { ts = 1 }) ->
+      Alcotest.(check int) "w installed" 1 (Wtuple.ts (Safe_object.w o))
+  | _ -> Alcotest.fail "expected W_ACK"
+
+let test_object_read_timestamp_discipline () =
+  let o = Safe_object.init ~index:1 in
+  (* READ1 with tsr 1: accepted, acked with echo *)
+  let o, r1 =
+    Safe_object.handle o ~src:(Sim.Proc_id.Reader 2)
+      (Messages.Read1 { tsr = 1; from_ts = 0 })
+  in
+  (match r1 with
+  | Some (Messages.Read1_ack { tsr = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected READ1_ACK echoing tsr");
+  Alcotest.(check int) "tsr[2] stored" 1 (Safe_object.tsr o ~reader:2);
+  Alcotest.(check int) "tsr[1] untouched" 0 (Safe_object.tsr o ~reader:1);
+  (* duplicate / stale read: no ack (Fig 3, l.14) *)
+  (match
+     Safe_object.handle o ~src:(Sim.Proc_id.Reader 2)
+       (Messages.Read1 { tsr = 1; from_ts = 0 })
+   with
+  | _, None -> ()
+  | _ -> Alcotest.fail "stale READ must not be acknowledged");
+  (* READ2 overtaking READ1: higher tsr accepted *)
+  let o, r2 =
+    Safe_object.handle o ~src:(Sim.Proc_id.Reader 2)
+      (Messages.Read2 { tsr = 2; from_ts = 0 })
+  in
+  (match r2 with
+  | Some (Messages.Read2_ack { tsr = 2; _ }) -> ()
+  | _ -> Alcotest.fail "expected READ2_ACK");
+  (* now the delayed READ1 with tsr below stored: silent *)
+  match
+    Safe_object.handle o ~src:(Sim.Proc_id.Reader 2)
+      (Messages.Read1 { tsr = 1; from_ts = 0 })
+  with
+  | _, None -> ()
+  | _ -> Alcotest.fail "overtaken READ1 must be silent"
+
+let test_object_ignores_client_confusion () =
+  (* PW from a reader is not a writer message: ignored. *)
+  let o = Safe_object.init ~index:1 in
+  match
+    Safe_object.handle o ~src:(Sim.Proc_id.Reader 1)
+      (Messages.Pw { ts = 1; pw = tsval 1 "a"; w = Wtuple.init })
+  with
+  | _, None -> ()
+  | _ -> Alcotest.fail "PW from non-writer must be ignored"
+
+(* --- Writer (Figure 2) -------------------------------------------------- *)
+
+let pw_ack ts = Messages.Pw_ack { ts; tsr = Ints.Map.empty }
+
+let test_writer_two_rounds () =
+  let w = Writer.init ~cfg in
+  Alcotest.(check bool) "idle initially" true (Writer.is_idle w);
+  match Writer.start_write w (Value.v "a") with
+  | Error e -> Alcotest.fail e
+  | Ok (w, Messages.Pw { ts = 1; _ }) -> (
+      Alcotest.(check bool) "busy" false (Writer.is_idle w);
+      let w, e1 = Writer.on_message w ~obj:1 (pw_ack 1) in
+      let w, e2 = Writer.on_message w ~obj:2 (pw_ack 1) in
+      Alcotest.(check bool) "still collecting" true (e1 = Writer.Nothing && e2 = Writer.Nothing);
+      match Writer.on_message w ~obj:3 (pw_ack 1) with
+      | w, Writer.Broadcast (Messages.W { ts = 1; w = tuple; _ }) -> (
+          Alcotest.(check int) "tuple ts" 1 (Wtuple.ts tuple);
+          let w, _ = Writer.on_message w ~obj:1 (Messages.W_ack { ts = 1 }) in
+          let w, _ = Writer.on_message w ~obj:2 (Messages.W_ack { ts = 1 }) in
+          match Writer.on_message w ~obj:4 (Messages.W_ack { ts = 1 }) with
+          | w, Writer.Done { rounds = 2 } ->
+              Alcotest.(check bool) "idle again" true (Writer.is_idle w)
+          | _ -> Alcotest.fail "expected Done after W quorum")
+      | _ -> Alcotest.fail "expected W broadcast after PW quorum")
+  | Ok _ -> Alcotest.fail "expected PW broadcast with ts=1"
+
+let test_writer_collects_tsr_matrix () =
+  let w = Writer.init ~cfg in
+  match Writer.start_write w (Value.v "a") with
+  | Error e -> Alcotest.fail e
+  | Ok (w, _) -> (
+      (* object 2 reports reader 1 at timestamp 7 *)
+      let ack2 = Messages.Pw_ack { ts = 1; tsr = Ints.Map.singleton 1 7 } in
+      let w, _ = Writer.on_message w ~obj:2 ack2 in
+      let w, _ = Writer.on_message w ~obj:1 (pw_ack 1) in
+      match Writer.on_message w ~obj:3 (pw_ack 1) with
+      | _, Writer.Broadcast (Messages.W { w = tuple; _ }) ->
+          Alcotest.(check (option int)) "matrix row from object 2" (Some 7)
+            (Tsr_matrix.get tuple.Wtuple.tsrarray ~obj:2 ~reader:1);
+          Alcotest.(check (option int)) "row of silent object is nil" None
+            (Tsr_matrix.get tuple.Wtuple.tsrarray ~obj:4 ~reader:1)
+      | _ -> Alcotest.fail "expected W broadcast")
+
+let test_writer_duplicate_acks_ignored () =
+  let w = Writer.init ~cfg in
+  match Writer.start_write w (Value.v "a") with
+  | Error e -> Alcotest.fail e
+  | Ok (w, _) ->
+      let w, _ = Writer.on_message w ~obj:1 (pw_ack 1) in
+      let w, e1 = Writer.on_message w ~obj:1 (pw_ack 1) in
+      let w, e2 = Writer.on_message w ~obj:1 (pw_ack 1) in
+      ignore w;
+      Alcotest.(check bool) "duplicates do not advance" true
+        (e1 = Writer.Nothing && e2 = Writer.Nothing)
+
+let test_writer_rejects_busy_and_bottom () =
+  let w = Writer.init ~cfg in
+  (match Writer.start_write w Value.bottom with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bottom must be rejected");
+  match Writer.start_write w (Value.v "a") with
+  | Error e -> Alcotest.fail e
+  | Ok (w, _) -> (
+      match Writer.start_write w (Value.v "b") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "concurrent write must be rejected")
+
+let test_writer_stale_acks_ignored () =
+  let w = Writer.init ~cfg in
+  match Writer.start_write w (Value.v "a") with
+  | Error e -> Alcotest.fail e
+  | Ok (w, _) ->
+      let w, e = Writer.on_message w ~obj:1 (pw_ack 99) in
+      ignore w;
+      Alcotest.(check bool) "wrong-ts ack ignored" true (e = Writer.Nothing)
+
+(* --- Safe_reader (Figure 4) -------------------------------------------- *)
+
+let read1_ack ~tsr ~pw ~w = Messages.Read1_ack { tsr; pw; w }
+
+let read2_ack ~tsr ~pw ~w = Messages.Read2_ack { tsr; pw; w }
+
+let start_reader () =
+  let r = Safe_reader.init ~cfg ~j:1 () in
+  match Safe_reader.start_read r with
+  | Ok (r, Messages.Read1 { tsr; _ }) -> (r, tsr)
+  | _ -> Alcotest.fail "expected READ1"
+
+let test_reader_fast_path_unanimous () =
+  (* All of a quorum report the same written tuple: the read decides on
+     round-1 data (rounds = 1). *)
+  let r, tsr = start_reader () in
+  let w1 = wtuple 1 "a" in
+  let pw1 = tsval 1 "a" in
+  let feed r obj =
+    Safe_reader.on_message r ~obj (read1_ack ~tsr ~pw:pw1 ~w:w1)
+  in
+  let r, e1 = feed r 1 in
+  Alcotest.(check bool) "no decision yet" true (e1 = []);
+  let r, e2 = feed r 2 in
+  Alcotest.(check bool) "still none" true (e2 = []);
+  let _, e3 = feed r 3 in
+  match e3 with
+  | [ Safe_reader.Broadcast (Messages.Read2 _);
+      Safe_reader.Return { value; rounds = 1 } ] ->
+      Alcotest.(check bool) "returns a" true (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected round-2 broadcast plus immediate return"
+
+let test_reader_initial_state_returns_bottom_value () =
+  (* Before any write, the safe candidate is w0 and the read returns ⊥. *)
+  let r, tsr = start_reader () in
+  let feed r obj =
+    Safe_reader.on_message r ~obj (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init)
+  in
+  let r, _ = feed r 1 in
+  let r, _ = feed r 2 in
+  let _, e = feed r 3 in
+  match e with
+  | [ Safe_reader.Broadcast _; Safe_reader.Return { value; rounds = 1 } ] ->
+      Alcotest.(check bool) "bottom" true (Value.is_bottom value)
+  | _ -> Alcotest.fail "expected fast bottom return"
+
+let test_reader_forged_high_candidate_needs_round2 () =
+  (* One forged high candidate blocks the fast path; round 2 dissent
+     eliminates it and the genuine value is returned. *)
+  let r, tsr = start_reader () in
+  let w1 = wtuple 1 "a" and pw1 = tsval 1 "a" in
+  let forged = wtuple 9 "ghost" and forged_pw = tsval 9 "ghost" in
+  let r, _ = Safe_reader.on_message r ~obj:1 (read1_ack ~tsr ~pw:pw1 ~w:w1) in
+  let r, _ = Safe_reader.on_message r ~obj:2 (read1_ack ~tsr ~pw:pw1 ~w:w1) in
+  let r, e =
+    Safe_reader.on_message r ~obj:3 (read1_ack ~tsr ~pw:forged_pw ~w:forged)
+  in
+  (match e with
+  | [ Safe_reader.Broadcast (Messages.Read2 _) ] -> ()
+  | _ -> Alcotest.fail "forged candidate must force a real round 2");
+  (* round 2: honest objects answer without the forged tuple *)
+  let tsr2 = tsr + 1 in
+  let r, e1 = Safe_reader.on_message r ~obj:1 (read2_ack ~tsr:tsr2 ~pw:pw1 ~w:w1) in
+  Alcotest.(check bool) "one dissent not enough" true (e1 = []);
+  let r, e2 = Safe_reader.on_message r ~obj:2 (read2_ack ~tsr:tsr2 ~pw:pw1 ~w:w1) in
+  Alcotest.(check bool) "two dissents not enough (t+b+1 = 3)" true (e2 = []);
+  let _, e3 = Safe_reader.on_message r ~obj:4 (read2_ack ~tsr:tsr2 ~pw:pw1 ~w:w1) in
+  match e3 with
+  | [ Safe_reader.Return { value; rounds = 2 } ] ->
+      Alcotest.(check bool) "genuine value after elimination" true
+        (Value.equal value (Value.v "a"))
+  | _ -> Alcotest.fail "expected 2-round return of the genuine value"
+
+let test_reader_conflict_blocks_round1 () =
+  (* A candidate whose matrix defames object 2 conflicts with object 2's
+     own reply: the 3 replies contain no conflict-free quorum, so round 1
+     must not complete. *)
+  let r, tsr = start_reader () in
+  let defaming =
+    let m = Tsr_matrix.set_row Tsr_matrix.empty ~obj:2 (Ints.Map.singleton 1 (tsr + 5)) in
+    Wtuple.make ~tsval:(tsval 2 "evil") ~tsrarray:m
+  in
+  let r, _ =
+    Safe_reader.on_message r ~obj:1
+      (read1_ack ~tsr ~pw:(tsval 2 "evil") ~w:defaming)
+  in
+  let r, _ =
+    Safe_reader.on_message r ~obj:2 (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init)
+  in
+  let r, e =
+    Safe_reader.on_message r ~obj:3 (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init)
+  in
+  Alcotest.(check bool) "round 1 not complete with conflict" true (e = []);
+  (* a fourth reply provides a conflict-free quorum {2,3,4} (dropping the
+     defamer s1) and also eliminates the forged candidate *)
+  let _, e =
+    Safe_reader.on_message r ~obj:4 (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init)
+  in
+  match e with
+  | Safe_reader.Broadcast (Messages.Read2 _) :: _ -> ()
+  | _ -> Alcotest.fail "round 1 should complete once a clean quorum exists"
+
+let test_reader_stale_acks_ignored () =
+  let r, tsr = start_reader () in
+  let r, e = Safe_reader.on_message r ~obj:1 (read1_ack ~tsr:(tsr - 1) ~pw:Tsval.init ~w:Wtuple.init) in
+  Alcotest.(check bool) "old-timestamp ack ignored" true (e = []);
+  Alcotest.(check int) "no responder recorded" 0
+    (Ints.Set.cardinal (Safe_reader.responded_round1 r));
+  let r, _ = Safe_reader.on_message r ~obj:1 (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init) in
+  let r, e = Safe_reader.on_message r ~obj:1 (read1_ack ~tsr ~pw:Tsval.init ~w:Wtuple.init) in
+  ignore e;
+  Alcotest.(check int) "duplicate object counted once" 1
+    (Ints.Set.cardinal (Safe_reader.responded_round1 r))
+
+let test_reader_busy_rejected () =
+  let r, _ = start_reader () in
+  match Safe_reader.start_read r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "second READ while busy must be rejected"
+
+let test_reader_timestamps_increase_across_reads () =
+  (* Complete one read, start another: tsr keeps growing, never reused. *)
+  let r, tsr1 = start_reader () in
+  let w1 = wtuple 1 "a" and pw1 = tsval 1 "a" in
+  let r, _ = Safe_reader.on_message r ~obj:1 (read1_ack ~tsr:tsr1 ~pw:pw1 ~w:w1) in
+  let r, _ = Safe_reader.on_message r ~obj:2 (read1_ack ~tsr:tsr1 ~pw:pw1 ~w:w1) in
+  let r, e = Safe_reader.on_message r ~obj:3 (read1_ack ~tsr:tsr1 ~pw:pw1 ~w:w1) in
+  (match e with
+  | [ _; Safe_reader.Return _ ] -> ()
+  | _ -> Alcotest.fail "expected completion");
+  Alcotest.(check int) "tsr after one read" (tsr1 + 1) (Safe_reader.tsr r);
+  match Safe_reader.start_read r with
+  | Ok (_, Messages.Read1 { tsr; _ }) ->
+      Alcotest.(check int) "next read uses fresh tsr" (tsr1 + 2) tsr
+  | _ -> Alcotest.fail "expected READ1"
+
+let suite =
+  ( "safe-protocol",
+    [
+      Alcotest.test_case "object: fresh PW" `Quick test_object_pw_fresh;
+      Alcotest.test_case "object: stale PW ignored" `Quick
+        test_object_pw_stale_ignored;
+      Alcotest.test_case "object: W with equal ts" `Quick
+        test_object_w_equal_ts_applied;
+      Alcotest.test_case "object: read timestamp discipline" `Quick
+        test_object_read_timestamp_discipline;
+      Alcotest.test_case "object: ignores mis-sourced messages" `Quick
+        test_object_ignores_client_confusion;
+      Alcotest.test_case "writer: two rounds" `Quick test_writer_two_rounds;
+      Alcotest.test_case "writer: collects tsr matrix" `Quick
+        test_writer_collects_tsr_matrix;
+      Alcotest.test_case "writer: duplicate acks" `Quick
+        test_writer_duplicate_acks_ignored;
+      Alcotest.test_case "writer: busy and bottom rejected" `Quick
+        test_writer_rejects_busy_and_bottom;
+      Alcotest.test_case "writer: stale acks ignored" `Quick
+        test_writer_stale_acks_ignored;
+      Alcotest.test_case "reader: fast path" `Quick test_reader_fast_path_unanimous;
+      Alcotest.test_case "reader: initial bottom" `Quick
+        test_reader_initial_state_returns_bottom_value;
+      Alcotest.test_case "reader: forged high candidate" `Quick
+        test_reader_forged_high_candidate_needs_round2;
+      Alcotest.test_case "reader: conflict blocks round 1" `Quick
+        test_reader_conflict_blocks_round1;
+      Alcotest.test_case "reader: stale acks ignored" `Quick
+        test_reader_stale_acks_ignored;
+      Alcotest.test_case "reader: busy rejected" `Quick test_reader_busy_rejected;
+      Alcotest.test_case "reader: timestamps increase" `Quick
+        test_reader_timestamps_increase_across_reads;
+    ] )
+
+(* Property test for the bounded vertex-cover search behind the
+   Resp1OK existence check (Figure 4 line 11): agree with brute force on
+   random graphs. *)
+let qcheck_coverable_matches_brute_force =
+  let brute_force edges budget =
+    (* vertices involved *)
+    let vs =
+      List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+    in
+    let rec subsets = function
+      | [] -> [ [] ]
+      | v :: rest ->
+          let s = subsets rest in
+          s @ List.map (fun set -> v :: set) s
+    in
+    List.exists
+      (fun cover ->
+        List.length cover <= budget
+        && List.for_all (fun (a, b) -> List.mem a cover || List.mem b cover) edges)
+      (subsets vs)
+  in
+  QCheck.Test.make ~name:"coverable agrees with brute-force vertex cover"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 8)
+           (pair (int_range 1 6) (int_range 1 6)))
+        (int_range 0 4))
+    (fun (raw_edges, budget) ->
+      let edges = List.filter (fun (a, b) -> a <> b) raw_edges in
+      Safe_reader.Private.coverable edges budget = brute_force edges budget)
+
+let suite =
+  (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest qcheck_coverable_matches_brute_force ])

@@ -1,0 +1,144 @@
+(* Tests for the server-centric model (paper §6): pushes are allowed,
+   0-round reads from pushed state are unsafe under asynchrony, and the
+   1-round poll obeys the same 2t+2b threshold as the data-centric
+   model. *)
+
+let equal = String.equal
+
+let uniform = Sim.Delay.uniform ~lo:1 ~hi:10
+
+let cfg_above = Quorum.Config.make_exn ~s:5 ~t:1 ~b:1
+
+let schedule =
+  [
+    (0, Core.Schedule.Write (Core.Value.v "v1"));
+    (100, Core.Schedule.Read { reader = 1 });
+    (200, Core.Schedule.Write (Core.Value.v "v2"));
+    (300, Core.Schedule.Read { reader = 1 });
+  ]
+
+let test_quiescent_pushes_give_zero_round_reads () =
+  let rep =
+    Server_centric.Push_register.run ~cfg:cfg_above ~seed:1 ~delay:uniform
+      schedule
+  in
+  Alcotest.(check int) "completes" 4 (List.length rep.outcomes);
+  Alcotest.(check bool) "pushes flowed" true (rep.pushes_delivered > 0);
+  Alcotest.(check int) "both reads answered from pushed state" 2
+    rep.zero_round_reads;
+  Alcotest.(check bool) "quiescent runs look safe" true
+    (Histories.Checks.is_safe ~equal rep.history)
+
+let test_delayed_pushes_break_zero_round_reads () =
+  (* The §6 asynchrony adversary: let wr1's pushes through, freeze the
+     server->reader links, complete wr2, then read.  The 0-round read
+     answers from the stale pushed state — safety violated at ANY S. *)
+  let rep =
+    Server_centric.Push_register.run ~cfg:cfg_above ~seed:2 ~delay:uniform
+      ~freeze_pushes_at:150 ~unfreeze_pushes_at:5_000 schedule
+  in
+  Alcotest.(check int) "completes" 4 (List.length rep.outcomes);
+  let stale_read =
+    List.exists
+      (fun (o : Server_centric.Push_register.outcome) ->
+        o.invoked_at >= 300
+        && o.mode = Some Server_centric.Push_register.Pushed
+        && o.result = Some (Core.Value.v "v1"))
+      rep.outcomes
+  in
+  Alcotest.(check bool) "the late read returned the stale v1" true stale_read;
+  Alcotest.(check bool) "safety violated" false
+    (Histories.Checks.is_safe ~equal rep.history)
+
+let test_polling_mode_survives_the_same_adversary () =
+  (* Same freeze window, 0-round path disabled: the read polls; the
+     freeze delays poll replies too, so the read simply completes after
+     the unfreeze, with the correct value. *)
+  let rep =
+    Server_centric.Push_register.run ~zero_round:false ~cfg:cfg_above ~seed:2
+      ~delay:uniform ~freeze_pushes_at:150 ~unfreeze_pushes_at:500 schedule
+  in
+  Alcotest.(check int) "completes" 4 (List.length rep.outcomes);
+  Alcotest.(check int) "all reads polled" 2 rep.polled_reads;
+  Alcotest.(check bool) "safe" true (Histories.Checks.is_safe ~equal rep.history)
+
+let test_polling_safe_above_threshold_with_byz () =
+  let rep =
+    Server_centric.Push_register.run ~zero_round:false ~cfg:cfg_above ~seed:3
+      ~delay:uniform ~byz_forgers:[ 2 ] schedule
+  in
+  Alcotest.(check int) "completes" 4 (List.length rep.outcomes);
+  Alcotest.(check bool) "safe (forger cannot reach b+1 endorsements)" true
+    (Histories.Checks.is_safe ~equal rep.history)
+
+let test_zero_round_forgery_resistance () =
+  (* Even on the fast path a forger cannot assemble b+1 endorsements, so
+     a Byzantine push never becomes a read result (staleness, not
+     forgery, is the 0-round weakness). *)
+  let rep =
+    Server_centric.Push_register.run ~cfg:cfg_above ~seed:4 ~delay:uniform
+      ~byz_forgers:[ 1 ] schedule
+  in
+  Alcotest.(check bool) "forged value never returned" true
+    (List.for_all
+       (fun (o : Server_centric.Push_register.outcome) ->
+         o.result <> Some (Core.Value.v "forged"))
+       rep.outcomes)
+
+let test_crash_tolerated () =
+  let rep =
+    Server_centric.Push_register.run ~cfg:cfg_above ~seed:5 ~delay:uniform
+      ~crashes:[ (Sim.Proc_id.Obj 4, 50) ]
+      schedule
+  in
+  Alcotest.(check int) "wait-free" 4 (List.length rep.outcomes)
+
+let test_below_threshold_poll_unsafe_somewhere () =
+  (* At S = 2t+2b the poll-based read inherits the data-centric
+     impossibility; a stale-ish adversary plus scheduling finds it.  We
+     reuse the same freeze trick: wr2's write messages reach the servers,
+     but one server's state is old because it crashed... simplest
+     concrete witness: freeze before wr2 pushes AND poll during the
+     freeze is impossible (links blocked), so instead verify the
+     structural fact directly: endorsement needs b+1 = 2 but the poll
+     quorum may contain only 1 fresh honest server. *)
+  let cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1 in
+  Alcotest.(check bool) "s = 2t+2b lacks the endorsement margin" true
+    (Quorum.Config.quorum cfg - cfg.Quorum.Config.t - cfg.Quorum.Config.b
+     < cfg.Quorum.Config.b + 1);
+  Alcotest.(check bool) "s = 2t+2b+1 has it" true
+    (Quorum.Config.quorum cfg_above
+     - cfg_above.Quorum.Config.t - cfg_above.Quorum.Config.b
+     >= cfg_above.Quorum.Config.b + 1)
+
+let test_determinism () =
+  let go () =
+    let rep =
+      Server_centric.Push_register.run ~cfg:cfg_above ~seed:8 ~delay:uniform
+        ~byz_forgers:[ 2 ] schedule
+    in
+    List.map
+      (fun (o : Server_centric.Push_register.outcome) ->
+        (o.invoked_at, o.completed_at, o.result))
+      rep.outcomes
+  in
+  Alcotest.(check bool) "identical reruns" true (go () = go ())
+
+let suite =
+  ( "server-centric",
+    [
+      Alcotest.test_case "pushes give zero-round reads" `Quick
+        test_quiescent_pushes_give_zero_round_reads;
+      Alcotest.test_case "delayed pushes break zero-round reads" `Quick
+        test_delayed_pushes_break_zero_round_reads;
+      Alcotest.test_case "polling survives the same adversary" `Quick
+        test_polling_mode_survives_the_same_adversary;
+      Alcotest.test_case "polling safe above threshold with byz" `Quick
+        test_polling_safe_above_threshold_with_byz;
+      Alcotest.test_case "zero-round forgery resistance" `Quick
+        test_zero_round_forgery_resistance;
+      Alcotest.test_case "crash tolerated" `Quick test_crash_tolerated;
+      Alcotest.test_case "threshold arithmetic" `Quick
+        test_below_threshold_poll_unsafe_somewhere;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+    ] )

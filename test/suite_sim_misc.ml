@@ -1,0 +1,128 @@
+(* Tests for process ids, delay models and traces. *)
+
+open Sim
+
+let test_proc_id_compare () =
+  Alcotest.(check bool) "writer < reader" true
+    (Proc_id.compare Proc_id.Writer (Proc_id.Reader 1) < 0);
+  Alcotest.(check bool) "reader < object" true
+    (Proc_id.compare (Proc_id.Reader 9) (Proc_id.Obj 1) < 0);
+  Alcotest.(check bool) "object index order" true
+    (Proc_id.compare (Proc_id.Obj 1) (Proc_id.Obj 2) < 0);
+  Alcotest.(check bool) "equal" true (Proc_id.equal (Proc_id.Obj 3) (Proc_id.Obj 3))
+
+let test_proc_id_strings () =
+  Alcotest.(check string) "writer" "w" (Proc_id.to_string Proc_id.Writer);
+  Alcotest.(check string) "reader" "r2" (Proc_id.to_string (Proc_id.Reader 2));
+  Alcotest.(check string) "object" "s5" (Proc_id.to_string (Proc_id.Obj 5))
+
+let test_proc_id_sets () =
+  Alcotest.(check int) "objects ~s" 4 (List.length (Proc_id.objects ~s:4));
+  Alcotest.(check int) "readers ~r" 3 (List.length (Proc_id.readers ~r:3));
+  Alcotest.(check bool) "objects are objects" true
+    (List.for_all Proc_id.is_object (Proc_id.objects ~s:4));
+  Alcotest.(check bool) "readers are clients" true
+    (List.for_all Proc_id.is_client (Proc_id.readers ~r:3))
+
+let test_proc_id_indices () =
+  Alcotest.(check int) "obj_index" 7 (Proc_id.obj_index (Proc_id.Obj 7));
+  Alcotest.(check int) "reader_index" 2 (Proc_id.reader_index (Proc_id.Reader 2));
+  Alcotest.check_raises "obj_index of writer"
+    (Invalid_argument "Proc_id.obj_index: w") (fun () ->
+      ignore (Proc_id.obj_index Proc_id.Writer))
+
+let sample_many model ~n =
+  let rng = Prng.create ~seed:77 in
+  List.init n (fun _ ->
+      Delay.sample model ~rng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) ~now:0)
+
+let test_delay_constant () =
+  Alcotest.(check (list int)) "always 4" [ 4; 4; 4 ]
+    (sample_many (Delay.constant 4) ~n:3)
+
+let test_delay_uniform () =
+  List.iter
+    (fun d -> Alcotest.(check bool) "in range" true (d >= 2 && d <= 6))
+    (sample_many (Delay.uniform ~lo:2 ~hi:6) ~n:500)
+
+let test_delay_exponential () =
+  List.iter
+    (fun d -> Alcotest.(check bool) "at least 1" true (d >= 1))
+    (sample_many (Delay.exponential ~mean:4.0) ~n:500)
+
+let test_delay_bimodal () =
+  let model =
+    Delay.bimodal ~fast:(Delay.constant 1) ~slow:(Delay.constant 100)
+      ~slow_fraction:0.5
+  in
+  let ds = sample_many model ~n:200 in
+  Alcotest.(check bool) "both modes appear" true
+    (List.mem 1 ds && List.mem 100 ds);
+  Alcotest.(check bool) "no other values" true
+    (List.for_all (fun d -> d = 1 || d = 100) ds)
+
+let test_delay_per_link () =
+  let model =
+    Delay.per_link ~default:(Delay.constant 1)
+      [ ((Proc_id.Writer, Proc_id.Obj 1), Delay.constant 50) ]
+  in
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int) "override" 50
+    (Delay.sample model ~rng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) ~now:0);
+  Alcotest.(check int) "default" 1
+    (Delay.sample model ~rng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 2) ~now:0)
+
+let test_delay_slow_process () =
+  let slow = Proc_id.Set.singleton (Proc_id.Obj 2) in
+  let model = Delay.slow_process ~slow ~factor:10 (Delay.constant 3) in
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int) "slowed" 30
+    (Delay.sample model ~rng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 2) ~now:0);
+  Alcotest.(check int) "normal" 3
+    (Delay.sample model ~rng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) ~now:0)
+
+let test_delay_jitter () =
+  let model = Delay.jitter ~base:(Delay.constant 10) ~amplitude:5 in
+  List.iter
+    (fun d -> Alcotest.(check bool) "within jitter band" true (d >= 10 && d <= 15))
+    (sample_many model ~n:200)
+
+let test_trace_counting () =
+  let t = Trace.create () in
+  Trace.record t
+    (Trace.Send { time = 1; src = Proc_id.Writer; dst = Proc_id.Obj 1; info = "m" });
+  Trace.record t
+    (Trace.Deliver { time = 2; src = Proc_id.Writer; dst = Proc_id.Obj 1; info = "m" });
+  Trace.note t ~time:3 "hello";
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  Alcotest.(check int) "sends" 1
+    (Trace.sends_between t ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1));
+  Alcotest.(check int) "delivered" 1 (Trace.delivered_to t ~dst:(Proc_id.Obj 1));
+  Alcotest.(check int) "notes" 1
+    (Trace.count t ~pred:(function Trace.Note _ -> true | _ -> false))
+
+let test_trace_order () =
+  let t = Trace.create () in
+  Trace.note t ~time:1 "a";
+  Trace.note t ~time:2 "b";
+  match Trace.entries t with
+  | [ Trace.Note { text = "a"; _ }; Trace.Note { text = "b"; _ } ] -> ()
+  | _ -> Alcotest.fail "entries not in recording order"
+
+let suite =
+  ( "sim-misc",
+    [
+      Alcotest.test_case "proc_id compare" `Quick test_proc_id_compare;
+      Alcotest.test_case "proc_id strings" `Quick test_proc_id_strings;
+      Alcotest.test_case "proc_id sets" `Quick test_proc_id_sets;
+      Alcotest.test_case "proc_id indices" `Quick test_proc_id_indices;
+      Alcotest.test_case "delay constant" `Quick test_delay_constant;
+      Alcotest.test_case "delay uniform" `Quick test_delay_uniform;
+      Alcotest.test_case "delay exponential" `Quick test_delay_exponential;
+      Alcotest.test_case "delay bimodal" `Quick test_delay_bimodal;
+      Alcotest.test_case "delay per-link" `Quick test_delay_per_link;
+      Alcotest.test_case "delay slow process" `Quick test_delay_slow_process;
+      Alcotest.test_case "delay jitter" `Quick test_delay_jitter;
+      Alcotest.test_case "trace counting" `Quick test_trace_counting;
+      Alcotest.test_case "trace order" `Quick test_trace_order;
+    ] )

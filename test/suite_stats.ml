@@ -1,0 +1,134 @@
+(* Tests for the statistics and table-rendering helpers. *)
+
+let feed xs =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) xs;
+  s
+
+let test_empty_summary () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check int) "count" 0 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Stats.Summary.mean s);
+  Alcotest.check_raises "min raises" (Invalid_argument "Summary.min: empty")
+    (fun () -> ignore (Stats.Summary.min s))
+
+let test_mean_variance () =
+  let s = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "sample variance" (32.0 /. 7.0)
+    (Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s)
+
+let test_percentiles () =
+  let s = feed (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.Summary.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.Summary.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Summary.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Stats.Summary.percentile s 1.0)
+
+let test_percentile_insertion_order_independent () =
+  let a = feed [ 3.0; 1.0; 2.0 ] in
+  let b = feed [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "median invariant" (Stats.Summary.median a)
+    (Stats.Summary.median b)
+
+let test_add_int () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_int s 3;
+  Stats.Summary.add_int s 5;
+  Alcotest.(check (float 1e-9)) "mean of ints" 4.0 (Stats.Summary.mean s)
+
+let test_merge () =
+  let a = feed [ 1.0; 2.0 ] in
+  let b = feed [ 3.0; 4.0 ] in
+  let m = Stats.Summary.merge a b in
+  Alcotest.(check int) "merged count" 4 (Stats.Summary.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.5 (Stats.Summary.mean m)
+
+let test_histogram () =
+  let s = feed [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 10.0 ] in
+  let h = Stats.Summary.Histogram.of_summary s ~buckets:2 in
+  match Stats.Summary.Histogram.buckets h with
+  | [ (lo1, _, c1); (_, hi2, c2) ] ->
+      Alcotest.(check (float 1e-9)) "first bucket starts at min" 0.0 lo1;
+      Alcotest.(check (float 1e-9)) "last bucket ends at max" 10.0 hi2;
+      Alcotest.(check int) "all samples bucketed" 10 (c1 + c2)
+  | _ -> Alcotest.fail "expected two buckets"
+
+let test_table_rendering () =
+  let t = Stats.Table.create ~headers:[ "proto"; "rounds" ] in
+  Stats.Table.add_row t [ "safe"; "2" ];
+  Stats.Table.add_separator t;
+  Stats.Table.add_row t [ "abd"; "1" ];
+  let s = Stats.Table.to_string t in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check int) "rows" 2 (Stats.Table.row_count t);
+  Alcotest.(check bool) "mentions safe" true (contains s "safe");
+  Alcotest.(check bool) "columns padded to equal width" true
+    (let lines =
+       List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+     in
+     match lines with
+     | [] -> false
+     | first :: rest ->
+         List.for_all (fun l -> String.length l = String.length first) rest)
+
+let test_table_width_mismatch () =
+  let t = Stats.Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.add_row: row width mismatch") (fun () ->
+      Stats.Table.add_row t [ "only-one" ])
+
+let test_table_csv () =
+  let t = Stats.Table.create ~headers:[ "a"; "b" ] in
+  Stats.Table.add_row t [ "x,1"; "y" ];
+  Stats.Table.add_separator t;
+  Stats.Table.add_row t [ "z"; "w" ];
+  Alcotest.(check string) "csv" "a,b\nx;1,y\nz,w\n" (Stats.Table.to_csv t)
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Stats.Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416"
+    (Stats.Table.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "bool" "yes" (Stats.Table.cell_bool true)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles stay within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = feed xs in
+      let p50 = Stats.Summary.percentile s 50.0 in
+      p50 >= Stats.Summary.min s && p50 <= Stats.Summary.max s)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean stays within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = feed xs in
+      let m = Stats.Summary.mean s in
+      m >= Stats.Summary.min s -. 1e-9 && m <= Stats.Summary.max s +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "empty summary" `Quick test_empty_summary;
+      Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+      Alcotest.test_case "percentiles" `Quick test_percentiles;
+      Alcotest.test_case "percentile order-independent" `Quick
+        test_percentile_insertion_order_independent;
+      Alcotest.test_case "add_int" `Quick test_add_int;
+      Alcotest.test_case "merge" `Quick test_merge;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "table rendering" `Quick test_table_rendering;
+      Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
+      Alcotest.test_case "table csv" `Quick test_table_csv;
+      Alcotest.test_case "cell formatting" `Quick test_cells;
+      QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+      QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+    ] )

@@ -1,0 +1,84 @@
+(* Tests for the workload generators. *)
+
+let count_ops schedule =
+  (Core.Schedule.writes schedule, Core.Schedule.reads schedule)
+
+let test_payload_distinct () =
+  Alcotest.(check bool) "payloads distinct" true
+    (not (Core.Value.equal (Workload.Generate.payload 1) (Workload.Generate.payload 2)))
+
+let test_sequential_counts () =
+  let s = Workload.Generate.sequential ~writes:3 ~readers:2 ~gap:10 in
+  Alcotest.(check (pair int int)) "3 writes, 6 reads" (3, 6) (count_ops s)
+
+let test_sequential_no_overlap () =
+  (* Every op starts strictly after the previous one's slot. *)
+  let s = Workload.Generate.sequential ~writes:2 ~readers:1 ~gap:10 in
+  let times = List.map fst s in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "times strictly increase" true (strictly_increasing times)
+
+let test_read_mostly_counts_and_horizon () =
+  let rng = Sim.Prng.create ~seed:1 in
+  let s =
+    Workload.Generate.read_mostly ~rng ~writes:4 ~readers:3 ~reads_per_reader:5
+      ~horizon:1000
+  in
+  Alcotest.(check (pair int int)) "counts" (4, 15) (count_ops s);
+  Alcotest.(check bool) "within horizon" true
+    (List.for_all (fun (t, _) -> t >= 0 && t <= 1000) s)
+
+let test_read_mostly_deterministic () =
+  let gen seed =
+    let rng = Sim.Prng.create ~seed in
+    Workload.Generate.read_mostly ~rng ~writes:2 ~readers:2 ~reads_per_reader:3
+      ~horizon:500
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (gen 5 = gen 5);
+  Alcotest.(check bool) "different seed, different schedule" true (gen 5 <> gen 6)
+
+let test_write_storm_shape () =
+  let s = Workload.Generate.write_storm ~writes:5 ~readers:2 ~every:10 in
+  Alcotest.(check (pair int int)) "counts" (5, 10) (count_ops s);
+  Alcotest.(check (list int)) "reader indices" [ 1; 2 ]
+    (Core.Schedule.reader_indices s)
+
+let test_read_burst () =
+  let s = Workload.Generate.read_burst ~readers:3 ~reads_per_reader:4 ~at:100 in
+  Alcotest.(check (pair int int)) "counts" (0, 12) (count_ops s);
+  Alcotest.(check bool) "all at t=100" true (List.for_all (fun (t, _) -> t = 100) s)
+
+let test_poisson_reads () =
+  let rng = Sim.Prng.create ~seed:2 in
+  let s = Workload.Generate.poisson_reads ~rng ~readers:2 ~mean_gap:20.0 ~horizon:1000 in
+  Alcotest.(check bool) "non-empty" true (List.length s > 10);
+  Alcotest.(check bool) "only reads" true (Core.Schedule.writes s = 0);
+  Alcotest.(check bool) "sorted by time" true
+    (let times = List.map fst s in
+     List.sort Int.compare times = times)
+
+let test_schedule_merge_sorted () =
+  let a = [ (10, Core.Schedule.Write (Core.Value.v "a")) ] in
+  let b = [ (5, Core.Schedule.Read { reader = 1 }) ] in
+  match Core.Schedule.merge a b with
+  | [ (5, _); (10, _) ] -> ()
+  | _ -> Alcotest.fail "merge must sort by time"
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "payload distinct" `Quick test_payload_distinct;
+      Alcotest.test_case "sequential counts" `Quick test_sequential_counts;
+      Alcotest.test_case "sequential no overlap" `Quick test_sequential_no_overlap;
+      Alcotest.test_case "read_mostly counts/horizon" `Quick
+        test_read_mostly_counts_and_horizon;
+      Alcotest.test_case "read_mostly deterministic" `Quick
+        test_read_mostly_deterministic;
+      Alcotest.test_case "write_storm shape" `Quick test_write_storm_shape;
+      Alcotest.test_case "read_burst" `Quick test_read_burst;
+      Alcotest.test_case "poisson reads" `Quick test_poisson_reads;
+      Alcotest.test_case "schedule merge sorted" `Quick test_schedule_merge_sorted;
+    ] )

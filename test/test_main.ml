@@ -1,0 +1,31 @@
+(* Aggregates every suite; `dune runtest` runs this executable. *)
+
+let () =
+  Alcotest.run "robust_read"
+    [
+      Suite_prng.suite;
+      Suite_heap.suite;
+      Suite_engine.suite;
+      Suite_sim_misc.suite;
+      Suite_engine_props.suite;
+      Suite_stats.suite;
+      Suite_quorum.suite;
+      Suite_histories.suite;
+      Suite_core_types.suite;
+      Suite_safe_protocol.suite;
+      Suite_regular_protocol.suite;
+      Suite_gc.suite;
+      Suite_scenario.suite;
+      Suite_fault.suite;
+      Suite_scenario_edge.suite;
+      Suite_baselines.suite;
+      Suite_fast_safe.suite;
+      Suite_server_centric.suite;
+      Suite_lower_bound.suite;
+      Suite_lemmas.suite;
+      Suite_explorer.suite;
+      Suite_random_walks.suite;
+      Suite_workload.suite;
+      Suite_fuzz.suite;
+      Suite_conformance.suite;
+    ]
