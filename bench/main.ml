@@ -22,6 +22,7 @@ let experiments =
     ("e9", Exp_e9.run);
     ("e10", Exp_e10.run);
     ("e11", Exp_e11.run);
+    ("e12", Exp_e12.run);
   ]
 
 let run_tables = function
@@ -32,7 +33,7 @@ let run_tables = function
           match List.assoc_opt (String.lowercase_ascii n) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %S (expected e1..e11)\n" n;
+              Printf.eprintf "unknown experiment %S (expected e1..e12)\n" n;
               exit 2)
         names
 
@@ -44,6 +45,6 @@ let () =
       run_tables [];
       Micro.run ()
   | _ :: cmd :: _ ->
-      Printf.eprintf "usage: main.exe [tables [e1..e11] | micro] (got %S)\n" cmd;
+      Printf.eprintf "usage: main.exe [tables [e1..e12] | micro] (got %S)\n" cmd;
       exit 2
   | [] -> assert false

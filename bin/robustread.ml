@@ -83,17 +83,43 @@ let delay_arg =
     & info [ "delay" ] ~docv:"MODEL"
         ~doc:"Delay model: $(b,const:D), $(b,uniform:LO:HI) or $(b,exp:MEAN).")
 
-let config ~s ~t ~b =
+(* Shared up-front validation: every command that simulates a supposedly
+   robust system refuses to start below the resilience lower bound,
+   instead of producing a run whose failures would be meaningless.  The
+   deliberately under-provisioned regimes (lower-bound, the naive-fast
+   negative control in chaos campaigns) opt out explicitly. *)
+let ensure_resilience_bound ?(allow_under_provisioned = false) cfg =
+  if
+    (not allow_under_provisioned)
+    && not (Quorum.Config.meets_resilience_bound cfg)
+  then begin
+    let t = cfg.Quorum.Config.t and b = cfg.Quorum.Config.b in
+    Format.eprintf
+      "robustread: S = %d is below the resilience lower bound 2t + b + 1 = %d \
+       for t = %d, b = %d:@.no robust wait-free storage exists at this size \
+       (paper Section 1).  Use -s %d or more,@.or 'robustread lower-bound' to \
+       replay the impossibility itself.@."
+      cfg.Quorum.Config.s
+      (Quorum.Config.optimal_s ~t ~b)
+      t b
+      (Quorum.Config.optimal_s ~t ~b);
+    exit 2
+  end;
+  cfg
+
+let config ?allow_under_provisioned ~s ~t ~b () =
   let s = Option.value s ~default:(Quorum.Config.optimal_s ~t ~b) in
   match Quorum.Config.make ~s ~t ~b with
-  | Ok cfg -> cfg
-  | Error e -> failwith ("invalid configuration: " ^ e)
+  | Ok cfg -> ensure_resilience_bound ?allow_under_provisioned cfg
+  | Error e ->
+      Format.eprintf "robustread: invalid configuration: %s@." e;
+      exit 2
 
 (* ----- info ------------------------------------------------------------- *)
 
 let info_cmd =
   let run t b s =
-    let cfg = config ~s ~t ~b in
+    let cfg = config ~allow_under_provisioned:true ~s ~t ~b () in
     Format.printf "configuration      : %a@." Quorum.Config.pp cfg;
     Format.printf "optimal resilience : S >= %d (2t+b+1)%s@."
       (Quorum.Config.optimal_s ~t ~b)
@@ -204,7 +230,7 @@ let run_cmd =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full message trace.")
   in
   let run protocol t b s seed delay attack writes readers reads trace =
-    let cfg = config ~s ~t ~b in
+    let cfg = config ~s ~t ~b () in
     let go (type m) (module P : Core.Protocol_intf.S with type msg = m)
         (byz : m Core.Byz.factory list) =
       run_generic (module P) ~byz ~cfg ~seed ~delay ~writes ~readers ~reads
@@ -307,7 +333,7 @@ let check_cmd =
       & info [ "budget" ] ~docv:"STATES" ~doc:"Model-checker state budget.")
   in
   let run protocol t b budget =
-    let cfg = config ~s:None ~t ~b in
+    let cfg = config ~s:None ~t ~b () in
     let check (module P : Core.Protocol_intf.S) =
       let module E = Mc.Explorer.Make (P) in
       let r =
@@ -355,7 +381,7 @@ let walks_cmd =
       & info [ "walks" ] ~docv:"N" ~doc:"Number of random schedules to sample.")
   in
   let run protocol t b seed walks =
-    let cfg = config ~s:None ~t ~b in
+    let cfg = config ~s:None ~t ~b () in
     let sample (module P : Core.Protocol_intf.S) =
       let module E = Mc.Explorer.Make (P) in
       let r =
@@ -394,6 +420,135 @@ let walks_cmd =
          "Monte-Carlo check: sample random delivery schedules of a 2-write,           4-read workload and verify every terminal history.")
     term
 
+(* ----- chaos ------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let protocols_arg =
+    let proto_conv =
+      Arg.conv
+        ( (fun s ->
+            match Fault.Campaign.protocol_of_string s with
+            | Some p -> Ok p
+            | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))),
+          fun ppf p ->
+            Format.pp_print_string ppf (Fault.Campaign.protocol_name p) )
+    in
+    Arg.(
+      value
+      & opt (some proto_conv) None
+      & info [ "protocol"; "p" ] ~docv:"PROTO"
+          ~doc:
+            "Campaign a single protocol: $(b,safe), $(b,regular), \
+             $(b,regular-opt), $(b,abd), $(b,fast-safe) or $(b,naive-fast).  \
+             Default: all of them.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep (1..N).")
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "plans" ] ~docv:"K" ~doc:"Random fault plans per seed.")
+  in
+  let budget_arg =
+    let budget_conv =
+      Arg.conv
+        ( (fun s ->
+            match Fault.Plan.budget_of_string s with
+            | Some bg -> Ok bg
+            | None -> Error (`Msg "expected small, medium or large")),
+          fun ppf (bg : Fault.Plan.budget) ->
+            Format.fprintf ppf "horizon=%d,actions<=%d" bg.horizon bg.max_actions
+        )
+    in
+    Arg.(
+      value
+      & opt budget_conv Fault.Plan.medium
+      & info [ "budget" ] ~docv:"SIZE"
+          ~doc:
+            "Plan size: $(b,small) (horizon 800, <= 4 actions), $(b,medium) \
+             (1500, <= 8) or $(b,large) (3000, <= 14).")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Do not minimize failure witnesses.")
+  in
+  let run protocol t b seeds plans budget no_shrink =
+    (* Same validator as run/check; the campaign's own configurations are
+       per-protocol, with naive-fast deliberately under-provisioned. *)
+    let _ = config ~s:None ~t ~b () in
+    let protocols =
+      match protocol with
+      | Some p -> [ p ]
+      | None -> Fault.Campaign.all_protocols
+    in
+    List.iter
+      (fun p ->
+        ignore
+          (ensure_resilience_bound
+             ~allow_under_provisioned:(p = Fault.Campaign.Naive_fast)
+             (Fault.Campaign.default_cfg p ~t ~b)))
+      protocols;
+    let seeds = List.init seeds (fun i -> i + 1) in
+    Format.printf
+      "chaos campaign: %d protocols x %d seeds x %d plans (t=%d, b=%d)@."
+      (List.length protocols) (List.length seeds) plans t b;
+    let cells =
+      Fault.Campaign.sweep ~budget ~plans_per_seed:plans ~protocols ~t ~b ~seeds
+        ()
+    in
+    print_string (Stats.Table.to_string (Fault.Campaign.matrix_table cells));
+    let unexpected = ref false in
+    List.iter
+      (fun (c : Fault.Campaign.cell) ->
+        match c.failures with
+        | [] -> ()
+        | (seed, plan) :: _ ->
+            let p = c.protocol in
+            let expected = p = Fault.Campaign.Naive_fast in
+            if not expected then unexpected := true;
+            Format.printf "@.%s broke%s — first witness (seed %d):@.  %s@."
+              (Fault.Campaign.protocol_name p)
+              (if expected then " (as Proposition 1 predicts)" else "")
+              seed
+              (Fault.Plan.to_compact plan);
+            if not no_shrink then begin
+              let repro = Fault.Campaign.violates p ~cfg:c.cfg ~seed in
+              let o = Fault.Shrink.minimize ~repro plan in
+              Format.printf
+                "shrunk %d -> %d actions in %d runs (%d still violating):@.  \
+                 %s@."
+                (Fault.Plan.length plan)
+                (Fault.Plan.length o.plan)
+                o.attempts o.reproductions
+                (Fault.Plan.to_compact o.plan);
+              Format.printf "replay: deterministic for (protocol=%s, %s, seed=%d) — verified %s@."
+                (Fault.Campaign.protocol_name p)
+                (Quorum.Config.to_string c.cfg)
+                seed
+                (if repro o.plan then "OK" else "FAILED")
+            end)
+      cells;
+    if !unexpected then exit 1
+  in
+  let term =
+    Term.(
+      const run $ protocols_arg $ t_arg $ b_arg $ seeds_arg $ plans_arg
+      $ budget_arg $ no_shrink_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep random within-budget fault plans (crashes, recoveries, \
+          partitions, duplication, Byzantine switches) over the protocols, \
+          print the survival matrix, and shrink any failure to a minimal \
+          deterministic witness.  Exits 1 if a robust protocol breaks; \
+          naive-fast breaking is the expected Proposition 1 control.")
+    term
+
 (* ----- main ------------------------------------------------------------------ *)
 
 let () =
@@ -401,5 +556,9 @@ let () =
     "robust read/write storage over Byzantine base objects (Guerraoui & \
      Vukolic, PODC'06)"
   in
-  let main = Cmd.group (Cmd.info "robustread" ~doc) [ info_cmd; run_cmd; lower_bound_cmd; check_cmd; walks_cmd ] in
+  let main =
+    Cmd.group
+      (Cmd.info "robustread" ~doc)
+      [ info_cmd; run_cmd; lower_bound_cmd; check_cmd; walks_cmd; chaos_cmd ]
+  in
   exit (Cmd.eval main)

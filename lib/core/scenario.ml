@@ -6,6 +6,25 @@ module Make (P : Protocol_intf.S) = struct
 
   let no_faults = { crashes = []; byzantine = [] }
 
+  type chaos_event =
+    | Chaos_crash of { proc : Sim.Proc_id.t; at : int }
+    | Chaos_recover of { obj : int; at : int; wipe : bool }
+    | Chaos_block of {
+        src : Sim.Proc_id.t;
+        dst : Sim.Proc_id.t;
+        from_ : int;
+        until : int;
+      }
+    | Chaos_isolate of { obj : int; from_ : int; until : int }
+    | Chaos_duplicate of {
+        src : Sim.Proc_id.t;
+        dst : Sim.Proc_id.t;
+        copies : int;
+        from_ : int;
+        until : int;
+      }
+    | Chaos_switch of { obj : int; at : int; factory : P.msg Byz.factory }
+
   type outcome = {
     op : Schedule.op;
     invoked_at : int;
@@ -21,6 +40,7 @@ module Make (P : Protocol_intf.S) = struct
     words_to_readers : int;
     messages_delivered : int;
     events_processed : int;
+    quiescent : bool;
     final_time : int;
   }
 
@@ -28,8 +48,8 @@ module Make (P : Protocol_intf.S) = struct
     | Value.Bottom -> Histories.Op.Bottom
     | Value.V s -> Histories.Op.Value s
 
-  let run ?(max_events = 1_000_000) ?(trace = false) ~cfg ~seed ~delay ~faults
-      schedule =
+  let run ?(max_events = 1_000_000) ?(trace = false) ?(chaos = []) ~cfg ~seed
+      ~delay ~faults schedule =
     let tr = if trace then Some (Sim.Trace.create ()) else None in
     let eng = Sim.Engine.create ?trace:tr ~msg_info:P.msg_info ~seed ~delay () in
     let object_ids = Sim.Proc_id.objects ~s:cfg.Quorum.Config.s in
@@ -41,31 +61,47 @@ module Make (P : Protocol_intf.S) = struct
       List.iter (fun dst -> Sim.Engine.send eng ~src ~dst m) object_ids
     in
 
-    (* Base objects: honest automata or injected Byzantine behaviours. *)
+    (* Base objects: honest automata or injected Byzantine behaviours.
+       Handlers are built by (re-)installable closures so chaos events can
+       restart an object (with wiped or persisted state) or swap in a
+       Byzantine behaviour mid-run. *)
+    let obj_states : (int, P.obj ref) Hashtbl.t = Hashtbl.create 8 in
+    let install_honest ~wipe id =
+      let i = Sim.Proc_id.obj_index id in
+      let state =
+        match Hashtbl.find_opt obj_states i with
+        | Some r when not wipe -> r
+        | Some _ | None ->
+            let r = ref (P.obj_init ~cfg ~index:i) in
+            Hashtbl.replace obj_states i r;
+            r
+      in
+      Sim.Engine.register eng id (fun env ->
+          let state', reply =
+            P.obj_handle !state ~src:env.Sim.Engine.src env.Sim.Engine.msg
+          in
+          state := state';
+          Option.iter
+            (fun m -> Sim.Engine.send eng ~src:id ~dst:env.Sim.Engine.src m)
+            reply)
+    in
+    let install_byz id factory =
+      let i = Sim.Proc_id.obj_index id in
+      let rng = Sim.Prng.split (Sim.Engine.rng eng) in
+      let behaviour = factory ~cfg ~index:i ~rng in
+      Sim.Engine.register eng id (fun env ->
+          let sends =
+            behaviour.Byz.handle ~src:env.Sim.Engine.src
+              ~now:(Sim.Engine.now eng) env.Sim.Engine.msg
+          in
+          List.iter (fun (dst, m) -> Sim.Engine.send eng ~src:id ~dst m) sends)
+    in
     List.iter
       (fun id ->
         let i = Sim.Proc_id.obj_index id in
         match List.assoc_opt i faults.byzantine with
-        | Some factory ->
-            let rng = Sim.Prng.split (Sim.Engine.rng eng) in
-            let behaviour = factory ~cfg ~index:i ~rng in
-            Sim.Engine.register eng id (fun env ->
-                let sends =
-                  behaviour.Byz.handle ~src:env.Sim.Engine.src
-                    ~now:(Sim.Engine.now eng) env.Sim.Engine.msg
-                in
-                List.iter (fun (dst, m) -> Sim.Engine.send eng ~src:id ~dst m) sends)
-        | None ->
-            let state = ref (P.obj_init ~cfg ~index:i) in
-            Sim.Engine.register eng id (fun env ->
-                let state', reply =
-                  P.obj_handle !state ~src:env.Sim.Engine.src env.Sim.Engine.msg
-                in
-                state := state';
-                Option.iter
-                  (fun m ->
-                    Sim.Engine.send eng ~src:id ~dst:env.Sim.Engine.src m)
-                  reply))
+        | Some factory -> install_byz id factory
+        | None -> install_honest ~wipe:true id)
       object_ids;
 
     (* Writer driver: a closed loop around the pure writer machine. *)
@@ -190,6 +226,37 @@ module Make (P : Protocol_intf.S) = struct
         Sim.Engine.at eng ~time (fun () -> Sim.Engine.crash eng proc))
       faults.crashes;
 
+    (* Scripted chaos events. *)
+    List.iter
+      (function
+        | Chaos_crash { proc; at } ->
+            Sim.Engine.at eng ~time:at (fun () -> Sim.Engine.crash eng proc)
+        | Chaos_recover { obj; at; wipe } ->
+            let id = Sim.Proc_id.Obj obj in
+            Sim.Engine.at eng ~time:at (fun () ->
+                Sim.Engine.recover eng id;
+                install_honest ~wipe id)
+        | Chaos_block { src; dst; from_; until } ->
+            Sim.Engine.at eng ~time:from_ (fun () ->
+                Sim.Engine.block_link eng ~src ~dst);
+            Sim.Engine.at eng ~time:until (fun () ->
+                Sim.Engine.unblock_link eng ~src ~dst)
+        | Chaos_isolate { obj; from_; until } ->
+            let id = Sim.Proc_id.Obj obj in
+            Sim.Engine.at eng ~time:from_ (fun () ->
+                Sim.Engine.block_process eng id);
+            Sim.Engine.at eng ~time:until (fun () ->
+                Sim.Engine.unblock_process eng id)
+        | Chaos_duplicate { src; dst; copies; from_; until } ->
+            Sim.Engine.at eng ~time:from_ (fun () ->
+                Sim.Engine.set_duplication eng ~src ~dst ~copies);
+            Sim.Engine.at eng ~time:until (fun () ->
+                Sim.Engine.clear_duplication eng ~src ~dst)
+        | Chaos_switch { obj; at; factory } ->
+            Sim.Engine.at eng ~time:at (fun () ->
+                install_byz (Sim.Proc_id.Obj obj) factory))
+      chaos;
+
     (* Operation schedule. *)
     List.iter
       (fun (time, op) ->
@@ -209,6 +276,7 @@ module Make (P : Protocol_intf.S) = struct
       words_to_readers = !words_to_readers;
       messages_delivered = Sim.Engine.delivered_count eng;
       events_processed;
+      quiescent = events_processed < max_events;
       final_time = Sim.Engine.now eng;
     }
 end

@@ -15,6 +15,37 @@ module Make (P : Protocol_intf.S) : sig
 
   val no_faults : fault_plan
 
+  (** Scripted chaos events, beyond the static [fault_plan]: the devices
+      a fault-injection campaign composes.  All times are absolute
+      virtual times; windows are half-open [[from_, until)]. *)
+  type chaos_event =
+    | Chaos_crash of { proc : Sim.Proc_id.t; at : int }
+        (** like [fault_plan.crashes], but schedulable alongside the
+            other chaos actions *)
+    | Chaos_recover of { obj : int; at : int; wipe : bool }
+        (** restart base object [obj]: clear its crash flag and
+            re-install the honest automaton — with freshly initialized
+            state if [wipe], with the state persisted at crash time
+            otherwise.  Messages dropped while it was down stay lost. *)
+    | Chaos_block of {
+        src : Sim.Proc_id.t;
+        dst : Sim.Proc_id.t;
+        from_ : int;
+        until : int;
+      }  (** transient one-way link outage (messages buffered, not lost) *)
+    | Chaos_isolate of { obj : int; from_ : int; until : int }
+        (** transient partition: block every link to and from [obj] *)
+    | Chaos_duplicate of {
+        src : Sim.Proc_id.t;
+        dst : Sim.Proc_id.t;
+        copies : int;
+        from_ : int;
+        until : int;
+      }  (** the link delivers [1 + copies] copies of each message *)
+    | Chaos_switch of { obj : int; at : int; factory : P.msg Byz.factory }
+        (** object [obj] turns Byzantine mid-run with the given
+            behaviour (its honest state is abandoned) *)
+
   type outcome = {
     op : Schedule.op;
     invoked_at : int;
@@ -32,12 +63,16 @@ module Make (P : Protocol_intf.S) : sig
         (** total abstract size of messages delivered to readers *)
     messages_delivered : int;
     events_processed : int;
+    quiescent : bool;
+        (** the run drained its event queue (did not hit [max_events]);
+            only then is a pending operation a liveness verdict *)
     final_time : int;
   }
 
   val run :
     ?max_events:int ->
     ?trace:bool ->
+    ?chaos:chaos_event list ->
     cfg:Quorum.Config.t ->
     seed:int ->
     delay:Sim.Delay.t ->
@@ -45,5 +80,5 @@ module Make (P : Protocol_intf.S) : sig
     Schedule.t ->
     report
   (** Execute the schedule to quiescence (or [max_events], default 1e6).
-      Deterministic in [(cfg, seed, delay, faults, schedule)]. *)
+      Deterministic in [(cfg, seed, delay, faults, chaos, schedule)]. *)
 end

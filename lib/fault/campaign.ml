@@ -1,0 +1,291 @@
+type protocol = Safe | Regular | Regular_opt | Abd | Fast_safe | Naive_fast
+
+let all_protocols = [ Safe; Regular; Regular_opt; Abd; Fast_safe; Naive_fast ]
+
+let robust_protocols = [ Safe; Regular; Regular_opt; Abd; Fast_safe ]
+
+let protocol_name = function
+  | Safe -> "safe"
+  | Regular -> "regular"
+  | Regular_opt -> "regular-opt"
+  | Abd -> "abd"
+  | Fast_safe -> "fast-safe"
+  | Naive_fast -> "naive-fast"
+
+let protocol_of_string = function
+  | "safe" -> Some Safe
+  | "regular" -> Some Regular
+  | "regular-opt" -> Some Regular_opt
+  | "abd" -> Some Abd
+  | "fast-safe" -> Some Fast_safe
+  | "naive-fast" -> Some Naive_fast
+  | _ -> None
+
+(* What each protocol promises (and the matrix holds it to).  ABD's
+   campaign configuration is crash-only (b = 0), its design regime. *)
+let claims_regularity = function
+  | Regular | Regular_opt | Abd -> true
+  | Safe | Fast_safe | Naive_fast -> false
+
+let default_cfg protocol ~t ~b =
+  match protocol with
+  | Safe | Regular | Regular_opt -> Quorum.Config.optimal ~t ~b
+  | Abd -> Quorum.Config.make_exn ~s:((2 * t) + 1) ~t ~b:0
+  | Fast_safe -> Quorum.Config.make_exn ~s:((2 * t) + (2 * b) + 1) ~t ~b
+  | Naive_fast ->
+      (* the doomed regime of Proposition 1: one object below the fast-
+         read threshold *)
+      Quorum.Config.make_exn ~s:(2 * (t + b)) ~t ~b
+
+(* ----- symbolic strategy resolution ------------------------------------- *)
+
+let core_strategy : Plan.byz_kind -> Core.Messages.t Core.Byz.factory = function
+  | Plan.Mute -> Strategies.mute
+  | Plan.Forge -> Strategies.forge_high_value ~value:"evil" ~ts_boost:9
+  | Plan.Replay -> Strategies.replay_initial
+  | Plan.Simulate -> Strategies.simulate_unwritten_write ~value:"ghost" ~ts:9
+  | Plan.Garbage -> Strategies.random_garbage
+  | Plan.Flaky { down_from; down_until } ->
+      Strategies.crash_recovery ~down_from ~down_until
+
+let regular_strategy : Plan.byz_kind -> Core.Messages.t Core.Byz.factory =
+  function
+  | Plan.Mute -> Strategies.mute
+  | Plan.Forge -> Strategies.forge_history ~value:"evil" ~ts_boost:9
+  | Plan.Replay | Plan.Flaky _ -> Strategies.stale_history ~keep:1
+  | Plan.Simulate -> Strategies.forge_history ~value:"ghost" ~ts_boost:9
+  | Plan.Garbage -> Strategies.empty_history
+
+let abd_strategy : Plan.byz_kind -> Baseline.Abd.msg Core.Byz.factory = function
+  | Plan.Mute | Plan.Flaky _ -> Core.Byz.silent
+  | Plan.Forge | Plan.Garbage ->
+      Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9
+  | Plan.Replay | Plan.Simulate ->
+      Baseline.Abd.byz_forge_high ~value:"ghost" ~ts_boost:9
+
+let fast_safe_strategy : Plan.byz_kind -> Baseline.Fast_safe.msg Core.Byz.factory
+    = function
+  | Plan.Mute | Plan.Flaky _ -> Core.Byz.silent
+  | Plan.Forge | Plan.Garbage ->
+      Baseline.Fast_safe.byz_forge_high ~value:"evil" ~ts_boost:9
+  | Plan.Replay | Plan.Simulate ->
+      Baseline.Fast_safe.byz_endorse_forgery ~value:"ghost" ~ts:9
+
+let naive_strategy : Plan.byz_kind -> Baseline.Naive_fast.msg Core.Byz.factory =
+  function
+  | Plan.Mute | Plan.Flaky _ -> Core.Byz.silent
+  | Plan.Forge | Plan.Garbage ->
+      Baseline.Naive_fast.byz_forge_high ~value:"ghost" ~ts_boost:9
+  | Plan.Replay -> Baseline.Naive_fast.byz_replay_initial
+  | Plan.Simulate -> Baseline.Naive_fast.byz_simulate_write ~value:"ghost" ~ts:9
+
+(* ----- running one (seed, plan) ----------------------------------------- *)
+
+type verdict = {
+  safety : int;
+  regularity : int;
+  liveness : int;
+  completed : int;
+  total : int;
+  quiescent : bool;
+}
+
+let run_generic (type m) (module P : Core.Protocol_intf.S with type msg = m)
+    ~(strategy : Plan.byz_kind -> m Core.Byz.factory) ~cfg ~seed ~max_events
+    (plan : Plan.t) =
+  let module Sc = Core.Scenario.Make (P) in
+  let byzantine, rev_chaos =
+    List.fold_left
+      (fun (byz, chaos) action ->
+        match action with
+        | Plan.Byz { obj; kind } -> ((obj, strategy kind) :: byz, chaos)
+        | Plan.Switch { obj; at; kind } ->
+            (byz, Sc.Chaos_switch { obj; at; factory = strategy kind } :: chaos)
+        | Plan.Crash { obj; at } ->
+            (byz, Sc.Chaos_crash { proc = Sim.Proc_id.Obj obj; at } :: chaos)
+        | Plan.Recover { obj; at; wipe } ->
+            (byz, Sc.Chaos_recover { obj; at; wipe } :: chaos)
+        | Plan.Block { src; dst; from_; until } ->
+            ( byz,
+              Sc.Chaos_block
+                {
+                  src = Plan.proc_id src;
+                  dst = Plan.proc_id dst;
+                  from_;
+                  until;
+                }
+              :: chaos )
+        | Plan.Isolate { obj; from_; until } ->
+            (byz, Sc.Chaos_isolate { obj; from_; until } :: chaos)
+        | Plan.Duplicate { src; dst; copies; from_; until } ->
+            ( byz,
+              Sc.Chaos_duplicate
+                {
+                  src = Plan.proc_id src;
+                  dst = Plan.proc_id dst;
+                  copies;
+                  from_;
+                  until;
+                }
+              :: chaos ))
+      ([], []) plan.Plan.actions
+  in
+  let rng = Sim.Prng.create ~seed in
+  let schedule =
+    Core.Schedule.merge
+      (Workload.Generate.sequential ~writes:4 ~readers:2 ~gap:60)
+      (Workload.Generate.read_mostly ~rng ~writes:0 ~readers:2
+         ~reads_per_reader:4 ~horizon:plan.Plan.horizon)
+  in
+  let rep =
+    Sc.run ~max_events ~cfg ~seed
+      ~delay:(Sim.Delay.uniform ~lo:1 ~hi:10)
+      ~chaos:(List.rev rev_chaos)
+      ~faults:{ Sc.crashes = []; byzantine }
+      schedule
+  in
+  let equal = String.equal in
+  {
+    safety = List.length (Histories.Checks.check_safety ~equal rep.history);
+    regularity =
+      List.length (Histories.Checks.check_regularity ~equal rep.history);
+    liveness =
+      List.length
+        (Histories.Checks.check_wait_freedom ~quiescent:rep.quiescent
+           rep.history);
+    completed = List.length rep.outcomes;
+    total = List.length schedule;
+    quiescent = rep.quiescent;
+  }
+
+let run_plan ?(max_events = 2_000_000) protocol ~cfg ~seed (plan : Plan.t) =
+  match protocol with
+  | Safe ->
+      run_generic
+        (module Core.Proto_safe)
+        ~strategy:core_strategy ~cfg ~seed ~max_events plan
+  | Regular ->
+      run_generic
+        (module Core.Proto_regular.Plain)
+        ~strategy:regular_strategy ~cfg ~seed ~max_events plan
+  | Regular_opt ->
+      run_generic
+        (module Core.Proto_regular.Optimized)
+        ~strategy:regular_strategy ~cfg ~seed ~max_events plan
+  | Abd ->
+      run_generic
+        (module Baseline.Abd.Regular)
+        ~strategy:abd_strategy ~cfg ~seed ~max_events plan
+  | Fast_safe ->
+      run_generic
+        (module Baseline.Fast_safe)
+        ~strategy:fast_safe_strategy ~cfg ~seed ~max_events plan
+  | Naive_fast ->
+      run_generic
+        (module Baseline.Naive_fast)
+        ~strategy:naive_strategy ~cfg ~seed ~max_events plan
+
+(* A run breaks a protocol's contract if it violates a property the
+   protocol claims: safety and wait-freedom for all, regularity on top
+   for the regular-semantics ones.  (naive-fast claims nothing, but the
+   campaign holds it to safety to exhibit the Proposition 1 violation.) *)
+let violates ?max_events protocol ~cfg ~seed plan =
+  let v = run_plan ?max_events protocol ~cfg ~seed plan in
+  v.safety > 0
+  || v.liveness > 0
+  || (claims_regularity protocol && v.regularity > 0)
+
+(* ----- sweeping seeds x plans x protocols -------------------------------- *)
+
+type cell = {
+  protocol : protocol;
+  cfg : Quorum.Config.t;
+  runs : int;
+  safety_runs : int;
+  regularity_runs : int;
+  liveness_runs : int;
+  incomplete_runs : int;
+  failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+}
+
+let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
+    protocol ~t ~b ~seeds =
+  let cfg = default_cfg protocol ~t ~b in
+  let runs = ref 0
+  and safety_runs = ref 0
+  and regularity_runs = ref 0
+  and liveness_runs = ref 0
+  and incomplete_runs = ref 0
+  and failures = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = Sim.Prng.create ~seed in
+      for _ = 1 to plans_per_seed do
+        let plan = Plan.gen ~rng ~cfg ~budget in
+        let v = run_plan ?max_events protocol ~cfg ~seed plan in
+        incr runs;
+        if v.safety > 0 then incr safety_runs;
+        if v.regularity > 0 then incr regularity_runs;
+        if not v.quiescent then incr incomplete_runs;
+        if v.liveness > 0 then incr liveness_runs;
+        let failed =
+          v.safety > 0
+          || v.liveness > 0
+          || (claims_regularity protocol && v.regularity > 0)
+        in
+        if failed then failures := (seed, plan) :: !failures
+      done)
+    seeds;
+  {
+    protocol;
+    cfg;
+    runs = !runs;
+    safety_runs = !safety_runs;
+    regularity_runs = !regularity_runs;
+    liveness_runs = !liveness_runs;
+    incomplete_runs = !incomplete_runs;
+    failures = List.rev !failures;
+  }
+
+let sweep ?max_events ?budget ?plans_per_seed ~protocols ~t ~b ~seeds () =
+  List.map
+    (fun p -> sweep_protocol ?max_events ?budget ?plans_per_seed p ~t ~b ~seeds)
+    protocols
+
+(* ----- survival matrix --------------------------------------------------- *)
+
+let matrix_table cells =
+  let table =
+    Stats.Table.create
+      ~headers:
+        [
+          "protocol"; "S"; "t"; "b"; "runs"; "safety"; "regular"; "liveness";
+          "verdict";
+        ]
+  in
+  List.iter
+    (fun c ->
+      (* Proposition 1 needs a Byzantine object: crash-only campaigns
+         cannot break even the naive fast reader's safety. *)
+      let expected_broken = c.protocol = Naive_fast && c.cfg.Quorum.Config.b > 0 in
+      let verdict =
+        match (c.failures, expected_broken) with
+        | [], false -> "survives"
+        | [], true -> "UNEXPECTED: survives"
+        | _ :: _, true -> "broken (expected)"
+        | _ :: _, false -> "BROKEN"
+      in
+      Stats.Table.add_row table
+        [
+          protocol_name c.protocol;
+          Stats.Table.cell_int c.cfg.Quorum.Config.s;
+          Stats.Table.cell_int c.cfg.Quorum.Config.t;
+          Stats.Table.cell_int c.cfg.Quorum.Config.b;
+          Stats.Table.cell_int c.runs;
+          Printf.sprintf "%d/%d" (c.runs - c.safety_runs) c.runs;
+          Printf.sprintf "%d/%d" (c.runs - c.regularity_runs) c.runs;
+          Printf.sprintf "%d/%d" (c.runs - c.liveness_runs) c.runs;
+          verdict;
+        ])
+    cells;
+  table

@@ -1,0 +1,100 @@
+(** Chaos campaigns: sweep seeds × fault plans × protocols and report a
+    survival matrix.
+
+    A campaign draws random {!Plan}s within the resilience budget of
+    each protocol's configuration, compiles the symbolic Byzantine kinds
+    down to that protocol's concrete strategies, runs the scenario, and
+    holds the resulting history to the {!Histories.Checks} oracles plus
+    the wait-freedom watchdog.  The robust protocols must survive every
+    within-budget plan (Theorems 1–4); [naive-fast] at [s = 2t + 2b] is
+    the negative control Proposition 1 dooms, and its failures feed the
+    {!Shrink} minimizer. *)
+
+type protocol = Safe | Regular | Regular_opt | Abd | Fast_safe | Naive_fast
+
+val all_protocols : protocol list
+
+val robust_protocols : protocol list
+(** Every protocol except [Naive_fast] — the ones expected to survive. *)
+
+val protocol_name : protocol -> string
+
+val protocol_of_string : string -> protocol option
+
+val claims_regularity : protocol -> bool
+(** Whether regularity violations count against the protocol ([Regular],
+    [Regular_opt], [Abd]) or only safety/wait-freedom do. *)
+
+val default_cfg : protocol -> t:int -> b:int -> Quorum.Config.t
+(** The configuration each protocol is campaigned at: optimal [2t+b+1]
+    for the paper's protocols, [2t+1] crash-only for ABD, [2t+2b+1] for
+    fast-safe — and the doomed [2t+2b] for [Naive_fast]. *)
+
+(** {2 Single runs} *)
+
+type verdict = {
+  safety : int;  (** safety violations found *)
+  regularity : int;
+  liveness : int;  (** wait-freedom violations (0 unless [quiescent]) *)
+  completed : int;  (** operations that completed *)
+  total : int;  (** operations scheduled *)
+  quiescent : bool;  (** the run drained its event queue *)
+}
+
+val run_plan :
+  ?max_events:int ->
+  protocol ->
+  cfg:Quorum.Config.t ->
+  seed:int ->
+  Plan.t ->
+  verdict
+(** Execute one (seed, plan) against [protocol] at [cfg] and check the
+    history.  Deterministic in [(protocol, cfg, seed, plan)]. *)
+
+val violates :
+  ?max_events:int -> protocol -> cfg:Quorum.Config.t -> seed:int -> Plan.t -> bool
+(** The shrinker's repro predicate: did the run break the protocol's
+    contract (safety or wait-freedom always; regularity additionally
+    when {!claims_regularity})? *)
+
+(** {2 Sweeps} *)
+
+type cell = {
+  protocol : protocol;
+  cfg : Quorum.Config.t;
+  runs : int;
+  safety_runs : int;  (** runs with ≥ 1 safety violation *)
+  regularity_runs : int;
+  liveness_runs : int;
+  incomplete_runs : int;  (** runs that hit [max_events] *)
+  failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+}
+
+val sweep_protocol :
+  ?max_events:int ->
+  ?budget:Plan.budget ->
+  ?plans_per_seed:int ->
+  protocol ->
+  t:int ->
+  b:int ->
+  seeds:int list ->
+  cell
+(** Run [plans_per_seed] (default 3) random plans per seed (drawn from a
+    per-seed PRNG, so the campaign is reproducible) at
+    [default_cfg protocol ~t ~b]. *)
+
+val sweep :
+  ?max_events:int ->
+  ?budget:Plan.budget ->
+  ?plans_per_seed:int ->
+  protocols:protocol list ->
+  t:int ->
+  b:int ->
+  seeds:int list ->
+  unit ->
+  cell list
+
+val matrix_table : cell list -> Stats.Table.t
+(** The survival matrix: one row per protocol with per-property
+    survival counts and a verdict ([Naive_fast] is {e expected} to
+    break). *)

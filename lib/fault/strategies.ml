@@ -34,6 +34,26 @@ let rewrite_read_ack f msg =
 
 let mute = Byz.silent
 
+(* An honest safe object that "crashes" for a virtual-time window: it
+   neither applies nor answers messages while down, then resumes from the
+   state it had at down time — so replies after recovery are stale with
+   respect to writes it slept through. *)
+let crash_recovery ~down_from ~down_until : t =
+  if down_until < down_from then
+    invalid_arg "Strategies.crash_recovery: empty window";
+  fun ~cfg:_ ~index ~rng:_ ->
+    let state = ref (Safe_object.init ~index) in
+    {
+      Byz.handle =
+        (fun ~src ~now msg ->
+          if now >= down_from && now < down_until then []
+          else begin
+            let state', reply = Safe_object.handle !state ~src msg in
+            state := state';
+            match reply with None -> [] | Some m -> [ (src, m) ]
+          end);
+    }
+
 let forged_pair ~ts ~value =
   let tsval = Tsval.make ~ts ~v:(Value.v value) in
   (tsval, Wtuple.make ~tsval ~tsrarray:Tsr_matrix.empty)

@@ -28,6 +28,17 @@ type t = Core.Messages.t Core.Byz.factory
 val mute : t
 (** Never reply. *)
 
+val crash_recovery : down_from:int -> down_until:int -> t
+(** An honest Figure 3 object that crashes for the virtual-time window
+    [[down_from, down_until)]: messages delivered while down are neither
+    applied nor answered, and after the window the object resumes from
+    its pre-crash state — so its replies are {e stale} with respect to
+    every write it slept through.  This is the strategy-level analogue
+    of the engine's crash/recover pair ({!Sim.Engine.recover}): it keeps
+    the object inside the [b] budget, the strongest honest-looking
+    omission fault short of lying.
+    @raise Invalid_argument if [down_until < down_from]. *)
+
 val forge_high_value : value:string -> ts_boost:int -> t
 (** Reply honestly to the writer; to readers, replace ⟨pw, w⟩ with a
     forged tuple [ts_boost] above the highest timestamp seen, carrying

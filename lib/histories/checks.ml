@@ -177,6 +177,32 @@ let check_atomicity ~equal ops =
   in
   regularity @ inversions
 
+let check_wait_freedom ~quiescent ops =
+  if not quiescent then []
+  else
+    List.filter_map
+      (fun op ->
+        if Op.is_complete op then None
+        else
+          let what =
+            match op.Op.action with
+            | Op.Read { reader; _ } -> Printf.sprintf "READ by r%d" reader
+            | Op.Write { index; _ } -> Printf.sprintf "WRITE wr%d" index
+          in
+          Some
+            {
+              read = op;
+              rule = "wait-freedom";
+              detail =
+                Printf.sprintf
+                  "%s invoked at %d never completed although the event queue \
+                   drained"
+                  what op.Op.invoked_at;
+            })
+      ops
+
+let is_wait_free ~quiescent ops = check_wait_freedom ~quiescent ops = []
+
 let is_safe ~equal ops = check_safety ~equal ops = []
 
 let is_regular ~equal ops = check_regularity ~equal ops = []

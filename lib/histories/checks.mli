@@ -31,6 +31,17 @@ val check_atomicity :
 (** @raise Invalid_argument if two writes carry equal values (the
     observed-write index would be ambiguous). *)
 
+val check_wait_freedom : quiescent:bool -> 'v Op.t list -> 'v violation list
+(** Wait-freedom watchdog (paper §2.2: every operation by a correct
+    client eventually completes).  In a finite run the verdict is only
+    meaningful once the simulator has drained its event queue: a pending
+    operation with no event left that could ever complete it is a
+    liveness violation.  Callers pass [quiescent = true] when the run
+    ended by exhausting events (not by an event or time budget); with
+    [quiescent = false] the checker abstains and returns []. *)
+
+val is_wait_free : quiescent:bool -> 'v Op.t list -> bool
+
 val is_safe : equal:('v -> 'v -> bool) -> 'v Op.t list -> bool
 
 val is_regular : equal:('v -> 'v -> bool) -> 'v Op.t list -> bool

@@ -32,6 +32,7 @@ type 'msg t = {
   mutable crashed : Proc_id.Set.t;
   mutable blocked : Link_set.t;
   mutable buffered : 'msg envelope list Link_map.t;  (* newest first *)
+  mutable duplicating : int Link_map.t;  (* extra copies per send *)
   mutable delivered : int;
   mutable dropped : int;
   rng : Prng.t;
@@ -49,6 +50,7 @@ let create ?trace ?(msg_info = fun _ -> "msg") ~seed ~delay () =
     crashed = Proc_id.Set.empty;
     blocked = Link_set.empty;
     buffered = Link_map.empty;
+    duplicating = Link_map.empty;
     delivered = 0;
     dropped = 0;
     rng = Prng.create ~seed;
@@ -121,13 +123,18 @@ let send t ~src ~dst msg =
   else begin
     tracing t (fun () ->
         Trace.Send { time = t.now; src; dst; info = t.msg_info msg });
-    let env = { src; dst; sent_at = t.now; msg } in
-    if Link_set.mem (src, dst) t.blocked then
-      t.buffered <-
-        Link_map.update (src, dst)
-          (fun prev -> Some (env :: Option.value prev ~default:[]))
-          t.buffered
-    else schedule_delivery t env
+    let copies =
+      1 + Option.value (Link_map.find_opt (src, dst) t.duplicating) ~default:0
+    in
+    for _ = 1 to copies do
+      let env = { src; dst; sent_at = t.now; msg } in
+      if Link_set.mem (src, dst) t.blocked then
+        t.buffered <-
+          Link_map.update (src, dst)
+            (fun prev -> Some (env :: Option.value prev ~default:[]))
+            t.buffered
+      else schedule_delivery t env
+    done
   end
 
 let at t ~time action = enqueue t ~at:time action
@@ -137,12 +144,52 @@ let after t ~delay action = enqueue t ~at:(t.now + delay) action
 let crash t id =
   if not (Proc_id.Set.mem id t.crashed) then begin
     t.crashed <- Proc_id.Set.add id t.crashed;
-    tracing t (fun () -> Trace.Crash { time = t.now; proc = id })
+    tracing t (fun () -> Trace.Crash { time = t.now; proc = id });
+    (* Envelopes already buffered on blocked links towards the crashed
+       process can never be delivered: account for them now rather than
+       releasing them into the drop path at unblock time (which would
+       date the drops wrong and skew [dropped_count]). *)
+    t.buffered <-
+      Link_map.filter_map
+        (fun (_, dst) envs ->
+          if Proc_id.equal dst id then begin
+            List.iter
+              (fun env ->
+                t.dropped <- t.dropped + 1;
+                tracing t (fun () ->
+                    Trace.Drop
+                      {
+                        time = t.now;
+                        src = env.src;
+                        dst = env.dst;
+                        info = t.msg_info env.msg;
+                        reason = "destination crashed";
+                      }))
+              (List.rev envs);
+            None
+          end
+          else Some envs)
+        t.buffered
+  end
+
+let recover t id =
+  if Proc_id.Set.mem id t.crashed then begin
+    t.crashed <- Proc_id.Set.remove id t.crashed;
+    tracing t (fun () -> Trace.Recover { time = t.now; proc = id })
   end
 
 let is_crashed t id = Proc_id.Set.mem id t.crashed
 
 let block_link t ~src ~dst = t.blocked <- Link_set.add (src, dst) t.blocked
+
+let set_duplication t ~src ~dst ~copies =
+  if copies < 0 then invalid_arg "Engine.set_duplication: negative copies";
+  t.duplicating <-
+    (if copies = 0 then Link_map.remove (src, dst) t.duplicating
+     else Link_map.add (src, dst) copies t.duplicating)
+
+let clear_duplication t ~src ~dst =
+  t.duplicating <- Link_map.remove (src, dst) t.duplicating
 
 let unblock_link t ~src ~dst =
   t.blocked <- Link_set.remove (src, dst) t.blocked;

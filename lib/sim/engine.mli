@@ -56,7 +56,16 @@ val after : 'msg t -> delay:int -> (unit -> unit) -> unit
 (** Schedule an action [delay] units from now. *)
 
 val crash : 'msg t -> Proc_id.t -> unit
-(** Crash a process: all its future deliveries are dropped.  Idempotent. *)
+(** Crash a process: all its future deliveries are dropped, and envelopes
+    already buffered towards it on blocked links are dropped (and counted)
+    immediately.  Idempotent. *)
+
+val recover : 'msg t -> Proc_id.t -> unit
+(** Undo a {!crash}: subsequent deliveries reach the process's handler
+    again.  Messages dropped while it was down stay lost — crash-recovery
+    loses in-flight traffic.  The caller is responsible for re-installing
+    an appropriate handler (wiped or persisted state) via {!register}.
+    No-op on a live process. *)
 
 val is_crashed : 'msg t -> Proc_id.t -> bool
 
@@ -71,6 +80,14 @@ val block_process : 'msg t -> Proc_id.t -> unit
 (** Block every link to and from the given process. *)
 
 val unblock_process : 'msg t -> Proc_id.t -> unit
+
+val set_duplication : 'msg t -> src:Proc_id.t -> dst:Proc_id.t -> copies:int -> unit
+(** Every subsequent send on the link schedules [copies] extra deliveries,
+    each with an independently drawn delay — models a duplicating network
+    layer (retransmission storms).  [copies = 0] clears the link.
+    @raise Invalid_argument on negative [copies]. *)
+
+val clear_duplication : 'msg t -> src:Proc_id.t -> dst:Proc_id.t -> unit
 
 val run : ?until:int -> ?max_events:int -> 'msg t -> int
 (** Process events until the queue is empty, virtual time would exceed

@@ -9,6 +9,7 @@ type entry =
       reason : string;
     }
   | Crash of { time : int; proc : Proc_id.t }
+  | Recover of { time : int; proc : Proc_id.t }
   | Note of { time : int; text : string }
 
 type t = { mutable rev_entries : entry list; mutable length : int }
@@ -37,6 +38,8 @@ let pp_entry ppf = function
         Proc_id.pp dst info reason
   | Crash { time; proc } ->
       Format.fprintf ppf "[%6d] %a crashes" time Proc_id.pp proc
+  | Recover { time; proc } ->
+      Format.fprintf ppf "[%6d] %a recovers" time Proc_id.pp proc
   | Note { time; text } -> Format.fprintf ppf "[%6d] note: %s" time text
 
 let pp ppf t =
@@ -47,9 +50,9 @@ let count t ~pred = List.length (List.filter pred (entries t))
 let sends_between t ~src ~dst =
   count t ~pred:(function
     | Send s -> Proc_id.equal s.src src && Proc_id.equal s.dst dst
-    | Deliver _ | Drop _ | Crash _ | Note _ -> false)
+    | Deliver _ | Drop _ | Crash _ | Recover _ | Note _ -> false)
 
 let delivered_to t ~dst =
   count t ~pred:(function
     | Deliver d -> Proc_id.equal d.dst dst
-    | Send _ | Drop _ | Crash _ | Note _ -> false)
+    | Send _ | Drop _ | Crash _ | Recover _ | Note _ -> false)

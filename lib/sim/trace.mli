@@ -16,6 +16,7 @@ type entry =
       reason : string;
     }
   | Crash of { time : int; proc : Proc_id.t }
+  | Recover of { time : int; proc : Proc_id.t }
   | Note of { time : int; text : string }
 
 type t

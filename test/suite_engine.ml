@@ -149,6 +149,52 @@ let test_trace_records () =
   Alcotest.(check int) "one delivery traced" 1
     (Trace.delivered_to trace ~dst:(Proc_id.Obj 1))
 
+let test_crash_drops_buffered () =
+  let eng = make () in
+  let got = ref 0 in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> incr got);
+  Engine.block_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 2);
+  Alcotest.(check int) "buffered, not dropped yet" 0 (Engine.dropped_count eng);
+  Engine.crash eng (Proc_id.Obj 1);
+  Alcotest.(check int) "crash drops buffered inbound immediately" 2
+    (Engine.dropped_count eng);
+  Engine.unblock_link eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "nothing released after unblock" 0 !got;
+  Alcotest.(check int) "no double counting" 2 (Engine.dropped_count eng)
+
+let test_recover_allows_delivery () =
+  let eng = make () in
+  let got = ref [] in
+  Engine.register eng (Proc_id.Obj 1) (fun env ->
+      match env.Engine.msg with Ping n -> got := n :: !got | Pong _ -> ());
+  Engine.crash eng (Proc_id.Obj 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "lost while down" [] !got;
+  Engine.recover eng (Proc_id.Obj 1);
+  Alcotest.(check bool) "no longer crashed" false
+    (Engine.is_crashed eng (Proc_id.Obj 1));
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 2);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "delivered after recovery, earlier loss stays"
+    [ 2 ] !got
+
+let test_duplication_window () =
+  let eng = make () in
+  let got = ref 0 in
+  Engine.register eng (Proc_id.Obj 1) (fun _ -> incr got);
+  Engine.set_duplication eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) ~copies:2;
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "1 + 2 copies delivered" 3 !got;
+  Engine.clear_duplication eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1);
+  Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 1) (Ping 2);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "back to single delivery" 4 !got
+
 let test_no_handler_drops () =
   let eng = make () in
   Engine.send eng ~src:Proc_id.Writer ~dst:(Proc_id.Obj 9) (Ping 1);
@@ -172,6 +218,10 @@ let suite =
         test_blocked_message_order_preserved;
       Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
       Alcotest.test_case "run max events" `Quick test_run_max_events;
+      Alcotest.test_case "crash drops buffered" `Quick test_crash_drops_buffered;
+      Alcotest.test_case "recover allows delivery" `Quick
+        test_recover_allows_delivery;
+      Alcotest.test_case "duplication window" `Quick test_duplication_window;
       Alcotest.test_case "trace records" `Quick test_trace_records;
       Alcotest.test_case "no handler drops" `Quick test_no_handler_drops;
     ] )

@@ -17,6 +17,7 @@ let () =
       Suite_gc.suite;
       Suite_scenario.suite;
       Suite_fault.suite;
+      Suite_chaos.suite;
       Suite_scenario_edge.suite;
       Suite_baselines.suite;
       Suite_fast_safe.suite;
