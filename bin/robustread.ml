@@ -157,25 +157,45 @@ let regular_attack = function
   | `Defame -> [ Fault.Strategies.defame_history ~targets:[ 1; 3 ] ~boost:10 ]
   | `Garbage -> [ Fault.Strategies.empty_history ]
 
+(* Standard CLI workload: [writes] sequential writes observed by
+   [readers] readers, plus [reads] extra random reads per reader. *)
+let cli_schedule ~seed ~writes ~readers ~reads =
+  let rng = Sim.Prng.create ~seed in
+  Core.Schedule.merge
+    (Workload.Generate.sequential ~writes ~readers ~gap:60)
+    (Workload.Generate.read_mostly ~rng ~writes:0 ~readers
+       ~reads_per_reader:reads ~horizon:(60 * (writes + 2) * (readers + 1)))
+
+let write_artifacts ~dir files =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "robustread: cannot create %s: %s@." dir
+        (Unix.error_message e);
+      exit 2);
+  List.iter
+    (fun (name, contents) ->
+      let path = Filename.concat dir name in
+      Obs.Export.write_file ~path contents;
+      Format.eprintf "wrote %s@." path)
+    files
+
 let run_generic (type m)
     (module P : Core.Protocol_intf.S with type msg = m)
     ~(byz : m Core.Byz.factory list) ~cfg ~seed ~delay ~writes ~readers ~reads
-    ~trace =
+    ~trace ~metrics ~artifacts =
   let module Sc = Core.Scenario.Make (P) in
   let b = cfg.Quorum.Config.b in
   (* the first b objects run the chosen strategy *)
   let byz_plan =
     match byz with [] -> [] | f :: _ -> List.init b (fun i -> (i + 1, f))
   in
-  let rng = Sim.Prng.create ~seed in
-  let schedule =
-    Core.Schedule.merge
-      (Workload.Generate.sequential ~writes ~readers ~gap:60)
-      (Workload.Generate.read_mostly ~rng ~writes:0 ~readers
-         ~reads_per_reader:reads ~horizon:(60 * (writes + 2) * (readers + 1)))
-  in
+  let schedule = cli_schedule ~seed ~writes ~readers ~reads in
+  let registry = if metrics then Some (Obs.Metrics.create ()) else None in
   let rep =
-    Sc.run ~trace ~cfg ~seed ~delay
+    Sc.run ~trace ?metrics:registry
+      ?clock:(if metrics then Some Unix.gettimeofday else None)
+      ~cfg ~seed ~delay
       ~faults:{ Sc.crashes = []; byzantine = byz_plan }
       schedule
   in
@@ -212,82 +232,210 @@ let run_generic (type m)
   (match rep.trace with
   | Some tr -> Format.printf "--- trace ---@.%a" Sim.Trace.pp tr
   | None -> ());
+  (match registry with
+  | Some reg ->
+      Format.printf "--- metrics ---@.%s"
+        (Stats.Table.to_string (Obs.Metrics.table reg))
+  | None -> ());
+  (match artifacts with
+  | Some dir ->
+      let files =
+        [ ("spans.jsonl", Obs.Export.spans_jsonl rep.spans) ]
+        @ (match registry with
+          | Some reg -> [ ("metrics.jsonl", Obs.Export.metrics_jsonl reg) ]
+          | None -> [])
+        @
+        match rep.trace with
+        | Some tr -> [ ("trace.jsonl", Sim.Trace.to_jsonl tr) ]
+        | None -> []
+      in
+      write_artifacts ~dir files
+  | None -> ());
   if safety <> [] || regularity <> [] then exit 1
 
+(* Protocol dispatch shared by [run] and [trace]: instantiate the chosen
+   protocol module together with the attack's concrete strategies. *)
+type dispatcher = {
+  go :
+    'm.
+    (module Core.Protocol_intf.S with type msg = 'm) ->
+    'm Core.Byz.factory list ->
+    unit;
+}
+
+let dispatch protocol attack { go } =
+  match protocol with
+  | `Safe -> go (module Core.Proto_safe) (core_attack attack)
+  | `Regular -> go (module Core.Proto_regular.Plain) (regular_attack attack)
+  | `Regular_opt ->
+      go (module Core.Proto_regular.Optimized) (regular_attack attack)
+  | `Abd ->
+      go
+        (module Baseline.Abd.Regular)
+        (match attack with
+        | `None -> []
+        | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+  | `Abd_atomic ->
+      go
+        (module Baseline.Abd.Atomic)
+        (match attack with
+        | `None -> []
+        | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+  | `Nonmod ->
+      go
+        (module Baseline.Nonmod)
+        (match attack with
+        | `None -> []
+        | `Replay -> [ Baseline.Nonmod.byz_stale ]
+        | _ -> [ Baseline.Nonmod.byz_forge_high ~value:"evil" ~ts_boost:9 ])
+  | `Auth ->
+      go
+        (module Baseline.Auth)
+        (match attack with
+        | `None -> []
+        | `Replay -> [ Baseline.Auth.byz_replay_stale ]
+        | _ -> [ Baseline.Auth.byz_forge ~value:"evil" ~ts_boost:9 ])
+  | `Naive_fast ->
+      go
+        (module Baseline.Naive_fast)
+        (match attack with
+        | `None -> []
+        | `Replay -> [ Baseline.Naive_fast.byz_replay_initial ]
+        | `Simulate ->
+            [ Baseline.Naive_fast.byz_simulate_write ~value:"ghost" ~ts:9 ]
+        | _ -> [ Baseline.Naive_fast.byz_forge_high ~value:"ghost" ~ts_boost:9 ])
+
+let writes_arg =
+  Arg.(value & opt int 3 & info [ "writes" ] ~docv:"N" ~doc:"Number of writes.")
+
+let readers_arg =
+  Arg.(value & opt int 2 & info [ "readers" ] ~docv:"R" ~doc:"Number of readers.")
+
+let reads_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "reads" ] ~docv:"N" ~doc:"Extra random reads per reader.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect observability metrics (round-count/latency histograms, \
+           wire counters, queue depth) and print the table.")
+
+let artifacts_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "artifacts" ] ~docv:"DIR"
+        ~doc:"Write span/metrics/trace JSONL artifacts into $(docv).")
+
 let run_cmd =
-  let writes_arg =
-    Arg.(value & opt int 3 & info [ "writes" ] ~docv:"N" ~doc:"Number of writes.")
-  in
-  let readers_arg =
-    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"R" ~doc:"Number of readers.")
-  in
-  let reads_arg =
-    Arg.(
-      value & opt int 4
-      & info [ "reads" ] ~docv:"N" ~doc:"Extra random reads per reader.")
-  in
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full message trace.")
   in
-  let run protocol t b s seed delay attack writes readers reads trace =
+  let run protocol t b s seed delay attack writes readers reads trace metrics
+      artifacts =
     let cfg = config ~s ~t ~b () in
-    let go (type m) (module P : Core.Protocol_intf.S with type msg = m)
-        (byz : m Core.Byz.factory list) =
-      run_generic (module P) ~byz ~cfg ~seed ~delay ~writes ~readers ~reads
-        ~trace
-    in
-    match protocol with
-    | `Safe -> go (module Core.Proto_safe) (core_attack attack)
-    | `Regular -> go (module Core.Proto_regular.Plain) (regular_attack attack)
-    | `Regular_opt ->
-        go (module Core.Proto_regular.Optimized) (regular_attack attack)
-    | `Abd ->
-        go
-          (module Baseline.Abd.Regular)
-          (match attack with
-          | `None -> []
-          | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
-    | `Abd_atomic ->
-        go
-          (module Baseline.Abd.Atomic)
-          (match attack with
-          | `None -> []
-          | _ -> [ Baseline.Abd.byz_forge_high ~value:"evil" ~ts_boost:9 ])
-    | `Nonmod ->
-        go
-          (module Baseline.Nonmod)
-          (match attack with
-          | `None -> []
-          | `Replay -> [ Baseline.Nonmod.byz_stale ]
-          | _ -> [ Baseline.Nonmod.byz_forge_high ~value:"evil" ~ts_boost:9 ])
-    | `Auth ->
-        go
-          (module Baseline.Auth)
-          (match attack with
-          | `None -> []
-          | `Replay -> [ Baseline.Auth.byz_replay_stale ]
-          | _ -> [ Baseline.Auth.byz_forge ~value:"evil" ~ts_boost:9 ])
-    | `Naive_fast ->
-        go
-          (module Baseline.Naive_fast)
-          (match attack with
-          | `None -> []
-          | `Replay -> [ Baseline.Naive_fast.byz_replay_initial ]
-          | `Simulate ->
-              [ Baseline.Naive_fast.byz_simulate_write ~value:"ghost" ~ts:9 ]
-          | _ ->
-              [ Baseline.Naive_fast.byz_forge_high ~value:"ghost" ~ts_boost:9 ])
+    (* artifacts always need the raw trace to link spans to entries *)
+    let trace = trace || artifacts <> None in
+    dispatch protocol attack
+      {
+        go =
+          (fun (type m) (module P : Core.Protocol_intf.S with type msg = m)
+               (byz : m Core.Byz.factory list) ->
+            run_generic (module P) ~byz ~cfg ~seed ~delay ~writes ~readers
+              ~reads ~trace ~metrics ~artifacts);
+      }
   in
   let term =
     Term.(
       const run $ protocol_arg $ t_arg $ b_arg $ s_arg $ seed_arg $ delay_arg
-      $ attack_arg $ writes_arg $ readers_arg $ reads_arg $ trace_arg)
+      $ attack_arg $ writes_arg $ readers_arg $ reads_arg $ trace_arg
+      $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run a simulated workload on a protocol, print per-operation \
           results and check the history.")
+    term
+
+(* ----- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the span JSONL to $(docv) instead of stdout.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Also emit the raw message-trace entries (the low-level events \
+             each span's trace_first/trace_len indexes into).")
+  in
+  let run protocol t b s seed delay attack writes readers reads out raw =
+    let cfg = config ~s ~t ~b () in
+    dispatch protocol attack
+      {
+        go =
+          (fun (type m) (module P : Core.Protocol_intf.S with type msg = m)
+               (byz : m Core.Byz.factory list) ->
+            let module Sc = Core.Scenario.Make (P) in
+            let nbyz = cfg.Quorum.Config.b in
+            let byz_plan =
+              match byz with
+              | [] -> []
+              | f :: _ -> List.init nbyz (fun i -> (i + 1, f))
+            in
+            let schedule = cli_schedule ~seed ~writes ~readers ~reads in
+            let rep =
+              Sc.run ~trace:true ~cfg ~seed ~delay
+                ~faults:{ Sc.crashes = []; byzantine = byz_plan }
+                schedule
+            in
+            let payload =
+              Obs.Export.spans_jsonl rep.spans
+              ^
+              match (raw, rep.trace) with
+              | true, Some tr -> Sim.Trace.to_jsonl tr
+              | _ -> ""
+            in
+            (match out with
+            | "-" -> print_string payload
+            | path ->
+                Obs.Export.write_file ~path payload;
+                Format.eprintf "wrote %s@." path);
+            let completed =
+              List.length (List.filter Obs.Span.completed rep.spans)
+            in
+            match rep.trace with
+            | Some tr ->
+                let st = Sim.Trace.stats tr in
+                Format.eprintf
+                  "%d spans (%d completed); %d sends, %d delivers, %d drops@."
+                  (List.length rep.spans) completed st.Sim.Trace.sends
+                  st.delivers st.drops
+            | None -> ());
+      }
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ t_arg $ b_arg $ s_arg $ seed_arg $ delay_arg
+      $ attack_arg $ writes_arg $ readers_arg $ reads_arg $ out_arg $ raw_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a simulated workload and export one deterministic JSONL span \
+          per operation (proc, start/end, round transitions, contacted \
+          objects, links into the raw trace).  Byte-identical across runs \
+          with the same parameters; the golden-trace tests pin it.")
     term
 
 (* ----- lower-bound -------------------------------------------------------- *)
@@ -476,7 +624,7 @@ let chaos_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Do not minimize failure witnesses.")
   in
-  let run protocol t b seeds plans budget no_shrink =
+  let run protocol t b seeds plans budget no_shrink metrics artifacts =
     (* Same validator as run/check; the campaign's own configurations are
        per-protocol, with naive-fast deliberately under-provisioned. *)
     let _ = config ~s:None ~t ~b () in
@@ -501,6 +649,26 @@ let chaos_cmd =
         ()
     in
     print_string (Stats.Table.to_string (Fault.Campaign.matrix_table cells));
+    if metrics then begin
+      Format.printf "@.per-cell observability (round distributions are r:count):@.";
+      print_string (Stats.Table.to_string (Fault.Campaign.metrics_table cells))
+    end;
+    (match artifacts with
+    | Some dir ->
+        write_artifacts ~dir
+          (List.map
+             (fun (c : Fault.Campaign.cell) ->
+               let name = Fault.Campaign.protocol_name c.protocol in
+               ( name ^ ".metrics.jsonl",
+                 Obs.Export.metrics_jsonl
+                   ~labels:
+                     [
+                       ("protocol", name);
+                       ("cfg", Quorum.Config.to_string c.cfg);
+                     ]
+                   c.metrics ))
+             cells)
+    | None -> ());
     let unexpected = ref false in
     List.iter
       (fun (c : Fault.Campaign.cell) ->
@@ -537,7 +705,7 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ protocols_arg $ t_arg $ b_arg $ seeds_arg $ plans_arg
-      $ budget_arg $ no_shrink_arg)
+      $ budget_arg $ no_shrink_arg $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -559,6 +727,14 @@ let () =
   let main =
     Cmd.group
       (Cmd.info "robustread" ~doc)
-      [ info_cmd; run_cmd; lower_bound_cmd; check_cmd; walks_cmd; chaos_cmd ]
+      [
+        info_cmd;
+        run_cmd;
+        trace_cmd;
+        lower_bound_cmd;
+        check_cmd;
+        walks_cmd;
+        chaos_cmd;
+      ]
   in
   exit (Cmd.eval main)

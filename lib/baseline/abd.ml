@@ -23,6 +23,15 @@ let msg_size_words = function
       2 + value_words v
   | Write_ack _ | Read_req _ | Write_back_ack _ -> 2
 
+(* The reader's write-back is its second round. *)
+let msg_class = function
+  | Write_req _ -> Obs.Wire.write ~round:1 ~request:true
+  | Write_ack _ -> Obs.Wire.write ~round:1 ~request:false
+  | Read_req _ -> Obs.Wire.read ~round:1 ~request:true
+  | Read_ack _ -> Obs.Wire.read ~round:1 ~request:false
+  | Write_back _ -> Obs.Wire.read ~round:2 ~request:true
+  | Write_back_ack _ -> Obs.Wire.read ~round:2 ~request:false
+
 (* Object: the classic ⟨ts, v⟩ cell; adopts any fresher pair, including
    reader write-backs. *)
 type obj = { index : int; ts : int; v : Value.t }
@@ -137,6 +146,8 @@ module Common = struct
   let msg_info = msg_info
 
   let msg_size_words = msg_size_words
+
+  let msg_class = msg_class
 
   type nonrec obj = obj
 

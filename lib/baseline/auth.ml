@@ -24,6 +24,12 @@ let msg_size_words = function
   | Write_req { sv } | Read_ack { sv; _ } -> 3 + value_words sv.v
   | Write_ack _ | Read_req _ -> 2
 
+let msg_class = function
+  | Write_req _ -> Obs.Wire.write ~round:1 ~request:true
+  | Write_ack _ -> Obs.Wire.write ~round:1 ~request:false
+  | Read_req _ -> Obs.Wire.read ~round:1 ~request:true
+  | Read_ack _ -> Obs.Wire.read ~round:1 ~request:false
+
 type obj = { index : int; sv : sigval }
 
 let obj_init ~cfg:_ ~index = { index; sv = initial_sv }

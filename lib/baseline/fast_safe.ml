@@ -20,6 +20,12 @@ let msg_size_words = function
   | Write_req { v; _ } | Read_ack { v; _ } -> 2 + value_words v
   | Write_ack _ | Read_req _ -> 2
 
+let msg_class = function
+  | Write_req _ -> Obs.Wire.write ~round:1 ~request:true
+  | Write_ack _ -> Obs.Wire.write ~round:1 ~request:false
+  | Read_req _ -> Obs.Wire.read ~round:1 ~request:true
+  | Read_ack _ -> Obs.Wire.read ~round:1 ~request:false
+
 type obj = { index : int; ts : int; v : Value.t }
 
 let obj_init ~cfg:_ ~index = { index; ts = 0; v = Value.bottom }

@@ -29,6 +29,14 @@ let msg_size_words = function
   | Read _ -> 2
   | Read_ack { pw; w; _ } -> 2 + tsval_words pw + tsval_words w
 
+let msg_class = function
+  | Pw _ -> Obs.Wire.write ~round:1 ~request:true
+  | Pw_ack _ -> Obs.Wire.write ~round:1 ~request:false
+  | W _ -> Obs.Wire.write ~round:2 ~request:true
+  | W_ack _ -> Obs.Wire.write ~round:2 ~request:false
+  | Read { phase; _ } -> Obs.Wire.read ~round:phase ~request:true
+  | Read_ack { phase; _ } -> Obs.Wire.read ~round:phase ~request:false
+
 (* Object: pre-written and written pairs; readers never change it. *)
 type obj = { index : int; ts : int; opw : Tsval.t; ow : Tsval.t }
 

@@ -59,6 +59,16 @@ let size_words = function
   | Read1_ack_h { history; _ } | Read2_ack_h { history; _ } ->
       1 + history_words history
 
+let classify = function
+  | Pw _ -> Obs.Wire.write ~round:1 ~request:true
+  | Pw_ack _ -> Obs.Wire.write ~round:1 ~request:false
+  | W _ -> Obs.Wire.write ~round:2 ~request:true
+  | W_ack _ -> Obs.Wire.write ~round:2 ~request:false
+  | Read1 _ -> Obs.Wire.read ~round:1 ~request:true
+  | Read2 _ -> Obs.Wire.read ~round:2 ~request:true
+  | Read1_ack _ | Read1_ack_h _ -> Obs.Wire.read ~round:1 ~request:false
+  | Read2_ack _ | Read2_ack_h _ -> Obs.Wire.read ~round:2 ~request:false
+
 let is_read_round = function
   | Read1 _ -> Some 1
   | Read2 _ -> Some 2

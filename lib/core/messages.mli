@@ -36,3 +36,7 @@ val size_words : t -> int
 
 val is_read_round : t -> int option
 (** [Some 1] for [Read1], [Some 2] for [Read2], [None] otherwise. *)
+
+val classify : t -> Obs.Wire.t
+(** Observability classification shared by every protocol speaking this
+    wire format (safe, regular, and their variants). *)

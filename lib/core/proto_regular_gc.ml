@@ -9,6 +9,8 @@ end) : Protocol_intf.S with type msg = Messages.t = struct
 
   let msg_size_words = Messages.size_words
 
+  let msg_class = Messages.classify
+
   type obj = Regular_object_gc.t
 
   let obj_init ~cfg:_ ~index = Regular_object_gc.init ~index ~readers:C.readers

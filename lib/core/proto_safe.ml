@@ -8,6 +8,8 @@ let msg_info = Messages.info
 
 let msg_size_words = Messages.size_words
 
+let msg_class = Messages.classify
+
 type obj = Safe_object.t
 
 let obj_init ~cfg:_ ~index = Safe_object.init ~index

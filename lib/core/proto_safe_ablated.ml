@@ -16,6 +16,8 @@ end) : Protocol_intf.S with type msg = Messages.t = struct
 
   let msg_size_words = Messages.size_words
 
+  let msg_class = Messages.classify
+
   type obj = Safe_object.t
 
   let obj_init ~cfg:_ ~index = Safe_object.init ~index

@@ -19,6 +19,11 @@ module type S = sig
 
   val msg_size_words : msg -> int
 
+  val msg_class : msg -> Obs.Wire.t
+  (** Observability classification (operation kind, round, direction);
+      lets the engine and metrics layer attribute traffic to protocol
+      rounds without decoding the wire format. *)
+
   (** {2 Base object} *)
 
   type obj

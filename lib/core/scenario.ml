@@ -37,6 +37,7 @@ module Make (P : Protocol_intf.S) = struct
     history : string Histories.Op.t list;
     outcomes : outcome list;
     trace : Sim.Trace.t option;
+    spans : Obs.Span.t list;
     words_to_readers : int;
     messages_delivered : int;
     events_processed : int;
@@ -48,14 +49,19 @@ module Make (P : Protocol_intf.S) = struct
     | Value.Bottom -> Histories.Op.Bottom
     | Value.V s -> Histories.Op.Value s
 
-  let run ?(max_events = 1_000_000) ?(trace = false) ?(chaos = []) ~cfg ~seed
-      ~delay ~faults schedule =
+  let run ?(max_events = 1_000_000) ?(trace = false) ?(chaos = []) ?metrics
+      ?clock ~cfg ~seed ~delay ~faults schedule =
     let tr = if trace then Some (Sim.Trace.create ()) else None in
-    let eng = Sim.Engine.create ?trace:tr ~msg_info:P.msg_info ~seed ~delay () in
+    let eng =
+      Sim.Engine.create ?trace:tr ~msg_info:P.msg_info ?metrics
+        ~classify:P.msg_class ?clock ~seed ~delay ()
+    in
     let object_ids = Sim.Proc_id.objects ~s:cfg.Quorum.Config.s in
     let recorder : string Histories.Recorder.t = Histories.Recorder.create () in
     let outcomes = ref [] in
     let words_to_readers = ref 0 in
+    let collector = Obs.Span.collector () in
+    let trace_pos () = match tr with Some tr -> Sim.Trace.length tr | None -> 0 in
 
     let broadcast ~src m =
       List.iter (fun dst -> Sim.Engine.send eng ~src ~dst m) object_ids
@@ -121,19 +127,30 @@ module Make (P : Protocol_intf.S) = struct
             let handle =
               Histories.Recorder.invoke_write recorder ~time:now payload
             in
-            writer_inflight := Some (v, handle, now);
+            let span =
+              Obs.Span.start collector Obs.Span.Write ~proc:"w" ~now
+                ~trace_pos:(trace_pos ())
+            in
+            writer_inflight := Some (v, handle, now, span);
             broadcast ~src:Sim.Proc_id.Writer m
       end
     and writer_apply_events events =
       List.iter
         (function
-          | Events.Broadcast m -> broadcast ~src:Sim.Proc_id.Writer m
+          | Events.Broadcast m ->
+              (* a broadcast while a write is open starts its next round *)
+              Option.iter
+                (fun (_, _, _, span) ->
+                  Obs.Span.transition span ~now:(Sim.Engine.now eng))
+                !writer_inflight;
+              broadcast ~src:Sim.Proc_id.Writer m
           | Events.Write_done { rounds } -> (
               match !writer_inflight with
               | None -> ()
-              | Some (v, handle, invoked_at) ->
+              | Some (v, handle, invoked_at, span) ->
                   let now = Sim.Engine.now eng in
                   Histories.Recorder.respond_write recorder handle ~time:now;
+                  Obs.Span.finish span ~now ~rounds ~trace_pos:(trace_pos ()) ();
                   outcomes :=
                     {
                       op = Schedule.Write v;
@@ -151,6 +168,9 @@ module Make (P : Protocol_intf.S) = struct
     Sim.Engine.register eng Sim.Proc_id.Writer (fun env ->
         match env.Sim.Engine.src with
         | Sim.Proc_id.Obj i ->
+            Option.iter
+              (fun (_, _, _, span) -> Obs.Span.contact span ~obj:i)
+              !writer_inflight;
             let sm, events =
               P.writer_on_msg !writer_sm ~obj:i env.Sim.Engine.msg
             in
@@ -178,20 +198,34 @@ module Make (P : Protocol_intf.S) = struct
                 let handle =
                   Histories.Recorder.invoke_read recorder ~time:now ~reader:j
                 in
-                inflight := Some (handle, now);
+                let span =
+                  Obs.Span.start collector
+                    (Obs.Span.Read { reader = j })
+                    ~proc:(Sim.Proc_id.to_string id) ~now
+                    ~trace_pos:(trace_pos ())
+                in
+                inflight := Some (handle, now, span);
                 broadcast ~src:id m
           end
         and apply_events events =
           List.iter
             (function
-              | Events.Broadcast m -> broadcast ~src:id m
+              | Events.Broadcast m ->
+                  Option.iter
+                    (fun (_, _, span) ->
+                      Obs.Span.transition span ~now:(Sim.Engine.now eng))
+                    !inflight;
+                  broadcast ~src:id m
               | Events.Read_done { value; rounds } -> (
                   match !inflight with
                   | None -> ()
-                  | Some (handle, invoked_at) ->
+                  | Some (handle, invoked_at, span) ->
                       let now = Sim.Engine.now eng in
                       Histories.Recorder.respond_read recorder handle ~time:now
                         (value_to_result value);
+                      Obs.Span.finish span ~now ~rounds
+                        ~result:(Value.to_string value)
+                        ~trace_pos:(trace_pos ()) ();
                       outcomes :=
                         {
                           op = Schedule.Read { reader = j };
@@ -214,6 +248,9 @@ module Make (P : Protocol_intf.S) = struct
             | Sim.Proc_id.Obj i ->
                 words_to_readers :=
                   !words_to_readers + P.msg_size_words env.Sim.Engine.msg;
+                Option.iter
+                  (fun (_, _, span) -> Obs.Span.contact span ~obj:i)
+                  !inflight;
                 let sm', events = P.reader_on_msg !sm ~obj:i env.Sim.Engine.msg in
                 sm := sm';
                 apply_events events
@@ -269,10 +306,36 @@ module Make (P : Protocol_intf.S) = struct
       schedule;
 
     let events_processed = Sim.Engine.run ~max_events eng in
+    let spans = Obs.Span.spans collector in
+    (* Per-operation metrics derived from the spans, so every consumer
+       (CLI tables, campaign cells, bench) aggregates the same way. *)
+    Option.iter
+      (fun m ->
+        Obs.Metrics.add m "reader.words" !words_to_readers;
+        List.iter
+          (fun (s : Obs.Span.t) ->
+            let k = "op." ^ Obs.Span.kind_to_string s.Obs.Span.kind in
+            match s.Obs.Span.completed_at with
+            | None -> Obs.Metrics.incr m (k ^ ".open")
+            | Some completed_at ->
+                Obs.Metrics.incr m (k ^ ".completed");
+                Obs.Metrics.observe_int m (k ^ ".rounds")
+                  ~bounds:Obs.Metrics.round_bounds s.Obs.Span.rounds;
+                Obs.Metrics.observe_int m (k ^ ".latency")
+                  ~bounds:Obs.Metrics.latency_bounds
+                  (completed_at - s.Obs.Span.started_at);
+                Obs.Metrics.observe_int m (k ^ ".replies")
+                  ~bounds:Obs.Metrics.count_bounds s.Obs.Span.replies;
+                Obs.Metrics.observe_int m (k ^ ".contacted")
+                  ~bounds:Obs.Metrics.count_bounds
+                  (List.length (Obs.Span.contacted s)))
+          spans)
+      metrics;
     {
       history = Histories.Recorder.ops recorder;
       outcomes = List.rev !outcomes;
       trace = tr;
+      spans;
       words_to_readers = !words_to_readers;
       messages_delivered = Sim.Engine.delivered_count eng;
       events_processed;

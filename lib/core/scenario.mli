@@ -59,6 +59,10 @@ module Make (P : Protocol_intf.S) : sig
         (** the run's operation history (⊥ mapped to {!Histories.Op.Bottom}) *)
     outcomes : outcome list;  (** completed operations, completion order *)
     trace : Sim.Trace.t option;
+    spans : Obs.Span.t list;
+        (** one span per invoked operation, invocation order; spans link
+            to the raw trace entries recorded while they were open (when
+            tracing) and stay open if the operation never completed *)
     words_to_readers : int;
         (** total abstract size of messages delivered to readers *)
     messages_delivered : int;
@@ -73,6 +77,8 @@ module Make (P : Protocol_intf.S) : sig
     ?max_events:int ->
     ?trace:bool ->
     ?chaos:chaos_event list ->
+    ?metrics:Obs.Metrics.t ->
+    ?clock:(unit -> float) ->
     cfg:Quorum.Config.t ->
     seed:int ->
     delay:Sim.Delay.t ->
@@ -80,5 +86,12 @@ module Make (P : Protocol_intf.S) : sig
     Schedule.t ->
     report
   (** Execute the schedule to quiescence (or [max_events], default 1e6).
-      Deterministic in [(cfg, seed, delay, faults, chaos, schedule)]. *)
+      Deterministic in [(cfg, seed, delay, faults, chaos, schedule)].
+
+      With [metrics], the run populates the registry: engine counters
+      and queue-depth histograms, per-class wire counters, and
+      per-operation histograms derived from the spans ([op.read.rounds],
+      [op.write.latency], ...).  [clock] additionally meters host
+      wall-clock per simulated event (see {!Sim.Engine.create}); leave
+      it unset wherever determinism matters. *)
 end

@@ -88,11 +88,12 @@ type verdict = {
   completed : int;
   total : int;
   quiescent : bool;
+  spans : Obs.Span.t list;
 }
 
 let run_generic (type m) (module P : Core.Protocol_intf.S with type msg = m)
-    ~(strategy : Plan.byz_kind -> m Core.Byz.factory) ~cfg ~seed ~max_events
-    (plan : Plan.t) =
+    ~(strategy : Plan.byz_kind -> m Core.Byz.factory) ?metrics ~cfg ~seed
+    ~max_events (plan : Plan.t) =
   let module Sc = Core.Scenario.Make (P) in
   let byzantine, rev_chaos =
     List.fold_left
@@ -138,7 +139,7 @@ let run_generic (type m) (module P : Core.Protocol_intf.S with type msg = m)
          ~reads_per_reader:4 ~horizon:plan.Plan.horizon)
   in
   let rep =
-    Sc.run ~max_events ~cfg ~seed
+    Sc.run ~max_events ?metrics ~cfg ~seed
       ~delay:(Sim.Delay.uniform ~lo:1 ~hi:10)
       ~chaos:(List.rev rev_chaos)
       ~faults:{ Sc.crashes = []; byzantine }
@@ -156,34 +157,36 @@ let run_generic (type m) (module P : Core.Protocol_intf.S with type msg = m)
     completed = List.length rep.outcomes;
     total = List.length schedule;
     quiescent = rep.quiescent;
+    spans = rep.spans;
   }
 
-let run_plan ?(max_events = 2_000_000) protocol ~cfg ~seed (plan : Plan.t) =
+let run_plan ?(max_events = 2_000_000) ?metrics protocol ~cfg ~seed
+    (plan : Plan.t) =
   match protocol with
   | Safe ->
       run_generic
         (module Core.Proto_safe)
-        ~strategy:core_strategy ~cfg ~seed ~max_events plan
+        ~strategy:core_strategy ?metrics ~cfg ~seed ~max_events plan
   | Regular ->
       run_generic
         (module Core.Proto_regular.Plain)
-        ~strategy:regular_strategy ~cfg ~seed ~max_events plan
+        ~strategy:regular_strategy ?metrics ~cfg ~seed ~max_events plan
   | Regular_opt ->
       run_generic
         (module Core.Proto_regular.Optimized)
-        ~strategy:regular_strategy ~cfg ~seed ~max_events plan
+        ~strategy:regular_strategy ?metrics ~cfg ~seed ~max_events plan
   | Abd ->
       run_generic
         (module Baseline.Abd.Regular)
-        ~strategy:abd_strategy ~cfg ~seed ~max_events plan
+        ~strategy:abd_strategy ?metrics ~cfg ~seed ~max_events plan
   | Fast_safe ->
       run_generic
         (module Baseline.Fast_safe)
-        ~strategy:fast_safe_strategy ~cfg ~seed ~max_events plan
+        ~strategy:fast_safe_strategy ?metrics ~cfg ~seed ~max_events plan
   | Naive_fast ->
       run_generic
         (module Baseline.Naive_fast)
-        ~strategy:naive_strategy ~cfg ~seed ~max_events plan
+        ~strategy:naive_strategy ?metrics ~cfg ~seed ~max_events plan
 
 (* A run breaks a protocol's contract if it violates a property the
    protocol claims: safety and wait-freedom for all, regularity on top
@@ -206,11 +209,13 @@ type cell = {
   liveness_runs : int;
   incomplete_runs : int;
   failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+  metrics : Obs.Metrics.t;
 }
 
 let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
     protocol ~t ~b ~seeds =
   let cfg = default_cfg protocol ~t ~b in
+  let metrics = Obs.Metrics.create () in
   let runs = ref 0
   and safety_runs = ref 0
   and regularity_runs = ref 0
@@ -222,7 +227,7 @@ let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
       let rng = Sim.Prng.create ~seed in
       for _ = 1 to plans_per_seed do
         let plan = Plan.gen ~rng ~cfg ~budget in
-        let v = run_plan ?max_events protocol ~cfg ~seed plan in
+        let v = run_plan ?max_events ~metrics protocol ~cfg ~seed plan in
         incr runs;
         if v.safety > 0 then incr safety_runs;
         if v.regularity > 0 then incr regularity_runs;
@@ -245,6 +250,7 @@ let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
     liveness_runs = !liveness_runs;
     incomplete_runs = !incomplete_runs;
     failures = List.rev !failures;
+    metrics;
   }
 
 let sweep ?max_events ?budget ?plans_per_seed ~protocols ~t ~b ~seeds () =
@@ -286,6 +292,62 @@ let matrix_table cells =
           Printf.sprintf "%d/%d" (c.runs - c.regularity_runs) c.runs;
           Printf.sprintf "%d/%d" (c.runs - c.liveness_runs) c.runs;
           verdict;
+        ])
+    cells;
+  table
+
+(* ----- per-cell metrics --------------------------------------------------- *)
+
+(* Exact round-count distribution, e.g. "1:0 2:64" — round counts are
+   tiny integers, so the histogram buckets are the counts themselves. *)
+let round_histogram_cell c name =
+  match Obs.Metrics.find_histogram c.metrics name with
+  | None -> "-"
+  | Some h when Obs.Metrics.Histogram.count h = 0 -> "-"
+  | Some h ->
+      Obs.Metrics.Histogram.buckets h
+      |> List.filter_map (fun (_, hi, count) ->
+             if count = 0 then None
+             else if Float.is_finite hi then
+               Some (Printf.sprintf "%.0f:%d" hi count)
+             else Some (Printf.sprintf ">:%d" count))
+      |> String.concat " "
+
+let metrics_table cells =
+  let table =
+    Stats.Table.create
+      ~headers:
+        [
+          "protocol"; "reads"; "read rounds"; "writes"; "write rounds";
+          "open ops"; "delivered"; "queue p99";
+        ]
+  in
+  List.iter
+    (fun c ->
+      let m = c.metrics in
+      let hist_count name =
+        match Obs.Metrics.find_histogram m name with
+        | None -> 0
+        | Some h -> Obs.Metrics.Histogram.count h
+      in
+      let queue_p99 =
+        match Obs.Metrics.find_histogram m "engine.queue_depth" with
+        | Some h when Obs.Metrics.Histogram.count h > 0 ->
+            Printf.sprintf "%g" (Obs.Metrics.Histogram.quantile h 99.0)
+        | Some _ | None -> "-"
+      in
+      Stats.Table.add_row table
+        [
+          protocol_name c.protocol;
+          Stats.Table.cell_int (hist_count "op.read.rounds");
+          round_histogram_cell c "op.read.rounds";
+          Stats.Table.cell_int (hist_count "op.write.rounds");
+          round_histogram_cell c "op.write.rounds";
+          Stats.Table.cell_int
+            (Obs.Metrics.counter_value m "op.read.open"
+            + Obs.Metrics.counter_value m "op.write.open");
+          Stats.Table.cell_int (Obs.Metrics.counter_value m "engine.delivered");
+          queue_p99;
         ])
     cells;
   table

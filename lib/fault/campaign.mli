@@ -39,17 +39,21 @@ type verdict = {
   completed : int;  (** operations that completed *)
   total : int;  (** operations scheduled *)
   quiescent : bool;  (** the run drained its event queue *)
+  spans : Obs.Span.t list;  (** per-operation spans, invocation order *)
 }
 
 val run_plan :
   ?max_events:int ->
+  ?metrics:Obs.Metrics.t ->
   protocol ->
   cfg:Quorum.Config.t ->
   seed:int ->
   Plan.t ->
   verdict
 (** Execute one (seed, plan) against [protocol] at [cfg] and check the
-    history.  Deterministic in [(protocol, cfg, seed, plan)]. *)
+    history.  Deterministic in [(protocol, cfg, seed, plan)].  With
+    [metrics], the run's observations accumulate into the registry
+    (pass the same registry to many runs to aggregate a cell). *)
 
 val violates :
   ?max_events:int -> protocol -> cfg:Quorum.Config.t -> seed:int -> Plan.t -> bool
@@ -68,6 +72,9 @@ type cell = {
   liveness_runs : int;
   incomplete_runs : int;  (** runs that hit [max_events] *)
   failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+  metrics : Obs.Metrics.t;
+      (** merged observability registry over every run in the cell:
+          round-count/latency histograms, wire counters, queue depth *)
 }
 
 val sweep_protocol :
@@ -98,3 +105,9 @@ val matrix_table : cell list -> Stats.Table.t
 (** The survival matrix: one row per protocol with per-property
     survival counts and a verdict ([Naive_fast] is {e expected} to
     break). *)
+
+val metrics_table : cell list -> Stats.Table.t
+(** One row per campaign cell: completed read/write counts, the exact
+    round-count distributions (e.g. ["2:64"] — the paper's 2-round
+    claim made visible per cell), open operations, delivered messages
+    and queue-depth p99. *)

@@ -1,0 +1,170 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* Deterministic float rendering: shortest decimal round-trip would be
+     ideal, but a fixed %g with enough digits is stable and readable;
+     non-finite floats (histogram sentinels) encode as strings. *)
+  let float_repr x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.9g" x
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float x ->
+        if Float.is_finite x then Buffer.add_string buf (float_repr x)
+        else begin
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (if x > 0.0 then "inf" else if x < 0.0 then "-inf" else "nan");
+          Buffer.add_char buf '"'
+        end
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    write buf j;
+    Buffer.contents buf
+
+  let of_option f = function None -> Null | Some x -> f x
+end
+
+let span_json (s : Span.t) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Span.id);
+      ("kind", Json.Str (Span.kind_to_string s.Span.kind));
+      ("proc", Json.Str s.Span.proc);
+      ( "reader",
+        match s.Span.kind with
+        | Span.Read { reader } -> Json.Int reader
+        | Span.Write -> Json.Null );
+      ("start", Json.Int s.Span.started_at);
+      ("end", Json.of_option (fun t -> Json.Int t) s.Span.completed_at);
+      ("rounds", Json.Int s.Span.rounds);
+      ( "reported_rounds",
+        Json.of_option (fun r -> Json.Int r) s.Span.reported_rounds );
+      ( "transitions",
+        Json.List
+          (List.map
+             (fun (round, at) -> Json.List [ Json.Int round; Json.Int at ])
+             (Span.transitions s)) );
+      ( "contacted",
+        Json.List (List.map (fun i -> Json.Int i) (Span.contacted s)) );
+      ("replies", Json.Int s.Span.replies);
+      ("result", Json.of_option (fun v -> Json.Str v) s.Span.result);
+      ("trace_first", Json.Int s.Span.trace_first);
+      ("trace_len", Json.Int s.Span.trace_len);
+    ]
+
+let span_line s = Json.to_string (span_json s)
+
+let spans_jsonl spans =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (span_line s);
+      Buffer.add_char buf '\n')
+    spans;
+  Buffer.contents buf
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Metrics.Histogram.count h));
+      ("sum", Json.Float (Metrics.Histogram.sum h));
+      ( "min",
+        if Metrics.Histogram.count h = 0 then Json.Null
+        else Json.Float (Metrics.Histogram.min_exn h) );
+      ( "max",
+        if Metrics.Histogram.count h = 0 then Json.Null
+        else Json.Float (Metrics.Histogram.max_exn h) );
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (_, hi, c) -> Json.List [ Json.Float hi; Json.Int c ])
+             (Metrics.Histogram.buckets h)) );
+    ]
+
+let metrics_jsonl ?(labels = []) m =
+  let buf = Buffer.create 4096 in
+  let base = List.map (fun (k, v) -> (k, Json.Str v)) labels in
+  let line fields =
+    Buffer.add_string buf (Json.to_string (Json.Obj (base @ fields)));
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (name, v) ->
+      line
+        [
+          ("metric", Json.Str name); ("type", Json.Str "counter");
+          ("value", Json.Int v);
+        ])
+    (Metrics.counters m);
+  List.iter
+    (fun (name, v) ->
+      line
+        [
+          ("metric", Json.Str name); ("type", Json.Str "gauge");
+          ("value", Json.Float v);
+        ])
+    (Metrics.gauges m);
+  List.iter
+    (fun (name, h) ->
+      line
+        [
+          ("metric", Json.Str name); ("type", Json.Str "histogram");
+          ("data", histogram_json h);
+        ])
+    (Metrics.histograms m);
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,39 @@
+(** Deterministic JSONL export for spans and metrics.
+
+    The encoders are hand-rolled so the byte stream is a pure function
+    of the data: field order is fixed, map iteration is sorted, floats
+    render through one fixed formatter, and nothing (timestamps, host
+    names, hash order) leaks in from the environment.  That determinism
+    is load-bearing: the golden-trace tests compare exports byte for
+    byte across runs and against checked-in files. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  val of_option : ('a -> t) -> 'a option -> t
+end
+
+val span_json : Span.t -> Json.t
+
+val span_line : Span.t -> string
+(** One JSONL line, no trailing newline. *)
+
+val spans_jsonl : Span.t list -> string
+(** Newline-terminated line per span, in the given order. *)
+
+val histogram_json : Metrics.Histogram.t -> Json.t
+
+val metrics_jsonl : ?labels:(string * string) list -> Metrics.t -> string
+(** One line per metric, counters then gauges then histograms, each
+    group sorted by name; [labels] are prepended to every line. *)
+
+val write_file : path:string -> string -> unit

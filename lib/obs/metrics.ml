@@ -1,0 +1,246 @@
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* strictly increasing inclusive upper bounds *)
+    counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+    mutable total : int;
+    mutable sum : float;
+    mutable minv : float;
+    mutable maxv : float;
+  }
+
+  let create ~bounds =
+    let n = Array.length bounds in
+    if n = 0 then invalid_arg "Histogram.create: no bounds";
+    for i = 1 to n - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Histogram.create: bounds not strictly increasing"
+    done;
+    {
+      bounds = Array.copy bounds;
+      counts = Array.make (n + 1) 0;
+      total = 0;
+      sum = 0.0;
+      minv = infinity;
+      maxv = neg_infinity;
+    }
+
+  let bounds t = Array.copy t.bounds
+
+  (* First bucket whose upper bound is >= x; the extra slot is the
+     overflow bucket (x above every bound). *)
+  let bucket_index t x =
+    let n = Array.length t.bounds in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x <= t.bounds.(mid) then search lo mid else search (mid + 1) hi
+    in
+    search 0 n
+
+  let observe t x =
+    let i = bucket_index t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x;
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+
+  let observe_int t x = observe t (float_of_int x)
+
+  let count t = t.total
+
+  let sum t = t.sum
+
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+  let min_exn t =
+    if t.total = 0 then invalid_arg "Histogram.min_exn: empty";
+    t.minv
+
+  let max_exn t =
+    if t.total = 0 then invalid_arg "Histogram.max_exn: empty";
+    t.maxv
+
+  let counts t = Array.copy t.counts
+
+  let buckets t =
+    let n = Array.length t.bounds in
+    List.init (n + 1) (fun i ->
+        let lo = if i = 0 then neg_infinity else t.bounds.(i - 1) in
+        let hi = if i = n then infinity else t.bounds.(i) in
+        (lo, hi, t.counts.(i)))
+
+  let compatible a b =
+    Array.length a.bounds = Array.length b.bounds
+    && Array.for_all2 (fun x y -> Float.equal x y) a.bounds b.bounds
+
+  let merge a b =
+    if not (compatible a b) then invalid_arg "Histogram.merge: bounds differ";
+    let t = create ~bounds:a.bounds in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.total <- a.total + b.total;
+    t.sum <- a.sum +. b.sum;
+    t.minv <- Float.min a.minv b.minv;
+    t.maxv <- Float.max a.maxv b.maxv;
+    t
+
+  let equal a b =
+    compatible a b
+    && a.total = b.total
+    && Array.for_all2 Int.equal a.counts b.counts
+
+  (* Nearest-rank quantile at bucket resolution: the upper bound of the
+     bucket holding the rank-th smallest observation (the observed max
+     for the overflow bucket, whose upper bound is infinite). *)
+  let quantile t p =
+    if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Histogram.quantile: p not in [0,100]";
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.total)))
+    in
+    let n = Array.length t.bounds in
+    let rec walk i cum =
+      let cum = cum + t.counts.(i) in
+      if cum >= rank || i = n then if i = n then t.maxv else t.bounds.(i)
+      else walk (i + 1) cum
+    in
+    walk 0 0
+
+  let pp ppf t =
+    if t.total = 0 then Format.fprintf ppf "n=0"
+    else begin
+      let biggest = Array.fold_left Stdlib.max 1 t.counts in
+      List.iter
+        (fun (lo, hi, c) ->
+          if c > 0 || (Float.is_finite lo && Float.is_finite hi) then
+            Format.fprintf ppf "(%8.1f, %8.1f] %6d %s@." lo hi c
+              (String.make (c * 40 / biggest) '#'))
+        (buckets t)
+    end
+end
+
+(* Canonical bucket layouts, shared so that histograms recorded by
+   independent runs (campaign cells, engine instances) stay mergeable. *)
+let round_bounds = [| 1.0; 2.0; 3.0; 4.0; 5.0; 8.0 |]
+
+let depth_bounds =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 1024.0; 4096.0 |]
+
+let count_bounds =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 512.0; 2048.0 |]
+
+let latency_bounds =
+  [| 5.0; 10.0; 20.0; 40.0; 80.0; 160.0; 320.0; 640.0; 1280.0; 5120.0 |]
+
+let wallclock_bounds =
+  [| 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1_000.0; 10_000.0; 100_000.0 |]
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 16;
+  }
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let max_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge_value t name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt t.gauges name)
+
+let histogram t name ~bounds =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create ~bounds in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let observe t name ~bounds x = Histogram.observe (histogram t name ~bounds) x
+
+let observe_int t name ~bounds x = observe t name ~bounds (float_of_int x)
+
+let find_histogram t name = Hashtbl.find_opt t.histograms name
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+
+let gauges t = sorted_bindings t.gauges ( ! )
+
+let histograms t = sorted_bindings t.histograms Fun.id
+
+let merge_into ~dst src =
+  List.iter (fun (name, v) -> add dst name v) (counters src);
+  List.iter (fun (name, v) -> max_gauge dst name v) (gauges src);
+  List.iter
+    (fun (name, h) ->
+      match Hashtbl.find_opt dst.histograms name with
+      | None ->
+          (* fresh copy so the source stays independent *)
+          Hashtbl.replace dst.histograms name
+            (Histogram.merge h (Histogram.create ~bounds:h.Histogram.bounds))
+      | Some existing ->
+          Hashtbl.replace dst.histograms name (Histogram.merge existing h))
+    (histograms src)
+
+let table t =
+  let tbl =
+    Stats.Table.create
+      ~headers:[ "metric"; "kind"; "count"; "value"; "mean"; "p50"; "p99"; "max" ]
+  in
+  List.iter
+    (fun (name, v) ->
+      Stats.Table.add_row tbl
+        [ name; "counter"; ""; string_of_int v; ""; ""; ""; "" ])
+    (counters t);
+  List.iter
+    (fun (name, v) ->
+      Stats.Table.add_row tbl
+        [ name; "gauge"; ""; Printf.sprintf "%g" v; ""; ""; ""; "" ])
+    (gauges t);
+  List.iter
+    (fun (name, h) ->
+      let f fmt x = Printf.sprintf fmt x in
+      if Histogram.count h = 0 then
+        Stats.Table.add_row tbl [ name; "histogram"; "0"; ""; ""; ""; ""; "" ]
+      else
+        Stats.Table.add_row tbl
+          [
+            name; "histogram";
+            string_of_int (Histogram.count h);
+            f "%g" (Histogram.sum h);
+            f "%.2f" (Histogram.mean h);
+            f "%g" (Histogram.quantile h 50.0);
+            f "%g" (Histogram.quantile h 99.0);
+            f "%g" (Histogram.max_exn h);
+          ])
+    (histograms t);
+  tbl

@@ -1,0 +1,129 @@
+(** Metrics registry: counters, gauges, and mergeable fixed-bucket
+    histograms.
+
+    The registry is the accumulation point for everything the
+    observability layer measures — read/write round counts per protocol,
+    messages per operation, event-queue depth, wall-clock per simulated
+    event.  All structures are deterministic: iteration orders are
+    sorted by metric name, and histograms use caller-fixed bucket
+    bounds, so two registries fed the same observations render and
+    export identically.  Histograms with identical bounds merge
+    associatively and commutatively, which is what lets a chaos campaign
+    aggregate per-run registries into one per-cell registry. *)
+
+module Histogram : sig
+  type t
+
+  val create : bounds:float array -> t
+  (** Fixed buckets with the given strictly-increasing inclusive upper
+      bounds, plus an implicit overflow bucket.  @raise Invalid_argument
+      on empty or non-increasing bounds. *)
+
+  val bounds : t -> float array
+
+  val observe : t -> float -> unit
+
+  val observe_int : t -> int -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val min_exn : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max_exn : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val counts : t -> int array
+  (** Per-bucket counts, overflow last. *)
+
+  val buckets : t -> (float * float * int) list
+  (** [(lo, hi, count)] with half-open [(lo, hi]] semantics; the first
+      [lo] is [neg_infinity] and the last [hi] is [infinity]. *)
+
+  val compatible : t -> t -> bool
+  (** Same bucket bounds — the precondition for {!merge}. *)
+
+  val merge : t -> t -> t
+  (** Sum of both histograms; associative and commutative over any set
+      of histograms with equal bounds.  @raise Invalid_argument if the
+      bounds differ. *)
+
+  val equal : t -> t -> bool
+  (** Same bounds and same per-bucket counts. *)
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile at bucket resolution: the inclusive upper
+      bound of the bucket containing the rank-th smallest observation
+      (the observed maximum for the overflow bucket).  Agrees with
+      {!Stats.Summary.percentile} up to one bucket width.
+      @raise Invalid_argument when empty or [p] outside [0,100]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {2 Canonical bucket layouts}
+
+    Shared bounds keep independently recorded histograms mergeable. *)
+
+val round_bounds : float array
+(** Per-operation protocol round counts (the paper's 1/2-round claims). *)
+
+val depth_bounds : float array
+(** Event-queue depth. *)
+
+val count_bounds : float array
+(** Small cardinalities: messages per operation, replies, words. *)
+
+val latency_bounds : float array
+(** Virtual-time operation latencies. *)
+
+val wallclock_bounds : float array
+(** Microseconds of host wall-clock per simulated event. *)
+
+(** {2 Registry} *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val counter_value : t -> string -> int
+(** 0 for a counter never touched. *)
+
+val set_gauge : t -> string -> float -> unit
+
+val max_gauge : t -> string -> float -> unit
+(** Keep the maximum of all reported values. *)
+
+val gauge_value : t -> string -> float option
+
+val histogram : t -> string -> bounds:float array -> Histogram.t
+(** Get-or-create; the bounds only apply on creation. *)
+
+val observe : t -> string -> bounds:float array -> float -> unit
+
+val observe_int : t -> string -> bounds:float array -> int -> unit
+
+val find_histogram : t -> string -> Histogram.t option
+
+val counters : t -> (string * int) list
+(** Sorted by name, as are {!gauges} and {!histograms}. *)
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> (string * Histogram.t) list
+
+val merge_into : dst:t -> t -> unit
+(** Fold [src] into [dst]: counters add, gauges keep the max, histograms
+    merge.  [src] is left untouched. *)
+
+val table : t -> Stats.Table.t
+(** One row per metric, sorted by name. *)

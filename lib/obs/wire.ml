@@ -1,0 +1,22 @@
+type op = Read | Write | Other
+
+type t = { op : op; round : int; request : bool }
+
+let read ~round ~request = { op = Read; round; request }
+
+let write ~round ~request = { op = Write; round; request }
+
+let other = { op = Other; round = 0; request = false }
+
+let op_to_string = function Read -> "read" | Write -> "write" | Other -> "other"
+
+let to_string c =
+  match c.op with
+  | Other -> "other"
+  | Read | Write ->
+      Printf.sprintf "%s.r%d.%s" (op_to_string c.op) c.round
+        (if c.request then "req" else "ack")
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let equal a b = a.op = b.op && a.round = b.round && a.request = b.request

@@ -39,9 +39,13 @@ type 'msg t = {
   delay : Delay.t;
   trace : Trace.t option;
   msg_info : 'msg -> string;
+  metrics : Obs.Metrics.t option;
+  classify : ('msg -> Obs.Wire.t) option;
+  clock : (unit -> float) option;
 }
 
-let create ?trace ?(msg_info = fun _ -> "msg") ~seed ~delay () =
+let create ?trace ?(msg_info = fun _ -> "msg") ?metrics ?classify ?clock ~seed
+    ~delay () =
   {
     queue = Queue.empty;
     now = 0;
@@ -57,7 +61,24 @@ let create ?trace ?(msg_info = fun _ -> "msg") ~seed ~delay () =
     delay;
     trace;
     msg_info;
+    metrics;
+    classify;
+    clock;
   }
+
+let metering t f = match t.metrics with None -> () | Some m -> f m
+
+(* Per-class message counters ("wire.read.r1.req.sent", ...) when the
+   scenario supplied a classifier; the direction-level counters are
+   recorded unconditionally. *)
+let meter_msg t ~stage msg =
+  metering t (fun m ->
+      Obs.Metrics.incr m ("engine." ^ stage);
+      match t.classify with
+      | None -> ()
+      | Some classify ->
+          Obs.Metrics.incr m
+            ("wire." ^ Obs.Wire.to_string (classify msg) ^ "." ^ stage))
 
 let rng t = t.rng
 
@@ -76,6 +97,7 @@ let enqueue t ~at run =
 let deliver t env =
   if Proc_id.Set.mem env.dst t.crashed then begin
     t.dropped <- t.dropped + 1;
+    meter_msg t ~stage:"dropped" env.msg;
     tracing t (fun () ->
         Trace.Drop
           {
@@ -90,6 +112,7 @@ let deliver t env =
     match Proc_id.Map.find_opt env.dst t.handlers with
     | None ->
         t.dropped <- t.dropped + 1;
+        meter_msg t ~stage:"dropped" env.msg;
         tracing t (fun () ->
             Trace.Drop
               {
@@ -101,6 +124,7 @@ let deliver t env =
               })
     | Some handler ->
         t.delivered <- t.delivered + 1;
+        meter_msg t ~stage:"delivered" env.msg;
         tracing t (fun () ->
             Trace.Deliver
               {
@@ -121,6 +145,7 @@ let send t ~src ~dst msg =
   (* A crashed process takes no further steps, hence sends nothing. *)
   if Proc_id.Set.mem src t.crashed then ()
   else begin
+    meter_msg t ~stage:"sent" msg;
     tracing t (fun () ->
         Trace.Send { time = t.now; src; dst; info = t.msg_info msg });
     let copies =
@@ -215,9 +240,23 @@ let step t =
   match Queue.pop t.queue with
   | None -> false
   | Some (ev, rest) ->
+      metering t (fun m ->
+          Obs.Metrics.incr m "engine.events";
+          Obs.Metrics.observe_int m "engine.queue_depth"
+            ~bounds:Obs.Metrics.depth_bounds (Queue.size t.queue));
       t.queue <- rest;
       t.now <- ev.Event.at;
-      ev.Event.run ();
+      (* Host wall-clock per simulated event, only when the caller opted
+         in with a clock — the default stays free of ambient state so
+         runs (and their exports) are bit-deterministic. *)
+      (match (t.clock, t.metrics) with
+      | Some clock, Some m ->
+          let t0 = clock () in
+          ev.Event.run ();
+          Obs.Metrics.observe m "engine.event_wallclock_us"
+            ~bounds:Obs.Metrics.wallclock_bounds
+            ((clock () -. t0) *. 1e6)
+      | _ -> ev.Event.run ());
       true
 
 let run ?until ?max_events t =

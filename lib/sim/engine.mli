@@ -27,12 +27,22 @@ type 'msg t
 val create :
   ?trace:Trace.t ->
   ?msg_info:('msg -> string) ->
+  ?metrics:Obs.Metrics.t ->
+  ?classify:('msg -> Obs.Wire.t) ->
+  ?clock:(unit -> float) ->
   seed:int ->
   delay:Delay.t ->
   unit ->
   'msg t
 (** [create ~seed ~delay ()] builds an empty engine.  [msg_info] renders
-    messages for the trace (defaults to ["msg"]). *)
+    messages for the trace (defaults to ["msg"]).
+
+    With [metrics], the engine records event counts, queue-depth
+    histograms and sent/delivered/dropped message counters into the
+    registry — per message class too when [classify] is given.  With
+    [clock] (host seconds, e.g. [Sys.time]), it additionally histograms
+    the wall-clock cost of each simulated event; omit it to keep runs
+    free of ambient nondeterminism. *)
 
 val rng : 'msg t -> Prng.t
 (** The engine's generator; split it rather than sharing when a component

@@ -45,7 +45,74 @@ let pp_entry ppf = function
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
 
-let count t ~pred = List.length (List.filter pred (entries t))
+(* One pass over the raw (reversed) entries — counting is order-blind,
+   so no [entries] reversal or intermediate list. *)
+let count t ~pred =
+  List.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t.rev_entries
+
+type stats = {
+  sends : int;
+  delivers : int;
+  drops : int;
+  crashes : int;
+  recovers : int;
+  notes : int;
+}
+
+let stats t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Send _ -> { acc with sends = acc.sends + 1 }
+      | Deliver _ -> { acc with delivers = acc.delivers + 1 }
+      | Drop _ -> { acc with drops = acc.drops + 1 }
+      | Crash _ -> { acc with crashes = acc.crashes + 1 }
+      | Recover _ -> { acc with recovers = acc.recovers + 1 }
+      | Note _ -> { acc with notes = acc.notes + 1 })
+    { sends = 0; delivers = 0; drops = 0; crashes = 0; recovers = 0; notes = 0 }
+    t.rev_entries
+
+let entry_to_json e =
+  let open Obs.Export.Json in
+  let msg kind time src dst info extra =
+    Obj
+      ([
+         ("kind", Str kind);
+         ("time", Int time);
+         ("src", Str (Proc_id.to_string src));
+         ("dst", Str (Proc_id.to_string dst));
+         ("info", Str info);
+       ]
+      @ extra)
+  in
+  match e with
+  | Send { time; src; dst; info } -> msg "send" time src dst info []
+  | Deliver { time; src; dst; info } -> msg "deliver" time src dst info []
+  | Drop { time; src; dst; info; reason } ->
+      msg "drop" time src dst info [ ("reason", Str reason) ]
+  | Crash { time; proc } ->
+      Obj
+        [
+          ("kind", Str "crash"); ("time", Int time);
+          ("proc", Str (Proc_id.to_string proc));
+        ]
+  | Recover { time; proc } ->
+      Obj
+        [
+          ("kind", Str "recover"); ("time", Int time);
+          ("proc", Str (Proc_id.to_string proc));
+        ]
+  | Note { time; text } ->
+      Obj [ ("kind", Str "note"); ("time", Int time); ("text", Str text) ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Obs.Export.Json.to_string (entry_to_json e));
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
 
 let sends_between t ~src ~dst =
   count t ~pred:(function

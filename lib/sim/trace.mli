@@ -43,3 +43,24 @@ val sends_between : t -> src:Proc_id.t -> dst:Proc_id.t -> int
 
 val delivered_to : t -> dst:Proc_id.t -> int
 (** Number of [Deliver] entries at [dst]. *)
+
+(** {2 One-pass aggregation}
+
+    [count] and friends are single traversals; [stats] replaces repeated
+    per-kind [count] scans in reports with one pass over the trace. *)
+
+type stats = {
+  sends : int;
+  delivers : int;
+  drops : int;
+  crashes : int;
+  recovers : int;
+  notes : int;
+}
+
+val stats : t -> stats
+
+val entry_to_json : entry -> Obs.Export.Json.t
+
+val to_jsonl : t -> string
+(** Deterministic JSONL rendering, one entry per line, chronological. *)

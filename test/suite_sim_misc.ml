@@ -101,6 +101,48 @@ let test_trace_counting () =
   Alcotest.(check int) "notes" 1
     (Trace.count t ~pred:(function Trace.Note _ -> true | _ -> false))
 
+(* Regression for the one-pass counters: Trace.stats must agree with
+   separate Trace.count scans for every kind, on a trace mixing all of
+   them. *)
+let test_trace_stats_one_pass () =
+  let t = Trace.create () in
+  let w = Proc_id.Writer and o1 = Proc_id.Obj 1 in
+  for i = 1 to 5 do
+    Trace.record t (Trace.Send { time = i; src = w; dst = o1; info = "m" })
+  done;
+  for i = 1 to 3 do
+    Trace.record t (Trace.Deliver { time = i; src = w; dst = o1; info = "m" })
+  done;
+  Trace.record t (Trace.Drop { time = 9; src = w; dst = o1; info = "m"; reason = "crashed" });
+  Trace.record t (Trace.Crash { time = 10; proc = o1 });
+  Trace.record t (Trace.Recover { time = 11; proc = o1 });
+  Trace.note t ~time:12 "done";
+  let st = Trace.stats t in
+  let by_count pred = Trace.count t ~pred in
+  Alcotest.(check int) "sends" (by_count (function Trace.Send _ -> true | _ -> false)) st.Trace.sends;
+  Alcotest.(check int) "delivers" (by_count (function Trace.Deliver _ -> true | _ -> false)) st.Trace.delivers;
+  Alcotest.(check int) "drops" (by_count (function Trace.Drop _ -> true | _ -> false)) st.Trace.drops;
+  Alcotest.(check int) "crashes" (by_count (function Trace.Crash _ -> true | _ -> false)) st.Trace.crashes;
+  Alcotest.(check int) "recovers" (by_count (function Trace.Recover _ -> true | _ -> false)) st.Trace.recovers;
+  Alcotest.(check int) "notes" (by_count (function Trace.Note _ -> true | _ -> false)) st.Trace.notes;
+  Alcotest.(check int) "sum = length"
+    (st.Trace.sends + st.Trace.delivers + st.Trace.drops + st.Trace.crashes
+   + st.Trace.recovers + st.Trace.notes)
+    (Trace.length t)
+
+let test_trace_jsonl () =
+  let t = Trace.create () in
+  Trace.record t
+    (Trace.Send { time = 1; src = Proc_id.Writer; dst = Proc_id.Obj 2; info = "w1" });
+  Trace.record t
+    (Trace.Drop
+       { time = 2; src = Proc_id.Writer; dst = Proc_id.Obj 2; info = "w1"; reason = "blocked" });
+  Alcotest.(check string) "jsonl"
+    ({|{"kind":"send","time":1,"src":"w","dst":"s2","info":"w1"}|} ^ "\n"
+   ^ {|{"kind":"drop","time":2,"src":"w","dst":"s2","info":"w1","reason":"blocked"}|}
+   ^ "\n")
+    (Trace.to_jsonl t)
+
 let test_trace_order () =
   let t = Trace.create () in
   Trace.note t ~time:1 "a";
@@ -124,5 +166,7 @@ let suite =
       Alcotest.test_case "delay slow process" `Quick test_delay_slow_process;
       Alcotest.test_case "delay jitter" `Quick test_delay_jitter;
       Alcotest.test_case "trace counting" `Quick test_trace_counting;
+      Alcotest.test_case "trace stats one-pass" `Quick test_trace_stats_one_pass;
+      Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl;
       Alcotest.test_case "trace order" `Quick test_trace_order;
     ] )

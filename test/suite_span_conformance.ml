@@ -1,0 +1,89 @@
+(* Round-count conformance, asserted on spans: the paper's Theorems 1-4
+   say every READ and WRITE of the safe and regular protocols completes
+   in exactly 2 rounds, under any within-budget fault plan — and
+   Theorem 4's fast-safe reads in exactly 1 round at S >= 2t+2b+1.
+   Spans count rounds *initiated*, so this is the client-visible message
+   pattern, not the early-decide shortcut [reported_rounds] records. *)
+
+let span_rounds_ok ~expect_read ~expect_write (sp : Obs.Span.t) =
+  if not (Obs.Span.completed sp) then true
+  else
+    match sp.kind with
+    | Obs.Span.Read _ -> sp.rounds = expect_read
+    | Obs.Span.Write -> sp.rounds = expect_write
+
+let check_protocol ~name protocol ~expect_read ~expect_write =
+  QCheck.Test.make
+    ~name:(name ^ ": completed spans have the theorem's round count")
+    ~count:40
+    QCheck.(int_range 1 50_000)
+    (fun seed ->
+      let cfg = Fault.Campaign.default_cfg protocol ~t:1 ~b:1 in
+      let rng = Sim.Prng.create ~seed in
+      let plan = Fault.Plan.gen ~rng ~cfg ~budget:Fault.Plan.medium in
+      let v = Fault.Campaign.run_plan protocol ~cfg ~seed plan in
+      v.spans <> []
+      && List.for_all (span_rounds_ok ~expect_read ~expect_write) v.spans)
+
+let qcheck_safe =
+  check_protocol ~name:"safe" Fault.Campaign.Safe ~expect_read:2 ~expect_write:2
+
+let qcheck_regular =
+  check_protocol ~name:"regular" Fault.Campaign.Regular ~expect_read:2
+    ~expect_write:2
+
+let qcheck_regular_opt =
+  check_protocol ~name:"regular-opt" Fault.Campaign.Regular_opt ~expect_read:2
+    ~expect_write:2
+
+let qcheck_fast_safe =
+  check_protocol ~name:"fast-safe" Fault.Campaign.Fast_safe ~expect_read:1
+    ~expect_write:1
+
+(* The metrics pipeline must agree with the spans: a campaign cell's
+   op.read.rounds histogram concentrates every observation on the
+   theorem's round count. *)
+let test_cell_round_histograms () =
+  let cell =
+    Fault.Campaign.sweep_protocol Fault.Campaign.Safe ~t:1 ~b:1
+      ~seeds:[ 1; 2; 3 ]
+  in
+  match Obs.Metrics.find_histogram cell.metrics "op.read.rounds" with
+  | None -> Alcotest.fail "cell has no op.read.rounds histogram"
+  | Some h ->
+      let completed =
+        Obs.Metrics.counter_value cell.metrics "op.read.completed"
+      in
+      Alcotest.(check bool) "some reads completed" true (completed > 0);
+      Alcotest.(check int) "histogram covers every completed read" completed
+        (Obs.Metrics.Histogram.count h);
+      Alcotest.(check (float 1e-9)) "all reads took 2 rounds (min)" 2.0
+        (Obs.Metrics.Histogram.min_exn h);
+      Alcotest.(check (float 1e-9)) "all reads took 2 rounds (max)" 2.0
+        (Obs.Metrics.Histogram.max_exn h)
+
+(* Negative control: the conformance predicate is falsifiable — ABD reads
+   at its crash-only configuration are 1-round (no write-back needed in a
+   sequential schedule), so demanding 2 everywhere must fail. *)
+let test_predicate_is_falsifiable () =
+  let cfg = Fault.Campaign.default_cfg Fault.Campaign.Abd ~t:1 ~b:0 in
+  let v =
+    Fault.Campaign.run_plan Fault.Campaign.Abd ~cfg ~seed:1
+      (Fault.Plan.empty ~horizon:800)
+  in
+  Alcotest.(check bool) "ABD spans exist" true (v.spans <> []);
+  Alcotest.(check bool) "2-round claim fails for ABD" false
+    (List.for_all (span_rounds_ok ~expect_read:2 ~expect_write:2) v.spans)
+
+let suite =
+  ( "span-conformance",
+    [
+      QCheck_alcotest.to_alcotest qcheck_safe;
+      QCheck_alcotest.to_alcotest qcheck_regular;
+      QCheck_alcotest.to_alcotest qcheck_regular_opt;
+      QCheck_alcotest.to_alcotest qcheck_fast_safe;
+      Alcotest.test_case "cell round histograms" `Quick
+        test_cell_round_histograms;
+      Alcotest.test_case "predicate falsifiable" `Quick
+        test_predicate_is_falsifiable;
+    ] )

@@ -98,6 +98,48 @@ let test_cells () =
     (Stats.Table.cell_float ~decimals:4 3.14159);
   Alcotest.(check string) "bool" "yes" (Stats.Table.cell_bool true)
 
+(* Regression: percentile caches the sorted array, and the cache must be
+   invalidated by add — interleaving queries and adds must agree with a
+   freshly-built summary at every step. *)
+let test_percentile_cache_invalidation () =
+  let s = Stats.Summary.create () in
+  List.iteri
+    (fun i x ->
+      Stats.Summary.add s x;
+      let fresh = feed (List.filteri (fun j _ -> j <= i) [ 9.0; 1.0; 5.0; 3.0; 7.0 ]) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "median after %d adds" (i + 1))
+        (Stats.Summary.median fresh) (Stats.Summary.median s))
+    [ 9.0; 1.0; 5.0; 3.0; 7.0 ]
+
+(* Repeated queries on an unchanged summary must not re-sort: with the
+   cache, 10k percentile calls on 5k samples complete instantly; without
+   it this test would take visibly long.  We assert correctness (every
+   call returns the same value) rather than timing. *)
+let test_percentile_repeated_queries_stable () =
+  let s = feed (List.init 5_000 (fun i -> float_of_int ((i * 7919) mod 5_000))) in
+  let first = Stats.Summary.percentile s 90.0 in
+  for _ = 1 to 10_000 do
+    if Stats.Summary.percentile s 90.0 <> first then
+      Alcotest.fail "percentile changed on unchanged summary"
+  done;
+  Alcotest.(check (float 1e-9)) "stable" first (Stats.Summary.percentile s 90.0)
+
+let qcheck_percentile_matches_sorted_list =
+  QCheck.Test.make ~name:"percentile = nearest-rank on the sorted samples"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 60) (float_range (-50.) 50.))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let s = feed xs in
+      let sorted = List.sort Float.compare xs in
+      let n = List.length xs in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+      Stats.Summary.percentile s p = List.nth sorted idx)
+
 let qcheck_percentile_bounds =
   QCheck.Test.make ~name:"percentiles stay within [min,max]" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
@@ -129,6 +171,11 @@ let suite =
       Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
       Alcotest.test_case "table csv" `Quick test_table_csv;
       Alcotest.test_case "cell formatting" `Quick test_cells;
+      Alcotest.test_case "percentile cache invalidation" `Quick
+        test_percentile_cache_invalidation;
+      Alcotest.test_case "percentile repeated queries" `Quick
+        test_percentile_repeated_queries_stable;
+      QCheck_alcotest.to_alcotest qcheck_percentile_matches_sorted_list;
       QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
       QCheck_alcotest.to_alcotest qcheck_mean_bounds;
     ] )

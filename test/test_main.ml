@@ -29,4 +29,7 @@ let () =
       Suite_workload.suite;
       Suite_fuzz.suite;
       Suite_conformance.suite;
+      Suite_obs.suite;
+      Suite_golden_trace.suite;
+      Suite_span_conformance.suite;
     ]
