@@ -2,6 +2,12 @@
    that executes any Protocol_intf.S implementation on a schedule and
    projects the report onto a flat summary the tables consume. *)
 
+(* Worker-domain count for the experiments that fan out over a pool
+   ([None] = the pool's own default, [Exec.Pool.recommended_jobs]).
+   Set once by the harness from [--jobs N]; results are byte-identical
+   whatever the value. *)
+let jobs : int option ref = ref None
+
 type summary = {
   completed : int;
   total : int;

@@ -14,8 +14,9 @@ let run () =
     "E12: chaos campaign survival matrix (20 seeds x 3 plans, medium budget)";
   let seeds = List.init 20 (fun i -> i + 1) in
   let cells =
-    Fault.Campaign.sweep ~budget:Fault.Plan.medium ~plans_per_seed:3
-      ~protocols:Fault.Campaign.all_protocols ~t:1 ~b:1 ~seeds ()
+    Fault.Campaign.sweep ?jobs:!Exp_common.jobs ~budget:Fault.Plan.medium
+      ~plans_per_seed:3 ~protocols:Fault.Campaign.all_protocols ~t:1 ~b:1
+      ~seeds ()
   in
   Exp_common.print_table (Fault.Campaign.matrix_table cells);
   List.iter

@@ -23,6 +23,7 @@ let experiments =
     ("e10", Exp_e10.run);
     ("e11", Exp_e11.run);
     ("e12", Exp_e12.run);
+    ("e13", Exp_e13.run);
   ]
 
 let run_tables = function
@@ -37,14 +38,27 @@ let run_tables = function
               exit 2)
         names
 
+(* Strip a leading [--jobs N] (worker domains for the pooled
+   experiments; results are byte-identical whatever N is). *)
+let rec parse_jobs = function
+  | "--jobs" :: n :: rest | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+          Exp_common.jobs := Some j;
+          parse_jobs rest
+      | _ ->
+          Printf.eprintf "--jobs expects a positive integer (got %S)\n" n;
+          exit 2)
+  | args -> args
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "tables" :: rest -> run_tables rest
-  | _ :: "micro" :: _ -> Micro.run ()
-  | [ _ ] ->
+  match parse_jobs (List.tl (Array.to_list Sys.argv)) with
+  | "tables" :: rest -> run_tables rest
+  | "micro" :: _ -> Micro.run ()
+  | [] ->
       run_tables [];
       Micro.run ()
-  | _ :: cmd :: _ ->
-      Printf.eprintf "usage: main.exe [tables [e1..e12] | micro] (got %S)\n" cmd;
+  | cmd :: _ ->
+      Printf.eprintf
+        "usage: main.exe [--jobs N] [tables [e1..e13] | micro] (got %S)\n" cmd;
       exit 2
-  | [] -> assert false

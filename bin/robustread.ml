@@ -26,6 +26,16 @@ let s_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution (default: the number of \
+           cores).  Results are byte-identical whatever $(docv) is; $(b,1) \
+           forces the serial path.")
+
 let protocol_arg =
   let protocols =
     [
@@ -528,12 +538,12 @@ let walks_cmd =
       value & opt int 2000
       & info [ "walks" ] ~docv:"N" ~doc:"Number of random schedules to sample.")
   in
-  let run protocol t b seed walks =
+  let run protocol t b seed walks jobs =
     let cfg = config ~s:None ~t ~b () in
     let sample (module P : Core.Protocol_intf.S) =
       let module E = Mc.Explorer.Make (P) in
       let r =
-        E.random_walks ~walks ~seed
+        E.random_walks ?jobs ~walks ~seed
           {
             E.cfg = cfg;
             writes = [ Core.Value.v "a"; Core.Value.v "b" ];
@@ -561,7 +571,11 @@ let walks_cmd =
     | `Auth -> sample (module Baseline.Auth)
     | `Naive_fast -> sample (module Baseline.Naive_fast)
   in
-  let term = Term.(const run $ protocol_arg $ t_arg $ b_arg $ seed_arg $ walks_arg) in
+  let term =
+    Term.(
+      const run $ protocol_arg $ t_arg $ b_arg $ seed_arg $ walks_arg
+      $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "walks"
        ~doc:
@@ -624,7 +638,7 @@ let chaos_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Do not minimize failure witnesses.")
   in
-  let run protocol t b seeds plans budget no_shrink metrics artifacts =
+  let run protocol t b seeds plans budget no_shrink metrics artifacts jobs =
     (* Same validator as run/check; the campaign's own configurations are
        per-protocol, with naive-fast deliberately under-provisioned. *)
     let _ = config ~s:None ~t ~b () in
@@ -642,11 +656,12 @@ let chaos_cmd =
       protocols;
     let seeds = List.init seeds (fun i -> i + 1) in
     Format.printf
-      "chaos campaign: %d protocols x %d seeds x %d plans (t=%d, b=%d)@."
-      (List.length protocols) (List.length seeds) plans t b;
+      "chaos campaign: %d protocols x %d seeds x %d plans (t=%d, b=%d, jobs=%d)@."
+      (List.length protocols) (List.length seeds) plans t b
+      (Option.value jobs ~default:(Exec.Pool.recommended_jobs ()));
     let cells =
-      Fault.Campaign.sweep ~budget ~plans_per_seed:plans ~protocols ~t ~b ~seeds
-        ()
+      Fault.Campaign.sweep ?jobs ~budget ~plans_per_seed:plans ~protocols ~t ~b
+        ~seeds ()
     in
     print_string (Stats.Table.to_string (Fault.Campaign.matrix_table cells));
     if metrics then begin
@@ -670,6 +685,21 @@ let chaos_cmd =
              cells)
     | None -> ());
     let unexpected = ref false in
+    (* Cells that aborted (engine exception rather than a clean verdict)
+       are reported structurally — protocol, seed, offending plan, error —
+       instead of having killed the whole sweep. *)
+    List.iter
+      (fun (c : Fault.Campaign.cell) ->
+        List.iter
+          (fun (e : Fault.Campaign.cell_error) ->
+            unexpected := true;
+            Format.printf "@.%s cell ERROR (seed %d):@.  plan : %s@.  error: %s@."
+              (Fault.Campaign.protocol_name c.protocol)
+              e.seed
+              (Fault.Plan.to_compact e.plan)
+              e.error)
+          c.errors)
+      cells;
     List.iter
       (fun (c : Fault.Campaign.cell) ->
         match c.failures with
@@ -705,7 +735,7 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ protocols_arg $ t_arg $ b_arg $ seeds_arg $ plans_arg
-      $ budget_arg $ no_shrink_arg $ metrics_arg $ artifacts_arg)
+      $ budget_arg $ no_shrink_arg $ metrics_arg $ artifacts_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

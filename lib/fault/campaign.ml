@@ -200,6 +200,8 @@ let violates ?max_events protocol ~cfg ~seed plan =
 
 (* ----- sweeping seeds x plans x protocols -------------------------------- *)
 
+type cell_error = { seed : int; plan : Plan.t; error : string }
+
 type cell = {
   protocol : protocol;
   cfg : Quorum.Config.t;
@@ -209,25 +211,52 @@ type cell = {
   liveness_runs : int;
   incomplete_runs : int;
   failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+  errors : cell_error list;  (** runs that raised, in order *)
   metrics : Obs.Metrics.t;
 }
 
-let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
-    protocol ~t ~b ~seeds =
-  let cfg = default_cfg protocol ~t ~b in
+let run_plan_result ?max_events ?metrics protocol ~cfg ~seed plan =
+  match run_plan ?max_events ?metrics protocol ~cfg ~seed plan with
+  | v -> Ok v
+  | exception e -> Error { seed; plan; error = Printexc.to_string e }
+
+(* The per-seed unit of parallel work: [plans_per_seed] plans drawn from
+   the seed's own PRNG, tallied into the seed's own registry.  A unit is
+   a pure function of (protocol, cfg, seed), which is what lets the
+   domain pool fan units out in any order and still reduce to the exact
+   serial result: counters add, failure/error lists concatenate in seed
+   order, and the PR-2 histogram algebra makes the registry merge
+   associative and commutative. *)
+type seed_tally = {
+  u_runs : int;
+  u_safety : int;
+  u_regularity : int;
+  u_liveness : int;
+  u_incomplete : int;
+  u_failures : (int * Plan.t) list;  (* in plan order *)
+  u_errors : cell_error list;  (* in plan order *)
+  u_metrics : Obs.Metrics.t;
+}
+
+let sweep_seed ?max_events ~budget ~plans_per_seed protocol ~cfg ~seed =
   let metrics = Obs.Metrics.create () in
+  let rng = Sim.Prng.create ~seed in
   let runs = ref 0
   and safety_runs = ref 0
   and regularity_runs = ref 0
   and liveness_runs = ref 0
   and incomplete_runs = ref 0
-  and failures = ref [] in
-  List.iter
-    (fun seed ->
-      let rng = Sim.Prng.create ~seed in
-      for _ = 1 to plans_per_seed do
-        let plan = Plan.gen ~rng ~cfg ~budget in
-        let v = run_plan ?max_events ~metrics protocol ~cfg ~seed plan in
+  and failures = ref []
+  and errors = ref [] in
+  for _ = 1 to plans_per_seed do
+    let plan = Plan.gen ~rng ~cfg ~budget in
+    match run_plan_result ?max_events ~metrics protocol ~cfg ~seed plan with
+    | Error e ->
+        (* A raising cell is a campaign finding, not a sweep abort: the
+           structured error surfaces in the matrix alongside the seeds
+           that did run. *)
+        errors := e :: !errors
+    | Ok v ->
         incr runs;
         if v.safety > 0 then incr safety_runs;
         if v.regularity > 0 then incr regularity_runs;
@@ -239,8 +268,41 @@ let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
           || (claims_regularity protocol && v.regularity > 0)
         in
         if failed then failures := (seed, plan) :: !failures
-      done)
-    seeds;
+  done;
+  {
+    u_runs = !runs;
+    u_safety = !safety_runs;
+    u_regularity = !regularity_runs;
+    u_liveness = !liveness_runs;
+    u_incomplete = !incomplete_runs;
+    u_failures = List.rev !failures;
+    u_errors = List.rev !errors;
+    u_metrics = metrics;
+  }
+
+(* Ordered reduction of per-seed tallies into one cell; merging in seed
+   order keeps every derived artifact (matrix, metrics table, JSONL
+   exports) byte-identical whatever the execution interleaving was. *)
+let assemble_cell protocol cfg tallies =
+  let metrics = Obs.Metrics.create () in
+  let runs = ref 0
+  and safety_runs = ref 0
+  and regularity_runs = ref 0
+  and liveness_runs = ref 0
+  and incomplete_runs = ref 0
+  and failures = ref []
+  and errors = ref [] in
+  List.iter
+    (fun u ->
+      runs := !runs + u.u_runs;
+      safety_runs := !safety_runs + u.u_safety;
+      regularity_runs := !regularity_runs + u.u_regularity;
+      liveness_runs := !liveness_runs + u.u_liveness;
+      incomplete_runs := !incomplete_runs + u.u_incomplete;
+      failures := List.rev_append u.u_failures !failures;
+      errors := List.rev_append u.u_errors !errors;
+      Obs.Metrics.merge_into ~dst:metrics u.u_metrics)
+    tallies;
   {
     protocol;
     cfg;
@@ -250,13 +312,47 @@ let sweep_protocol ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
     liveness_runs = !liveness_runs;
     incomplete_runs = !incomplete_runs;
     failures = List.rev !failures;
+    errors = List.rev !errors;
     metrics;
   }
 
-let sweep ?max_events ?budget ?plans_per_seed ~protocols ~t ~b ~seeds () =
-  List.map
-    (fun p -> sweep_protocol ?max_events ?budget ?plans_per_seed p ~t ~b ~seeds)
-    protocols
+let sweep_protocol ?jobs ?max_events ?(budget = Plan.medium)
+    ?(plans_per_seed = 3) protocol ~t ~b ~seeds =
+  let cfg = default_cfg protocol ~t ~b in
+  let tallies =
+    Exec.Pool.map ?jobs
+      (fun seed -> sweep_seed ?max_events ~budget ~plans_per_seed protocol ~cfg ~seed)
+      seeds
+  in
+  assemble_cell protocol cfg tallies
+
+let sweep ?jobs ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
+    ~protocols ~t ~b ~seeds () =
+  (* Fan the full protocol x seed matrix through one pool so a slow cell
+     in one protocol overlaps the others, then regroup per protocol in
+     input order. *)
+  let cfgs = List.map (fun p -> (p, default_cfg p ~t ~b)) protocols in
+  let tasks =
+    List.concat_map
+      (fun (p, cfg) -> List.map (fun seed -> (p, cfg, seed)) seeds)
+      cfgs
+  in
+  let tallies =
+    Exec.Pool.map ?jobs
+      (fun (p, cfg, seed) ->
+        sweep_seed ?max_events ~budget ~plans_per_seed p ~cfg ~seed)
+      tasks
+  in
+  let nseeds = List.length seeds in
+  List.mapi
+    (fun i (p, cfg) ->
+      let mine =
+        List.filteri
+          (fun j _ -> j >= i * nseeds && j < (i + 1) * nseeds)
+          tallies
+      in
+      assemble_cell p cfg mine)
+    cfgs
 
 (* ----- survival matrix --------------------------------------------------- *)
 
@@ -266,7 +362,7 @@ let matrix_table cells =
       ~headers:
         [
           "protocol"; "S"; "t"; "b"; "runs"; "safety"; "regular"; "liveness";
-          "verdict";
+          "errors"; "verdict";
         ]
   in
   List.iter
@@ -275,11 +371,12 @@ let matrix_table cells =
          cannot break even the naive fast reader's safety. *)
       let expected_broken = c.protocol = Naive_fast && c.cfg.Quorum.Config.b > 0 in
       let verdict =
-        match (c.failures, expected_broken) with
-        | [], false -> "survives"
-        | [], true -> "UNEXPECTED: survives"
-        | _ :: _, true -> "broken (expected)"
-        | _ :: _, false -> "BROKEN"
+        match (c.errors, c.failures, expected_broken) with
+        | _ :: _, _, _ -> "ERROR"
+        | [], [], false -> "survives"
+        | [], [], true -> "UNEXPECTED: survives"
+        | [], _ :: _, true -> "broken (expected)"
+        | [], _ :: _, false -> "BROKEN"
       in
       Stats.Table.add_row table
         [
@@ -291,6 +388,7 @@ let matrix_table cells =
           Printf.sprintf "%d/%d" (c.runs - c.safety_runs) c.runs;
           Printf.sprintf "%d/%d" (c.runs - c.regularity_runs) c.runs;
           Printf.sprintf "%d/%d" (c.runs - c.liveness_runs) c.runs;
+          Stats.Table.cell_int (List.length c.errors);
           verdict;
         ])
     cells;

@@ -63,6 +63,16 @@ val violates :
 
 (** {2 Sweeps} *)
 
+type cell_error = {
+  seed : int;
+  plan : Plan.t;
+  error : string;  (** [Printexc.to_string] of the raised exception *)
+}
+(** A run that raised instead of producing a verdict.  Errors are
+    campaign findings: they surface in the matrix (verdict [ERROR])
+    with their (seed, plan) reproduction instead of aborting the whole
+    sweep. *)
+
 type cell = {
   protocol : protocol;
   cfg : Quorum.Config.t;
@@ -72,12 +82,25 @@ type cell = {
   liveness_runs : int;
   incomplete_runs : int;  (** runs that hit [max_events] *)
   failures : (int * Plan.t) list;  (** (seed, plan) witnesses, in order *)
+  errors : cell_error list;  (** runs that raised, in order *)
   metrics : Obs.Metrics.t;
       (** merged observability registry over every run in the cell:
           round-count/latency histograms, wire counters, queue depth *)
 }
 
+val run_plan_result :
+  ?max_events:int ->
+  ?metrics:Obs.Metrics.t ->
+  protocol ->
+  cfg:Quorum.Config.t ->
+  seed:int ->
+  Plan.t ->
+  (verdict, cell_error) result
+(** {!run_plan} with the sweep's error containment: a raising run
+    becomes a structured [Error] instead of propagating. *)
+
 val sweep_protocol :
+  ?jobs:int ->
   ?max_events:int ->
   ?budget:Plan.budget ->
   ?plans_per_seed:int ->
@@ -88,9 +111,17 @@ val sweep_protocol :
   cell
 (** Run [plans_per_seed] (default 3) random plans per seed (drawn from a
     per-seed PRNG, so the campaign is reproducible) at
-    [default_cfg protocol ~t ~b]. *)
+    [default_cfg protocol ~t ~b].
+
+    With [jobs] (default {!Exec.Pool.recommended_jobs}), seeds are
+    fanned across an OCaml 5 domain pool; each seed is an isolated
+    simulation (own engine, PRNG and metrics registry built from the
+    seed) and the per-seed results reduce in seed order, so the cell —
+    including its merged registry and every export derived from it — is
+    byte-identical to the serial ([jobs = 1]) sweep. *)
 
 val sweep :
+  ?jobs:int ->
   ?max_events:int ->
   ?budget:Plan.budget ->
   ?plans_per_seed:int ->
@@ -100,6 +131,9 @@ val sweep :
   seeds:int list ->
   unit ->
   cell list
+(** Sweep the whole protocol x seed matrix through one domain pool (a
+    slow cell in one protocol overlaps work from the others); results
+    are deterministic in the inputs and independent of [jobs]. *)
 
 val matrix_table : cell list -> Stats.Table.t
 (** The survival matrix: one row per protocol with per-property

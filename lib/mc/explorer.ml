@@ -405,15 +405,18 @@ module Make (P : Core.Protocol_intf.S) = struct
   let check ?max_states ?property scenario = run ?max_states ?property scenario
 
   (* Monte-Carlo sampler: follow [walks] uniformly random schedules to
-     quiescence, checking every endpoint. *)
-  let random_walks ?(walks = 1000) ?(property = `Safe) ~seed scenario =
+     quiescence, checking every endpoint.  Each walk draws from its own
+     PRNG, split off the seed stream up front, so walk [i] samples the
+     same schedule whatever the domain count — the batch fans across the
+     pool and reduces (step sum, violation dedup) in walk order. *)
+  let random_walks ?jobs ?(walks = 1000) ?(property = `Safe) ~seed scenario =
     let init, deliver, check_terminal = machinery ~property scenario in
-    let rng = Sim.Prng.create ~seed in
-    let violations = ref [] in
-    let seen_violation = Hashtbl.create 16 in
-    let steps = ref 0 in
-    for _ = 1 to walks do
+    let base = Sim.Prng.create ~seed in
+    let walk_rngs = Array.init walks (fun _ -> Sim.Prng.split base) in
+    let run_walk i =
+      let rng = walk_rngs.(i) in
       let st = ref init in
+      let steps = ref 0 in
       let continue = ref true in
       while !continue do
         match !st.inflight with
@@ -423,14 +426,23 @@ module Make (P : Core.Protocol_intf.S) = struct
             let choice = Sim.Prng.pick rng (Array.of_list msgs) in
             st := deliver !st choice
       done;
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem seen_violation (v.kind, v.detail)) then begin
-            Hashtbl.add seen_violation (v.kind, v.detail) ();
-            if List.length !violations < 10 then violations := v :: !violations
-          end)
-        (check_terminal !st)
-    done;
+      (!steps, check_terminal !st)
+    in
+    let results = Exec.Pool.init ?jobs walks run_walk in
+    let violations = ref [] in
+    let seen_violation = Hashtbl.create 16 in
+    let steps = ref 0 in
+    Array.iter
+      (fun (s, vs) ->
+        steps := !steps + s;
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem seen_violation (v.kind, v.detail)) then begin
+              Hashtbl.add seen_violation (v.kind, v.detail) ();
+              if List.length !violations < 10 then violations := v :: !violations
+            end)
+          vs)
+      results;
     {
       explored = !steps;
       terminals = walks;

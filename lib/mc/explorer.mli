@@ -57,6 +57,7 @@ module Make (P : Core.Protocol_intf.S) : sig
       property [`Safe]). *)
 
   val random_walks :
+    ?jobs:int ->
     ?walks:int ->
     ?property:[ `Safe | `Regular | `Atomic ] ->
     seed:int ->
@@ -66,5 +67,10 @@ module Make (P : Core.Protocol_intf.S) : sig
       exhaust: sample [walks] (default 1000) uniformly random delivery
       orders end-to-end and check every terminal history.  [explored]
       counts delivery steps, [terminals] completed walks; [truncated] is
-      always false.  Sound for bug-finding, not for verification. *)
+      always false.  Sound for bug-finding, not for verification.
+
+      Each walk follows its own PRNG split off the seed stream, so the
+      result is a pure function of [(scenario, seed, walks)]; [jobs]
+      (default {!Exec.Pool.recommended_jobs}) only sets how many domains
+      the batch fans across, never what it samples. *)
 end

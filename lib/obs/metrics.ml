@@ -157,6 +157,23 @@ let add t name n =
 
 let incr t name = add t name 1
 
+(* Interned counter handles: hot paths resolve the name once and then
+   bump the shared ref directly, skipping the per-event hash lookup and
+   any name construction. *)
+type counter = int ref
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let counter_incr (r : counter) = Stdlib.incr r
+
+let counter_add (r : counter) n = r := !r + n
+
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 

@@ -98,6 +98,23 @@ val add : t -> string -> int -> unit
 val counter_value : t -> string -> int
 (** 0 for a counter never touched. *)
 
+(** {2 Interned counter handles}
+
+    Hot paths (the engine's per-message accounting) resolve a counter
+    by name once and then bump the handle, avoiding a hash lookup and
+    any name construction per event. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get-or-create: the counter is registered (and will appear in
+    {!counters} and exports, initially at 0) as soon as it is interned,
+    so intern on first use if an untouched counter must stay absent. *)
+
+val counter_incr : counter -> unit
+
+val counter_add : counter -> int -> unit
+
 val set_gauge : t -> string -> float -> unit
 
 val max_gauge : t -> string -> float -> unit

@@ -24,61 +24,208 @@ end
 module Link_map = Map.Make (Link)
 module Link_set = Set.Make (Link)
 
+(* Dense per-process tables.  Proc ids are contiguous small integers
+   within each rank (Writer; Reader 1..r; Obj 1..s), so a handler or
+   crash lookup is two bounds checks and an array read instead of a
+   balanced-tree descent — this sits on the per-message hot path. *)
+module Ptab = struct
+  type 'a t = {
+    mutable writer : 'a option;
+    mutable readers : 'a option array;
+    mutable objs : 'a option array;
+  }
+
+  let create () = { writer = None; readers = [||]; objs = [||] }
+
+  let grown arr i =
+    let n = Array.length arr in
+    if i < n then arr
+    else begin
+      let a = Array.make (max (i + 1) (max 4 (2 * n))) None in
+      Array.blit arr 0 a 0 n;
+      a
+    end
+
+  let set t id v =
+    match (id : Proc_id.t) with
+    | Proc_id.Writer -> t.writer <- v
+    | Proc_id.Reader j ->
+        if j < 0 then invalid_arg "Engine: negative reader index";
+        t.readers <- grown t.readers j;
+        t.readers.(j) <- v
+    | Proc_id.Obj i ->
+        if i < 0 then invalid_arg "Engine: negative object index";
+        t.objs <- grown t.objs i;
+        t.objs.(i) <- v
+
+  let get t id =
+    match (id : Proc_id.t) with
+    | Proc_id.Writer -> t.writer
+    | Proc_id.Reader j ->
+        if j >= 0 && j < Array.length t.readers then
+          Array.unsafe_get t.readers j
+        else None
+    | Proc_id.Obj i ->
+        if i >= 0 && i < Array.length t.objs then Array.unsafe_get t.objs i
+        else None
+
+  (* Registered ids in descending {!Proc_id.compare} order (Obj s..1,
+     Reader r..1, Writer) — the same sequence the previous
+     [Proc_id.Map.fold]-with-cons enumeration produced.  Callers rely on
+     this order when releasing buffered links (it fixes the rng-draw
+     order of the redelivery delays). *)
+  let ids_desc t =
+    let acc = ref [] in
+    (match t.writer with
+    | Some _ -> acc := Proc_id.Writer :: !acc
+    | None -> ());
+    for j = 0 to Array.length t.readers - 1 do
+      match t.readers.(j) with
+      | Some _ -> acc := Proc_id.Reader j :: !acc
+      | None -> ()
+    done;
+    for i = 0 to Array.length t.objs - 1 do
+      match t.objs.(i) with
+      | Some _ -> acc := Proc_id.Obj i :: !acc
+      | None -> ()
+    done;
+    !acc
+end
+
+(* Message accounting with pre-interned metric handles: the counter and
+   histogram names are resolved against the registry once (per engine,
+   and per wire class for the classified counters) instead of being
+   re-concatenated and re-hashed on every send/deliver/drop. *)
+type stage = Sent | Delivered | Dropped
+
+let stage_name = function
+  | Sent -> "sent"
+  | Delivered -> "delivered"
+  | Dropped -> "dropped"
+
+let stage_rank = function Sent -> 0 | Delivered -> 1 | Dropped -> 2
+
+type 'msg meters = {
+  reg : Obs.Metrics.t;
+  classify : ('msg -> Obs.Wire.t) option;
+  (* handles resolve lazily on first use so a run that never drops (or
+     never even steps) registers exactly the counters it touched — the
+     exported registry stays byte-identical to the string-keyed path *)
+  mutable c_sent : Obs.Metrics.counter option;
+  mutable c_delivered : Obs.Metrics.counter option;
+  mutable c_dropped : Obs.Metrics.counter option;
+  mutable c_events : Obs.Metrics.counter option;
+  mutable h_depth : Obs.Metrics.Histogram.t option;
+  mutable h_wall : Obs.Metrics.Histogram.t option;
+  wire : (Obs.Wire.t * int, Obs.Metrics.counter) Hashtbl.t;
+}
+
 type 'msg t = {
   mutable queue : Queue.t;
+  mutable queue_size : int;  (* cached so depth metering is O(1) *)
   mutable now : int;
   mutable seq : int;
-  mutable handlers : ('msg envelope -> unit) Proc_id.Map.t;
-  mutable crashed : Proc_id.Set.t;
+  handlers : ('msg envelope -> unit) Ptab.t;
+  crashed : bool Ptab.t;
+  mutable endpoints : Proc_id.t list option;
+      (* cached [Ptab.ids_desc handlers]; invalidated on [register] *)
   mutable blocked : Link_set.t;
   mutable buffered : 'msg envelope list Link_map.t;  (* newest first *)
   mutable duplicating : int Link_map.t;  (* extra copies per send *)
+  mutable faults_active : bool;
+      (* [blocked] or [duplicating] non-empty; when false, [send] skips
+         both per-message link lookups entirely *)
   mutable delivered : int;
   mutable dropped : int;
   rng : Prng.t;
   delay : Delay.t;
   trace : Trace.t option;
   msg_info : 'msg -> string;
-  metrics : Obs.Metrics.t option;
-  classify : ('msg -> Obs.Wire.t) option;
+  meters : 'msg meters option;
   clock : (unit -> float) option;
 }
 
 let create ?trace ?(msg_info = fun _ -> "msg") ?metrics ?classify ?clock ~seed
     ~delay () =
+  let meters =
+    Option.map
+      (fun reg ->
+        {
+          reg;
+          classify;
+          c_sent = None;
+          c_delivered = None;
+          c_dropped = None;
+          c_events = None;
+          h_depth = None;
+          h_wall = None;
+          wire = Hashtbl.create 16;
+        })
+      metrics
+  in
   {
     queue = Queue.empty;
+    queue_size = 0;
     now = 0;
     seq = 0;
-    handlers = Proc_id.Map.empty;
-    crashed = Proc_id.Set.empty;
+    handlers = Ptab.create ();
+    crashed = Ptab.create ();
+    endpoints = None;
     blocked = Link_set.empty;
     buffered = Link_map.empty;
     duplicating = Link_map.empty;
+    faults_active = false;
     delivered = 0;
     dropped = 0;
     rng = Prng.create ~seed;
     delay;
     trace;
     msg_info;
-    metrics;
-    classify;
+    meters;
     clock;
   }
 
-let metering t f = match t.metrics with None -> () | Some m -> f m
+let direction_counter ms stage =
+  let cached =
+    match stage with
+    | Sent -> ms.c_sent
+    | Delivered -> ms.c_delivered
+    | Dropped -> ms.c_dropped
+  in
+  match cached with
+  | Some c -> c
+  | None ->
+      let c = Obs.Metrics.counter ms.reg ("engine." ^ stage_name stage) in
+      (match stage with
+      | Sent -> ms.c_sent <- Some c
+      | Delivered -> ms.c_delivered <- Some c
+      | Dropped -> ms.c_dropped <- Some c);
+      c
+
+let wire_counter ms stage w =
+  let key = (w, stage_rank stage) in
+  match Hashtbl.find_opt ms.wire key with
+  | Some c -> c
+  | None ->
+      let c =
+        Obs.Metrics.counter ms.reg
+          ("wire." ^ Obs.Wire.to_string w ^ "." ^ stage_name stage)
+      in
+      Hashtbl.replace ms.wire key c;
+      c
 
 (* Per-class message counters ("wire.read.r1.req.sent", ...) when the
    scenario supplied a classifier; the direction-level counters are
    recorded unconditionally. *)
-let meter_msg t ~stage msg =
-  metering t (fun m ->
-      Obs.Metrics.incr m ("engine." ^ stage);
-      match t.classify with
+let meter_msg t stage msg =
+  match t.meters with
+  | None -> ()
+  | Some ms ->
+      Obs.Metrics.counter_incr (direction_counter ms stage);
+      (match ms.classify with
       | None -> ()
       | Some classify ->
-          Obs.Metrics.incr m
-            ("wire." ^ Obs.Wire.to_string (classify msg) ^ "." ^ stage))
+          Obs.Metrics.counter_incr (wire_counter ms stage (classify msg)))
 
 let rng t = t.rng
 
@@ -86,18 +233,23 @@ let now t = t.now
 
 let tracing t f = match t.trace with None -> () | Some tr -> Trace.record tr (f ())
 
-let register t id handler = t.handlers <- Proc_id.Map.add id handler t.handlers
+let register t id handler =
+  Ptab.set t.handlers id (Some handler);
+  t.endpoints <- None
+
+let is_crashed t id = Ptab.get t.crashed id = Some true
 
 let enqueue t ~at run =
   if at < t.now then invalid_arg "Engine: scheduling in the past";
   let seq = t.seq in
   t.seq <- seq + 1;
-  t.queue <- Queue.insert t.queue { Event.at; seq; run }
+  t.queue <- Queue.insert t.queue { Event.at; seq; run };
+  t.queue_size <- t.queue_size + 1
 
 let deliver t env =
-  if Proc_id.Set.mem env.dst t.crashed then begin
+  if is_crashed t env.dst then begin
     t.dropped <- t.dropped + 1;
-    meter_msg t ~stage:"dropped" env.msg;
+    meter_msg t Dropped env.msg;
     tracing t (fun () ->
         Trace.Drop
           {
@@ -109,10 +261,10 @@ let deliver t env =
           })
   end
   else
-    match Proc_id.Map.find_opt env.dst t.handlers with
+    match Ptab.get t.handlers env.dst with
     | None ->
         t.dropped <- t.dropped + 1;
-        meter_msg t ~stage:"dropped" env.msg;
+        meter_msg t Dropped env.msg;
         tracing t (fun () ->
             Trace.Drop
               {
@@ -124,7 +276,7 @@ let deliver t env =
               })
     | Some handler ->
         t.delivered <- t.delivered + 1;
-        meter_msg t ~stage:"delivered" env.msg;
+        meter_msg t Delivered env.msg;
         tracing t (fun () ->
             Trace.Deliver
               {
@@ -143,23 +295,29 @@ let schedule_delivery t env =
 
 let send t ~src ~dst msg =
   (* A crashed process takes no further steps, hence sends nothing. *)
-  if Proc_id.Set.mem src t.crashed then ()
+  if is_crashed t src then ()
   else begin
-    meter_msg t ~stage:"sent" msg;
+    meter_msg t Sent msg;
     tracing t (fun () ->
         Trace.Send { time = t.now; src; dst; info = t.msg_info msg });
-    let copies =
-      1 + Option.value (Link_map.find_opt (src, dst) t.duplicating) ~default:0
-    in
-    for _ = 1 to copies do
-      let env = { src; dst; sent_at = t.now; msg } in
-      if Link_set.mem (src, dst) t.blocked then
-        t.buffered <-
-          Link_map.update (src, dst)
-            (fun prev -> Some (env :: Option.value prev ~default:[]))
-            t.buffered
-      else schedule_delivery t env
-    done
+    if not t.faults_active then
+      (* fast path: no link blocked or duplicating anywhere, so skip the
+         per-message [Link_map]/[Link_set] lookups *)
+      schedule_delivery t { src; dst; sent_at = t.now; msg }
+    else begin
+      let copies =
+        1 + Option.value (Link_map.find_opt (src, dst) t.duplicating) ~default:0
+      in
+      for _ = 1 to copies do
+        let env = { src; dst; sent_at = t.now; msg } in
+        if Link_set.mem (src, dst) t.blocked then
+          t.buffered <-
+            Link_map.update (src, dst)
+              (fun prev -> Some (env :: Option.value prev ~default:[]))
+              t.buffered
+        else schedule_delivery t env
+      done
+    end
   end
 
 let at t ~time action = enqueue t ~at:time action
@@ -167,95 +325,154 @@ let at t ~time action = enqueue t ~at:time action
 let after t ~delay action = enqueue t ~at:(t.now + delay) action
 
 let crash t id =
-  if not (Proc_id.Set.mem id t.crashed) then begin
-    t.crashed <- Proc_id.Set.add id t.crashed;
+  if not (is_crashed t id) then begin
+    Ptab.set t.crashed id (Some true);
     tracing t (fun () -> Trace.Crash { time = t.now; proc = id });
     (* Envelopes already buffered on blocked links towards the crashed
        process can never be delivered: account for them now rather than
        releasing them into the drop path at unblock time (which would
        date the drops wrong and skew [dropped_count]). *)
-    t.buffered <-
-      Link_map.filter_map
-        (fun (_, dst) envs ->
-          if Proc_id.equal dst id then begin
-            List.iter
-              (fun env ->
-                t.dropped <- t.dropped + 1;
-                tracing t (fun () ->
-                    Trace.Drop
-                      {
-                        time = t.now;
-                        src = env.src;
-                        dst = env.dst;
-                        info = t.msg_info env.msg;
-                        reason = "destination crashed";
-                      }))
-              (List.rev envs);
-            None
-          end
-          else Some envs)
-        t.buffered
+    if not (Link_map.is_empty t.buffered) then
+      t.buffered <-
+        Link_map.filter_map
+          (fun (_, dst) envs ->
+            if Proc_id.equal dst id then begin
+              List.iter
+                (fun env ->
+                  t.dropped <- t.dropped + 1;
+                  tracing t (fun () ->
+                      Trace.Drop
+                        {
+                          time = t.now;
+                          src = env.src;
+                          dst = env.dst;
+                          info = t.msg_info env.msg;
+                          reason = "destination crashed";
+                        }))
+                (List.rev envs);
+              None
+            end
+            else Some envs)
+          t.buffered
   end
 
 let recover t id =
-  if Proc_id.Set.mem id t.crashed then begin
-    t.crashed <- Proc_id.Set.remove id t.crashed;
+  if is_crashed t id then begin
+    Ptab.set t.crashed id (Some false);
     tracing t (fun () -> Trace.Recover { time = t.now; proc = id })
   end
 
-let is_crashed t id = Proc_id.Set.mem id t.crashed
+let refresh_faults_active t =
+  t.faults_active <-
+    (not (Link_set.is_empty t.blocked))
+    || not (Link_map.is_empty t.duplicating)
 
-let block_link t ~src ~dst = t.blocked <- Link_set.add (src, dst) t.blocked
+let block_link t ~src ~dst =
+  t.blocked <- Link_set.add (src, dst) t.blocked;
+  t.faults_active <- true
 
 let set_duplication t ~src ~dst ~copies =
   if copies < 0 then invalid_arg "Engine.set_duplication: negative copies";
   t.duplicating <-
     (if copies = 0 then Link_map.remove (src, dst) t.duplicating
-     else Link_map.add (src, dst) copies t.duplicating)
+     else Link_map.add (src, dst) copies t.duplicating);
+  refresh_faults_active t
 
 let clear_duplication t ~src ~dst =
-  t.duplicating <- Link_map.remove (src, dst) t.duplicating
+  t.duplicating <- Link_map.remove (src, dst) t.duplicating;
+  refresh_faults_active t
 
 let unblock_link t ~src ~dst =
   t.blocked <- Link_set.remove (src, dst) t.blocked;
-  match Link_map.find_opt (src, dst) t.buffered with
+  (match Link_map.find_opt (src, dst) t.buffered with
   | None -> ()
   | Some envs ->
       t.buffered <- Link_map.remove (src, dst) t.buffered;
-      List.iter (schedule_delivery t) (List.rev envs)
+      List.iter (schedule_delivery t) (List.rev envs));
+  refresh_faults_active t
+
+(* The registered endpoint list is derived once and cached (register
+   invalidates); block/unblock of a whole process used to rebuild it —
+   plus a per-endpoint intermediate list — on every call. *)
+let endpoints t =
+  match t.endpoints with
+  | Some ps -> ps
+  | None ->
+      let ps = Ptab.ids_desc t.handlers in
+      t.endpoints <- Some ps;
+      ps
 
 let all_links_of t id =
-  let endpoints =
-    Proc_id.Map.fold (fun p _ acc -> p :: acc) t.handlers []
-  in
-  List.concat_map (fun p -> [ (id, p); (p, id) ]) endpoints
+  List.fold_left
+    (fun acc p -> (id, p) :: (p, id) :: acc)
+    [] (endpoints t)
 
 let block_process t id =
-  List.iter (fun (src, dst) -> block_link t ~src ~dst) (all_links_of t id)
+  List.iter
+    (fun p ->
+      block_link t ~src:id ~dst:p;
+      block_link t ~src:p ~dst:id)
+    (endpoints t)
 
 let unblock_process t id =
-  List.iter (fun (src, dst) -> unblock_link t ~src ~dst) (all_links_of t id)
+  List.iter
+    (fun p ->
+      unblock_link t ~src:id ~dst:p;
+      unblock_link t ~src:p ~dst:id)
+    (endpoints t)
 
 let step t =
   match Queue.pop t.queue with
   | None -> false
   | Some (ev, rest) ->
-      metering t (fun m ->
-          Obs.Metrics.incr m "engine.events";
-          Obs.Metrics.observe_int m "engine.queue_depth"
-            ~bounds:Obs.Metrics.depth_bounds (Queue.size t.queue));
+      (match t.meters with
+      | None -> ()
+      | Some ms ->
+          let c =
+            match ms.c_events with
+            | Some c -> c
+            | None ->
+                let c = Obs.Metrics.counter ms.reg "engine.events" in
+                ms.c_events <- Some c;
+                c
+          in
+          Obs.Metrics.counter_incr c;
+          let h =
+            match ms.h_depth with
+            | Some h -> h
+            | None ->
+                let h =
+                  Obs.Metrics.histogram ms.reg "engine.queue_depth"
+                    ~bounds:Obs.Metrics.depth_bounds
+                in
+                ms.h_depth <- Some h;
+                h
+          in
+          (* the cached size still includes the event being popped,
+             matching the pre-cache [Queue.size] observation point *)
+          Obs.Metrics.Histogram.observe_int h t.queue_size);
       t.queue <- rest;
+      t.queue_size <- t.queue_size - 1;
       t.now <- ev.Event.at;
       (* Host wall-clock per simulated event, only when the caller opted
          in with a clock — the default stays free of ambient state so
          runs (and their exports) are bit-deterministic. *)
-      (match (t.clock, t.metrics) with
-      | Some clock, Some m ->
+      (match (t.clock, t.meters) with
+      | Some clock, Some ms ->
           let t0 = clock () in
           ev.Event.run ();
-          Obs.Metrics.observe m "engine.event_wallclock_us"
-            ~bounds:Obs.Metrics.wallclock_bounds
-            ((clock () -. t0) *. 1e6)
+          let h =
+            match ms.h_wall with
+            | Some h -> h
+            | None ->
+                let h =
+                  Obs.Metrics.histogram ms.reg "engine.event_wallclock_us"
+                    ~bounds:Obs.Metrics.wallclock_bounds
+                in
+                ms.h_wall <- Some h;
+                h
+          in
+          Obs.Metrics.Histogram.observe h ((clock () -. t0) *. 1e6)
       | _ -> ev.Event.run ());
       true
 
@@ -274,7 +491,7 @@ let run ?until ?max_events t =
   in
   loop 0
 
-let pending_events t = Queue.size t.queue
+let pending_events t = t.queue_size
 
 let delivered_count t = t.delivered
 

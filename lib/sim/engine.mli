@@ -87,9 +87,15 @@ val unblock_link : 'msg t -> src:Proc_id.t -> dst:Proc_id.t -> unit
     from the current time. *)
 
 val block_process : 'msg t -> Proc_id.t -> unit
-(** Block every link to and from the given process. *)
+(** Block every link to and from the given process.  The endpoint list
+    is derived from the registered processes and cached across calls. *)
 
 val unblock_process : 'msg t -> Proc_id.t -> unit
+
+val all_links_of : 'msg t -> Proc_id.t -> (Proc_id.t * Proc_id.t) list
+(** Both directed links between [id] and every registered process
+    (including [id] itself) — the link set {!block_process} operates
+    on.  Order is unspecified. *)
 
 val set_duplication : 'msg t -> src:Proc_id.t -> dst:Proc_id.t -> copies:int -> unit
 (** Every subsequent send on the link schedules [copies] extra deliveries,

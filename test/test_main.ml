@@ -32,4 +32,5 @@ let () =
       Suite_obs.suite;
       Suite_golden_trace.suite;
       Suite_span_conformance.suite;
+      Suite_parallel.suite;
     ]
