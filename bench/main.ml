@@ -24,6 +24,7 @@ let experiments =
     ("e11", Exp_e11.run);
     ("e12", Exp_e12.run);
     ("e13", Exp_e13.run);
+    ("e14", Exp_e14.run);
   ]
 
 let run_tables = function
@@ -34,7 +35,7 @@ let run_tables = function
           match List.assoc_opt (String.lowercase_ascii n) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %S (expected e1..e12)\n" n;
+              Printf.eprintf "unknown experiment %S (expected e1..e14)\n" n;
               exit 2)
         names
 
@@ -60,5 +61,5 @@ let () =
       Micro.run ()
   | cmd :: _ ->
       Printf.eprintf
-        "usage: main.exe [--jobs N] [tables [e1..e13] | micro] (got %S)\n" cmd;
+        "usage: main.exe [--jobs N] [tables [e1..e14] | micro] (got %S)\n" cmd;
       exit 2

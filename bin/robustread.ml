@@ -747,6 +747,413 @@ let chaos_cmd =
           naive-fast breaking is the expected Proposition 1 control.")
     term
 
+(* ----- live network commands (serve / client / cluster) ------------------- *)
+
+(* The network runtime only packs the protocols whose wire messages have
+   codecs; the CLI resolves them by the protocol's own name. *)
+let net_protocol_arg =
+  let proto_conv =
+    Arg.conv
+      ( (fun s ->
+          match Net.Protocols.of_string s with
+          | Some p -> Ok p
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown network protocol %S (have: %s)" s
+                      (String.concat ", "
+                         (List.map Net.Protocols.name Net.Protocols.all))))),
+        fun ppf p -> Format.pp_print_string ppf (Net.Protocols.name p) )
+  in
+  Arg.(
+    value
+    & opt proto_conv Net.Protocols.safe
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:
+          "Protocol to serve: $(b,safe), $(b,regular), $(b,regular-opt), \
+           $(b,abd) or $(b,abd-atomic).")
+
+let endpoint_conv =
+  Arg.conv
+    ( (fun s ->
+        match Net.Endpoint.of_string s with
+        | Ok ep -> Ok ep
+        | Error e -> Error (`Msg e)),
+      Net.Endpoint.pp )
+
+let client_opts_args =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float Net.Client.default_opts.deadline
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:"Per-round deadline before a retransmit (seconds).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Net.Client.default_opts.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retransmit attempts before an operation fails.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float Net.Client.default_opts.backoff
+      & info [ "backoff" ] ~docv:"SEC"
+          ~doc:"Base retry backoff, doubled per attempt (seconds).")
+  in
+  Term.(
+    const (fun deadline retries backoff ->
+        { Net.Client.deadline; retries; backoff })
+    $ deadline_arg $ retries_arg $ backoff_arg)
+
+let live_artifacts ~metrics ~artifacts ~spans registry =
+  match artifacts with
+  | None -> ()
+  | Some dir ->
+      let files =
+        [ ("spans.jsonl", Obs.Export.spans_jsonl spans) ]
+        @
+        if metrics then
+          match registry with
+          | Some reg -> [ ("metrics.jsonl", Obs.Export.metrics_jsonl reg) ]
+          | None -> []
+        else []
+      in
+      write_artifacts ~dir files
+
+let print_outcome kind (o : Net.Client.outcome) =
+  Format.printf "  %s%s rounds=%d retransmits=%d latency=%dus@." kind
+    (match o.value with
+    | Some v -> " = " ^ Core.Value.to_string v
+    | None -> "")
+    o.rounds o.retransmits o.latency_us
+
+let serve_cmd =
+  let index_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "index"; "i" ] ~docv:"I"
+          ~doc:"1-based base-object index this server hosts.")
+  in
+  let endpoint_arg =
+    Arg.(
+      value
+      & opt endpoint_conv (Net.Endpoint.Tcp { host = "127.0.0.1"; port = 0 })
+      & info [ "endpoint"; "e" ] ~docv:"EP"
+          ~doc:
+            "Address to bind: $(b,unix:/path.sock), $(b,tcp:host:port) or \
+             $(b,host:port).  TCP port 0 picks an ephemeral port and prints \
+             it.")
+  in
+  let run protocol t b s index endpoint metrics artifacts =
+    let cfg = config ~s ~t ~b () in
+    if index < 1 || index > cfg.Quorum.Config.s then begin
+      Format.eprintf "robustread: --index %d out of range 1..%d@." index
+        cfg.Quorum.Config.s;
+      exit 2
+    end;
+    let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+    let server =
+      Net.Server.start ?metrics:registry ~protocol ~cfg ~index endpoint
+    in
+    Format.printf "serving object %d of %a (%s) on %a@." index Quorum.Config.pp
+      cfg
+      (Net.Protocols.name protocol)
+      Net.Endpoint.pp
+      (Net.Server.endpoint server);
+    Format.print_flush ();
+    (* Block until SIGINT/SIGTERM, then drain gracefully. *)
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    while not (Atomic.get stop) do
+      Thread.delay 0.2
+    done;
+    Net.Server.stop server;
+    let st = Net.Server.stats server in
+    Format.printf "served %d connections, %d messages@." st.connections
+      st.messages;
+    (match registry with
+    | Some reg ->
+        Format.printf "--- metrics ---@.%s"
+          (Stats.Table.to_string (Obs.Metrics.table reg))
+    | None -> ());
+    live_artifacts ~metrics ~artifacts ~spans:[] registry
+  in
+  let term =
+    Term.(
+      const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ index_arg
+      $ endpoint_arg $ metrics_arg $ artifacts_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host one base object over a socket until SIGINT/SIGTERM.  Start S \
+          of these (distinct --index, one endpoint each) to form a cluster \
+          for 'robustread client'.")
+    term
+
+let client_cmd =
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt_all endpoint_conv []
+      & info [ "endpoint"; "e" ] ~docv:"EP"
+          ~doc:
+            "Base-object endpoints, in object order; repeat S times \
+             ($(b,unix:/path.sock), $(b,tcp:host:port) or $(b,host:port)).")
+  in
+  let role_arg =
+    let role_conv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "writer" | "w" -> Ok `Writer
+            | _ -> (
+                match
+                  if String.length s > 1 && s.[0] = 'r' then
+                    int_of_string_opt (String.sub s 1 (String.length s - 1))
+                  else None
+                with
+                | Some j when j >= 1 -> Ok (`Reader j)
+                | _ -> Error (`Msg (Printf.sprintf "bad role %S (writer, r1, r2, ...)" s)))),
+          fun ppf -> function
+            | `Writer -> Format.pp_print_string ppf "writer"
+            | `Reader j -> Format.fprintf ppf "r%d" j )
+    in
+    Arg.(
+      value & opt role_conv `Writer
+      & info [ "role" ] ~docv:"ROLE"
+          ~doc:"Which client to run: $(b,writer) or reader $(b,rN).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "ops"; "n" ] ~docv:"N"
+          ~doc:"Operations to run (writes for the writer, reads for a reader).")
+  in
+  let value_arg =
+    Arg.(
+      value & opt string "v"
+      & info [ "value" ] ~docv:"PREFIX"
+          ~doc:"Written values are $(docv)1, $(docv)2, ...")
+  in
+  let run protocol t b s endpoints role ops value copts metrics artifacts =
+    let cfg = config ~s ~t ~b () in
+    if List.length endpoints <> cfg.Quorum.Config.s then begin
+      Format.eprintf
+        "robustread: %d endpoints given but the configuration has S = %d \
+         objects (repeat --endpoint once per object)@."
+        (List.length endpoints) cfg.Quorum.Config.s;
+      exit 2
+    end;
+    let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+    let client =
+      Net.Client.connect ?metrics:registry ~opts:copts ~protocol ~cfg ~role
+        (Array.of_list endpoints)
+    in
+    Format.printf "%s client on %a (%s), %d op(s)@."
+      (match role with `Writer -> "writer" | `Reader j -> Printf.sprintf "reader r%d" j)
+      Quorum.Config.pp cfg
+      (Net.Protocols.name protocol)
+      ops;
+    let failures = ref 0 in
+    for i = 1 to ops do
+      match role with
+      | `Writer -> (
+          let v = Core.Value.v (Printf.sprintf "%s%d" value i) in
+          match Net.Client.write client v with
+          | Ok o -> print_outcome ("write(" ^ Core.Value.to_string v ^ ")") o
+          | Error e ->
+              incr failures;
+              Format.printf "  write FAILED: %s@." e)
+      | `Reader _ -> (
+          match Net.Client.read client with
+          | Ok o -> print_outcome "read" o
+          | Error e ->
+              incr failures;
+              Format.printf "  read FAILED: %s@." e)
+    done;
+    let spans = Net.Client.spans client in
+    Net.Client.close client;
+    (match registry with
+    | Some reg ->
+        Format.printf "--- metrics ---@.%s"
+          (Stats.Table.to_string (Obs.Metrics.table reg))
+    | None -> ());
+    live_artifacts ~metrics ~artifacts ~spans registry;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ endpoints_arg
+      $ role_arg $ ops_arg $ value_arg $ client_opts_args $ metrics_arg
+      $ artifacts_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Run READ or WRITE operations against live 'robustread serve' \
+          endpoints and report rounds, retransmissions and latency; spans \
+          and metrics export exactly like the simulator's.")
+    term
+
+let cluster_cmd =
+  let readers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"R" ~doc:"Concurrent reader clients.")
+  in
+  let writes_arg =
+    Arg.(
+      value & opt int 3 & info [ "writes" ] ~docv:"N" ~doc:"Writes to run.")
+  in
+  let reads_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "reads" ] ~docv:"N" ~doc:"Reads per reader.")
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt (enum [ ("unix", `Unix); ("tcp", `Tcp) ]) `Unix
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:"Socket flavour: $(b,unix) (default) or $(b,tcp) loopback.")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~docv:"I"
+          ~doc:
+            "Crash the server for object $(docv) halfway through each \
+             reader's reads and restart it near the end — operations must \
+             keep completing (requires t >= 1).")
+  in
+  let run protocol t b s readers writes reads transport crash copts jobs
+      metrics artifacts =
+    let cfg = config ~s ~t ~b () in
+    (match crash with
+    | Some i when i < 1 || i > cfg.Quorum.Config.s ->
+        Format.eprintf "robustread: --crash %d out of range 1..%d@." i
+          cfg.Quorum.Config.s;
+        exit 2
+    | Some _ when cfg.Quorum.Config.t < 1 ->
+        Format.eprintf "robustread: --crash needs t >= 1@.";
+        exit 2
+    | _ -> ());
+    let cluster =
+      Net.Cluster.start ~metrics ~opts:copts ~transport ~protocol ~cfg ~readers
+        ()
+    in
+    Format.printf "cluster of %a (%s) over %s sockets: %d writes, %d readers \
+                   x %d reads%s@."
+      Quorum.Config.pp cfg
+      (Net.Protocols.name protocol)
+      (match transport with `Unix -> "unix" | `Tcp -> "tcp")
+      writes readers reads
+      (match crash with
+      | Some i -> Printf.sprintf ", crashing object %d mid-run" i
+      | None -> "");
+    let failures = ref 0 in
+    let fail_mutex = Mutex.create () in
+    let record_failure msg =
+      Mutex.lock fail_mutex;
+      incr failures;
+      Format.eprintf "%s@." msg;
+      Mutex.unlock fail_mutex
+    in
+    (* Writer runs in this thread; each reader client gets its own (the
+       harness locks the shared history recorder).  --jobs 1 forces the
+       fully sequential path. *)
+    let sequential = jobs = Some 1 in
+    let reader_body j () =
+      for k = 1 to reads do
+        (match crash with
+        | Some i when j = 1 && k = ((reads / 2) + 1) ->
+            if List.mem i (Net.Cluster.alive cluster) then begin
+              Net.Cluster.crash cluster i;
+              Format.printf "  crashed object %d (alive: %s)@." i
+                (String.concat ","
+                   (List.map string_of_int (Net.Cluster.alive cluster)))
+            end
+        | _ -> ());
+        match Net.Cluster.read cluster ~reader:j with
+        | Ok _ -> ()
+        | Error e -> record_failure (Printf.sprintf "read r%d#%d FAILED: %s" j k e)
+      done
+    in
+    for i = 1 to writes do
+      match Net.Cluster.write cluster (Core.Value.v (Printf.sprintf "v%d" i)) with
+      | Ok o -> print_outcome (Printf.sprintf "write(v%d)" i) o
+      | Error e -> record_failure (Printf.sprintf "write v%d FAILED: %s" i e)
+    done;
+    if sequential then
+      for j = 1 to readers do
+        reader_body j ()
+      done
+    else begin
+      let threads =
+        List.init readers (fun j -> Thread.create (reader_body (j + 1)) ())
+      in
+      List.iter Thread.join threads
+    end;
+    (match crash with
+    | Some i when not (List.mem i (Net.Cluster.alive cluster)) ->
+        Net.Cluster.restart cluster i;
+        Format.printf "  restarted object %d (alive: %s)@." i
+          (String.concat ","
+             (List.map string_of_int (Net.Cluster.alive cluster)));
+        (* one more read with the recovered replica back in the quorum *)
+        (match Net.Cluster.read cluster ~reader:1 with
+        | Ok o -> print_outcome "read(post-restart)" o
+        | Error e -> record_failure ("post-restart read FAILED: " ^ e))
+    | _ -> ());
+    let history = Net.Cluster.history cluster in
+    let equal = String.equal in
+    let safety = Histories.Checks.check_safety ~equal history in
+    let spans = Net.Cluster.spans cluster in
+    let completed = List.length (List.filter Obs.Span.completed spans) in
+    Format.printf "%d operations (%d spans completed); safety: %s@."
+      (List.length history) completed
+      (if safety = [] then "OK"
+       else Printf.sprintf "%d VIOLATIONS" (List.length safety));
+    List.iter
+      (fun v ->
+        Format.printf "  violation: %a@."
+          (Histories.Checks.pp_violation ~pp_value:Format.pp_print_string)
+          v)
+      safety;
+    let registry = Net.Cluster.metrics cluster in
+    (match registry with
+    | Some reg ->
+        Format.printf "--- metrics ---@.%s"
+          (Stats.Table.to_string (Obs.Metrics.table reg))
+    | None -> ());
+    live_artifacts ~metrics ~artifacts ~spans registry;
+    Net.Cluster.stop cluster;
+    if !failures > 0 || safety <> [] then exit 1
+  in
+  let term =
+    Term.(
+      const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
+      $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ client_opts_args
+      $ jobs_arg $ metrics_arg $ artifacts_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Spin up a live loopback cluster (S servers + writer + readers in \
+          one process), run a read/write workload over real sockets — \
+          optionally crashing and restarting a server mid-run — then check \
+          the recorded history and export spans/metrics.")
+    term
+
 (* ----- main ------------------------------------------------------------------ *)
 
 let () =
@@ -765,6 +1172,9 @@ let () =
         check_cmd;
         walks_cmd;
         chaos_cmd;
+        serve_cmd;
+        client_cmd;
+        cluster_cmd;
       ]
   in
   exit (Cmd.eval main)

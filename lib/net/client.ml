@@ -1,0 +1,360 @@
+type opts = { deadline : float; retries : int; backoff : float }
+
+let default_opts = { deadline = 1.0; retries = 5; backoff = 0.05 }
+
+type outcome = {
+  value : Core.Value.t option;
+  rounds : int;
+  retransmits : int;
+  latency_us : int;
+}
+
+type t = {
+  write_ : Core.Value.t -> (outcome, string) result;
+  read_ : unit -> (outcome, string) result;
+  close_ : unit -> unit;
+  connected_ : unit -> int list;
+  collector : Obs.Span.collector;
+}
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One endpoint = one base object.  [fd = None] marks the endpoint down;
+   reconnects are rate-limited by [next_attempt] so a dead server costs
+   one connect attempt per backoff window, not one per message. *)
+type conn = {
+  index : int;  (* 1-based object index *)
+  ep : Endpoint.t;
+  mutable fd : Unix.file_descr option;
+  mutable reader : Codec.Reader.t;
+  mutable fails : int;
+  mutable next_attempt : float;
+}
+
+let reconnect_cap = 2.0
+
+let connect_timeout = 0.5
+
+let connect_fd ep =
+  let fd = Unix.socket (Endpoint.socket_domain ep) Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (Endpoint.to_sockaddr ep)
+     with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+       match Unix.select [] [ fd ] [] connect_timeout with
+       | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+       | _ -> (
+           match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+    Unix.clear_nonblock fd;
+    fd
+  with e ->
+    close_quietly fd;
+    raise e
+
+let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
+    endpoints =
+  Lazy.force ignore_sigpipe;
+  let (Protocols.Packed { proto = (module P); codec }) = protocol in
+  let s = cfg.Quorum.Config.s in
+  if Array.length endpoints <> s then
+    invalid_arg
+      (Printf.sprintf "Client.connect: %d endpoints for S = %d"
+         (Array.length endpoints) s);
+  let proc =
+    match role with
+    | `Writer -> "w"
+    | `Reader j when j >= 1 -> "r" ^ string_of_int j
+    | `Reader j -> invalid_arg (Printf.sprintf "Client.connect: reader %d" j)
+  in
+  let now_f = Unix.gettimeofday in
+  let now_us =
+    match now_us with
+    | Some f -> f
+    | None ->
+        let t0 = now_f () in
+        fun () -> int_of_float ((now_f () -. t0) *. 1e6)
+  in
+  let collector = Obs.Span.collector () in
+  let count name =
+    match metrics with None -> () | Some reg -> Obs.Metrics.incr reg name
+  in
+  let meter stage m =
+    match metrics with
+    | None -> ()
+    | Some reg ->
+        Obs.Metrics.incr reg
+          ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+  in
+  let conns =
+    Array.mapi
+      (fun i ep ->
+        {
+          index = i + 1;
+          ep;
+          fd = None;
+          reader = Codec.Reader.create ();
+          fails = 0;
+          next_attempt = 0.;
+        })
+      endpoints
+  in
+  let drop c =
+    match c.fd with
+    | None -> ()
+    | Some fd ->
+        close_quietly fd;
+        c.fd <- None;
+        c.fails <- c.fails + 1;
+        c.next_attempt <-
+          now_f () +. Float.min reconnect_cap (0.05 *. float_of_int c.fails);
+        count "net.client.disconnects"
+  in
+  let send_conn c m =
+    match c.fd with
+    | None -> ()
+    | Some fd -> (
+        meter "sent" m;
+        try Codec.send fd (Codec.encode_frame codec (Codec.Msg m))
+        with Unix.Unix_error _ -> drop c)
+  in
+  let try_connect c =
+    match connect_fd c.ep with
+    | fd -> (
+        c.reader <- Codec.Reader.create ();
+        c.fails <- 0;
+        c.fd <- Some fd;
+        count "net.client.connects";
+        try
+          Codec.send fd
+            (Codec.encode_frame codec
+               (Codec.Hello { proto = P.name; sender = proc; obj = c.index }))
+        with Unix.Unix_error _ -> drop c)
+    | exception Unix.Unix_error _ ->
+        c.fails <- c.fails + 1;
+        c.next_attempt <-
+          now_f () +. Float.min reconnect_cap (0.05 *. float_of_int c.fails)
+  in
+  let ensure_conns () =
+    Array.iter
+      (fun c -> if c.fd = None && now_f () >= c.next_attempt then try_connect c)
+      conns
+  in
+  let broadcast m = Array.iter (fun c -> send_conn c m) conns in
+  let connected () =
+    Array.to_list conns
+    |> List.filter_map (fun c ->
+           match c.fd with Some _ -> Some c.index | None -> None)
+  in
+  (* The generic operation loop.  [pending] survives a timed-out
+     operation: the protocol state machine is still mid-round (there is
+     no abort in the paper's automata), so the next invocation resumes
+     it instead of corrupting the state with a fresh start. *)
+  let run_op ~kind ~pending ~start ~feed =
+    ensure_conns ();
+    let resume = !pending in
+    let init =
+      match resume with
+      | Some (m, span) -> Ok (m, span)
+      | None -> (
+          match start () with
+          | Error e -> Error e
+          | Ok m ->
+              let span =
+                Obs.Span.start collector kind ~proc ~now:(now_us ())
+                  ~trace_pos:0
+              in
+              Ok (m, span))
+    in
+    match init with
+    | Error e -> Error e
+    | Ok (m0, span) ->
+        pending := Some (m0, span);
+        let current = ref m0 in
+        let retransmits = ref 0 in
+        let finished = ref None in
+        let deadline = ref (now_f () +. opts.deadline) in
+        let on_frame c = function
+          | Codec.Hello_ack { proto; obj } ->
+              if proto <> P.name || obj <> c.index then drop c
+          | Codec.Err _ ->
+              count "net.client.peer_errors";
+              drop c
+          | Codec.Hello _ -> drop c
+          | Codec.Msg m ->
+              meter "delivered" m;
+              Obs.Span.contact span ~obj:c.index;
+              List.iter
+                (function
+                  | Core.Events.Broadcast m' ->
+                      Obs.Span.transition span ~now:(now_us ());
+                      current := m';
+                      pending := Some (m', span);
+                      deadline := now_f () +. opts.deadline;
+                      broadcast m'
+                  | Core.Events.Read_done { value; rounds } ->
+                      finished := Some (Some value, rounds)
+                  | Core.Events.Write_done { rounds } ->
+                      finished := Some (None, rounds))
+                (feed ~obj:c.index m)
+        in
+        let handle_readable fd =
+          Array.iter
+            (fun c ->
+              if c.fd = Some fd then
+                match Codec.recv_into fd c.reader with
+                | 0 -> drop c
+                | exception Unix.Unix_error _ -> drop c
+                | _ ->
+                    let rec drain () =
+                      if c.fd <> None then
+                        match Codec.Reader.next codec c.reader with
+                        | Ok `Awaiting -> ()
+                        | Error _ ->
+                            count "net.client.decode_errors";
+                            drop c
+                        | Ok (`Frame f) ->
+                            on_frame c f;
+                            drain ()
+                    in
+                    drain ())
+            conns
+        in
+        broadcast !current;
+        let rec loop attempt =
+          match !finished with
+          | Some (value, rounds) ->
+              let now = now_us () in
+              Obs.Span.finish span ~now ~rounds
+                ?result:(Option.map Core.Value.to_string value)
+                ~trace_pos:0 ();
+              pending := None;
+              let k = "op." ^ Obs.Span.kind_to_string kind in
+              (match metrics with
+              | None -> ()
+              | Some reg ->
+                  Obs.Metrics.incr reg (k ^ ".completed");
+                  Obs.Metrics.observe_int reg (k ^ ".rounds")
+                    ~bounds:Obs.Metrics.round_bounds span.Obs.Span.rounds;
+                  Obs.Metrics.observe_int reg (k ^ ".latency_us")
+                    ~bounds:Obs.Metrics.wallclock_bounds
+                    (now - span.Obs.Span.started_at);
+                  Obs.Metrics.observe_int reg (k ^ ".replies")
+                    ~bounds:Obs.Metrics.count_bounds span.Obs.Span.replies;
+                  Obs.Metrics.observe_int reg (k ^ ".contacted")
+                    ~bounds:Obs.Metrics.count_bounds
+                    (List.length (Obs.Span.contacted span)));
+              Ok
+                {
+                  value;
+                  rounds;
+                  retransmits = !retransmits;
+                  latency_us = now - span.Obs.Span.started_at;
+                }
+          | None ->
+              let timeout = !deadline -. now_f () in
+              if timeout <= 0. then
+                if attempt >= opts.retries then begin
+                  count ("op." ^ Obs.Span.kind_to_string kind ^ ".timeout");
+                  Error
+                    (Printf.sprintf
+                       "%s by %s timed out after %d attempts (%.1fs deadline, \
+                        connected objects: %s)"
+                       (Obs.Span.kind_to_string kind)
+                       proc (attempt + 1) opts.deadline
+                       (match connected () with
+                       | [] -> "none"
+                       | l -> String.concat "," (List.map string_of_int l)))
+                end
+                else begin
+                  incr retransmits;
+                  count "net.client.retransmits";
+                  Thread.delay (opts.backoff *. (2. ** float_of_int attempt));
+                  ensure_conns ();
+                  broadcast !current;
+                  deadline := now_f () +. opts.deadline;
+                  loop (attempt + 1)
+                end
+              else
+                let fds =
+                  Array.to_list conns |> List.filter_map (fun c -> c.fd)
+                in
+                if fds = [] then begin
+                  (* Every endpoint is down: pace reconnect attempts
+                     until the deadline machinery decides. *)
+                  Thread.delay (Float.min 0.01 timeout);
+                  ensure_conns ();
+                  loop attempt
+                end
+                else (
+                  match Unix.select fds [] [] timeout with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                      loop attempt
+                  | ready, _, _ ->
+                      List.iter handle_readable ready;
+                      loop attempt)
+        in
+        loop 0
+  in
+  let write_, read_ =
+    match role with
+    | `Writer ->
+        let writer = ref (P.writer_init ~cfg) in
+        let pending = ref None in
+        let write v =
+          run_op ~kind:Obs.Span.Write ~pending
+            ~start:(fun () ->
+              match P.writer_start !writer v with
+              | Ok (w, m) ->
+                  writer := w;
+                  Ok m
+              | Error e -> Error e)
+            ~feed:(fun ~obj m ->
+              let w, evs = P.writer_on_msg !writer ~obj m in
+              writer := w;
+              evs)
+        in
+        (write, fun () -> invalid_arg "Client.read: this client is the writer")
+    | `Reader j ->
+        let rd = ref (P.reader_init ~cfg ~j) in
+        let pending = ref None in
+        let read () =
+          run_op
+            ~kind:(Obs.Span.Read { reader = j })
+            ~pending
+            ~start:(fun () ->
+              match P.reader_start !rd with
+              | Ok (r, m) ->
+                  rd := r;
+                  Ok m
+              | Error e -> Error e)
+            ~feed:(fun ~obj m ->
+              let r, evs = P.reader_on_msg !rd ~obj m in
+              rd := r;
+              evs)
+        in
+        ((fun _ -> invalid_arg "Client.write: this client is a reader"), read)
+  in
+  {
+    write_;
+    read_;
+    close_ = (fun () -> Array.iter drop conns);
+    connected_ = connected;
+    collector;
+  }
+
+let write t v = t.write_ v
+
+let read t = t.read_ ()
+
+let spans t = Obs.Span.spans t.collector
+
+let connected t = t.connected_ ()
+
+let close t = t.close_ ()

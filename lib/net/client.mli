@@ -1,0 +1,77 @@
+(** Reader/writer client runtime: the protocol's round structure over
+    real sockets.
+
+    A client connects to the S base-object endpoints and drives the
+    {e unchanged} reader/writer state machines from
+    {!Core.Protocol_intf.S}: each operation broadcasts the round's
+    message to every reachable endpoint, feeds replies back as they
+    arrive (the state machines themselves decide when S−t replies — or
+    the protocol's own quorum predicate — are enough), and follows any
+    next-round broadcast the machine emits.
+
+    The transport adds what the simulator never needed:
+
+    - {b per-round deadlines} — if a round does not complete within
+      [deadline], the round's message is retransmitted (the state
+      machines already ignore duplicate replies) with exponential
+      backoff, up to [retries] attempts;
+    - {b endpoint failure} — an endpoint that refuses connections,
+      resets, or times out is marked down and retried later; operations
+      proceed on the survivors, so a crashed or Byzantine-silent
+      minority never blocks progress (wait-freedom, paper §2.2);
+    - {b observability} — every operation opens an {!Obs.Span}
+      (microsecond timestamps, round transitions, contacted objects)
+      and, with [metrics], populates the same [op.*] / [wire.*] metric
+      families as the simulator, so live runs export through the
+      existing JSONL exporters unchanged. *)
+
+type opts = {
+  deadline : float;  (** seconds a round may wait before a retransmit *)
+  retries : int;  (** retransmit rounds before the operation fails *)
+  backoff : float;  (** base retry backoff, doubled per attempt *)
+}
+
+val default_opts : opts
+(** 1s deadline, 5 retries, 50ms backoff. *)
+
+type outcome = {
+  value : Core.Value.t option;  (** [Some] for reads *)
+  rounds : int;  (** rounds the protocol reported at completion *)
+  retransmits : int;  (** deadline-triggered retransmissions *)
+  latency_us : int;
+}
+
+type t
+
+val connect :
+  ?metrics:Obs.Metrics.t ->
+  ?opts:opts ->
+  ?now_us:(unit -> int) ->
+  protocol:Protocols.t ->
+  cfg:Quorum.Config.t ->
+  role:[ `Writer | `Reader of int ] ->
+  Endpoint.t array ->
+  t
+(** [connect ~protocol ~cfg ~role endpoints] prepares a client for the S
+    = [Array.length endpoints] base objects; endpoint [i] hosts object
+    [i+1].  Connections are established lazily and re-established with
+    backoff, so a dead endpoint at connect time is not an error.
+    [now_us] overrides the span clock (default: microseconds since
+    [connect]).
+    @raise Invalid_argument if [endpoints] does not match [cfg.s] or the
+    role is a [`Reader j] with [j < 1]. *)
+
+val write : t -> Core.Value.t -> (outcome, string) result
+(** Run one WRITE to completion.  @raise Invalid_argument on a reader. *)
+
+val read : t -> (outcome, string) result
+(** Run one READ to completion.  @raise Invalid_argument on the writer. *)
+
+val spans : t -> Obs.Span.t list
+(** One span per operation, invocation order; failed operations stay
+    open — exactly the simulator's convention. *)
+
+val connected : t -> int list
+(** Object indices with a currently established connection. *)
+
+val close : t -> unit

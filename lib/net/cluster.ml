@@ -1,0 +1,193 @@
+type client_slot = {
+  client : Client.t;
+  registry : Obs.Metrics.t option;
+  (* a resumed operation responds to the invocation that opened it *)
+  mutable open_op : Histories.Recorder.op_handle option;
+}
+
+type t = {
+  cfg : Quorum.Config.t;
+  endpoints : Endpoint.t array;
+  mutable servers : Server.t array;
+  server_registries : Obs.Metrics.t option array;
+  writer : client_slot;
+  readers : client_slot array;
+  recorder : string Histories.Recorder.t;
+  rec_mutex : Mutex.t;
+  now_us : unit -> int;
+  tmpdir : string option;
+  with_metrics : bool;
+}
+
+let tmp_counter = ref 0
+
+let fresh_tmpdir () =
+  let rec go n =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "robustread-net-%d-%d" (Unix.getpid ()) n)
+    in
+    match Unix.mkdir dir 0o700 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
+  in
+  incr tmp_counter;
+  go !tmp_counter
+
+let start ?(metrics = false) ?opts ?(transport = `Unix) ~protocol ~cfg ~readers
+    () =
+  let s = cfg.Quorum.Config.s in
+  let tmpdir, endpoints =
+    match transport with
+    | `Unix ->
+        let dir = fresh_tmpdir () in
+        ( Some dir,
+          Array.init s (fun i ->
+              Endpoint.Unix_sock
+                (Filename.concat dir (Printf.sprintf "s%d.sock" (i + 1)))) )
+    | `Tcp ->
+        ( None,
+          Array.init s (fun _ -> Endpoint.Tcp { host = "127.0.0.1"; port = 0 })
+        )
+  in
+  let registry () = if metrics then Some (Obs.Metrics.create ()) else None in
+  let server_registries = Array.init s (fun _ -> registry ()) in
+  let servers =
+    Array.init s (fun i ->
+        Server.start
+          ?metrics:server_registries.(i)
+          ~protocol ~cfg ~index:(i + 1) endpoints.(i))
+  in
+  (* Ephemeral TCP ports are only known after bind. *)
+  let endpoints = Array.map Server.endpoint servers in
+  let t0 = Unix.gettimeofday () in
+  let now_us () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let slot role =
+    let registry = registry () in
+    {
+      client =
+        Client.connect ?metrics:registry ?opts ~now_us ~protocol ~cfg ~role
+          endpoints;
+      registry;
+      open_op = None;
+    }
+  in
+  {
+    cfg;
+    endpoints;
+    servers;
+    server_registries;
+    writer = slot `Writer;
+    readers = Array.init readers (fun j -> slot (`Reader (j + 1)));
+    recorder = Histories.Recorder.create ();
+    rec_mutex = Mutex.create ();
+    now_us;
+    tmpdir;
+    with_metrics = metrics;
+  }
+
+let locked t f =
+  Mutex.lock t.rec_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.rec_mutex) f
+
+(* Record the invocation unless the slot still has an op in flight (the
+   client resumes it; the original invocation stays the right event). *)
+let invoke t slot mk =
+  locked t (fun () ->
+      match slot.open_op with
+      | Some h -> h
+      | None ->
+          let h = mk ~time:(t.now_us ()) in
+          slot.open_op <- Some h;
+          h)
+
+let respond t slot h finish =
+  locked t (fun () ->
+      slot.open_op <- None;
+      finish h ~time:(t.now_us ()))
+
+let write t v =
+  let slot = t.writer in
+  let h =
+    invoke t slot (fun ~time ->
+        Histories.Recorder.invoke_write t.recorder ~time
+          (Core.Value.to_string v))
+  in
+  match Client.write slot.client v with
+  | Ok _ as ok ->
+      respond t slot h (fun h ~time ->
+          Histories.Recorder.respond_write t.recorder h ~time);
+      ok
+  | Error _ as e -> e
+
+let read t ~reader =
+  if reader < 1 || reader > Array.length t.readers then
+    invalid_arg (Printf.sprintf "Cluster.read: reader %d" reader);
+  let slot = t.readers.(reader - 1) in
+  let h =
+    invoke t slot (fun ~time ->
+        Histories.Recorder.invoke_read t.recorder ~time ~reader)
+  in
+  match Client.read slot.client with
+  | Ok o as ok ->
+      let result =
+        match o.Client.value with
+        | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+        | Some (Core.Value.V s) -> Histories.Op.Value s
+      in
+      respond t slot h (fun h ~time ->
+          Histories.Recorder.respond_read t.recorder h ~time result);
+      ok
+  | Error _ as e -> e
+
+let check_index t i =
+  if i < 1 || i > Array.length t.servers then
+    invalid_arg (Printf.sprintf "Cluster: object %d" i)
+
+let crash t i =
+  check_index t i;
+  Server.crash t.servers.(i - 1)
+
+let restart ?wipe t i =
+  check_index t i;
+  t.servers.(i - 1) <- Server.restart ?wipe t.servers.(i - 1)
+
+let alive t =
+  Array.to_list t.servers
+  |> List.filter_map (fun s ->
+         if Server.alive s then Some (Server.index s) else None)
+
+let endpoints t = t.endpoints
+
+let cfg t = t.cfg
+
+let history t = locked t (fun () -> Histories.Recorder.ops t.recorder)
+
+let spans t =
+  Client.spans t.writer.client
+  @ List.concat_map
+      (fun r -> Client.spans r.client)
+      (Array.to_list t.readers)
+
+let metrics t =
+  if not t.with_metrics then None
+  else begin
+    let dst = Obs.Metrics.create () in
+    Array.iter
+      (Option.iter (fun src -> Obs.Metrics.merge_into ~dst src))
+      t.server_registries;
+    Option.iter (fun src -> Obs.Metrics.merge_into ~dst src) t.writer.registry;
+    Array.iter
+      (fun r -> Option.iter (fun src -> Obs.Metrics.merge_into ~dst src) r.registry)
+      t.readers;
+    Some dst
+  end
+
+let stop t =
+  Client.close t.writer.client;
+  Array.iter (fun r -> Client.close r.client) t.readers;
+  Array.iter (fun s -> if Server.alive s then Server.stop s) t.servers;
+  match t.tmpdir with
+  | None -> ()
+  | Some dir -> ( try Unix.rmdir dir with Unix.Unix_error _ -> ())

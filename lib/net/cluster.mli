@@ -1,0 +1,72 @@
+(** Loopback cluster harness: S servers plus writer/reader clients in
+    one process.
+
+    This is the live counterpart of {!Core.Scenario}: it spawns one
+    {!Server} per base object (Unix-domain sockets in a private temp
+    directory by default, TCP on demand), connects the single writer and
+    [readers] reader {!Client}s, and records every operation into a
+    {!Histories.Recorder} so the paper's safety/regularity/wait-freedom
+    checkers run on live histories exactly as they do on simulated ones.
+
+    Chaos hooks mirror the fault campaign's crash-recovery actions:
+    {!crash} kills a server's sockets mid-flight (the stand-in for a
+    killed process), {!restart} brings the object back on the same
+    endpoint with persisted or wiped state.  Clients reconnect on their
+    own; as long as at most [t] objects are down, operations keep
+    completing — the acceptance test drives 1000 READs across a
+    crash/restart and requires zero failures.
+
+    Thread-safety: operations for {e distinct} clients (the writer,
+    each reader) may run from distinct threads concurrently; the shared
+    history recorder is internally locked.  One client must not be
+    driven from two threads. *)
+
+type t
+
+val start :
+  ?metrics:bool ->
+  ?opts:Client.opts ->
+  ?transport:[ `Unix | `Tcp ] ->
+  protocol:Protocols.t ->
+  cfg:Quorum.Config.t ->
+  readers:int ->
+  unit ->
+  t
+(** Spin up [cfg.s] servers and [readers] reader clients (plus the
+    writer).  [transport] defaults to [`Unix].  With [metrics:true]
+    every component keeps a private registry; {!metrics} merges them. *)
+
+val write : t -> Core.Value.t -> (Client.outcome, string) result
+(** One WRITE through the writer client, recorded in the history. *)
+
+val read : t -> reader:int -> (Client.outcome, string) result
+(** One READ by reader [reader] (1-based), recorded in the history. *)
+
+val crash : t -> int -> unit
+(** Hard-kill server for object [i] (1-based); idempotent while down. *)
+
+val restart : ?wipe:bool -> t -> int -> unit
+(** Bring object [i] back on the same endpoint ([wipe] discards its
+    state).  @raise Invalid_argument if it is still alive. *)
+
+val alive : t -> int list
+(** Object indices whose server is up. *)
+
+val endpoints : t -> Endpoint.t array
+
+val cfg : t -> Quorum.Config.t
+
+val history : t -> string Histories.Op.t list
+(** All recorded operations, invocation order — feed to
+    {!Histories.Checks}. *)
+
+val spans : t -> Obs.Span.t list
+(** Writer spans then per-reader spans; all share one microsecond
+    clock. *)
+
+val metrics : t -> Obs.Metrics.t option
+(** Merged snapshot of every component registry (servers then clients);
+    [None] unless started with [metrics:true]. *)
+
+val stop : t -> unit
+(** Stop servers and clients and remove the socket directory. *)

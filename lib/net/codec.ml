@@ -1,0 +1,514 @@
+let version = 1
+
+let max_frame = 16 * 1024 * 1024
+
+let magic1 = 'R'
+
+let magic2 = 'B'
+
+type error = string
+
+(* ----- encoding primitives --------------------------------------------- *)
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+(* Zigzag LEB128: small magnitudes (timestamps, indices) cost one byte,
+   and the logical shift below treats the zigzagged value as a 63-bit
+   pattern, so the whole int range (min_int included) round-trips. *)
+let put_int buf n =
+  let z = (n lsl 1) lxor (n asr 62) in
+  let rec go z =
+    if z >= 0 && z < 0x80 then put_u8 buf z
+    else begin
+      put_u8 buf (0x80 lor (z land 0x7f));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_value buf = function
+  | Core.Value.Bottom -> put_u8 buf 0
+  | Core.Value.V s ->
+      put_u8 buf 1;
+      put_string buf s
+
+let put_tsval buf (tv : Core.Tsval.t) =
+  put_int buf tv.ts;
+  put_value buf tv.v
+
+let put_int_map buf m =
+  put_int buf (Core.Ints.Map.cardinal m);
+  Core.Ints.Map.iter
+    (fun k v ->
+      put_int buf k;
+      put_int buf v)
+    m
+
+let put_matrix buf m =
+  let rows = Core.Tsr_matrix.rows_present m in
+  put_int buf (List.length rows);
+  List.iter
+    (fun obj ->
+      put_int buf obj;
+      match Core.Tsr_matrix.row m ~obj with
+      | Some row -> put_int_map buf row
+      | None -> assert false)
+    rows
+
+let put_wtuple buf (w : Core.Wtuple.t) =
+  put_tsval buf w.tsval;
+  put_matrix buf w.tsrarray
+
+let put_history buf h =
+  let bindings = Core.History_store.bindings h in
+  put_int buf (List.length bindings);
+  List.iter
+    (fun (ts, { Core.History_store.pw; w }) ->
+      put_int buf ts;
+      put_tsval buf pw;
+      match w with
+      | None -> put_u8 buf 0
+      | Some w ->
+          put_u8 buf 1;
+          put_wtuple buf w)
+    bindings
+
+(* ----- decoding primitives --------------------------------------------- *)
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+type dec = { src : string; mutable pos : int; limit : int }
+
+let remaining d = d.limit - d.pos
+
+let get_u8 d =
+  if d.pos >= d.limit then fail "truncated (u8 at %d)" d.pos
+  else begin
+    let c = Char.code d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    c
+  end
+
+let get_int d =
+  let rec go acc shift =
+    if shift > 62 then fail "varint too long at %d" d.pos
+    else
+      let b = get_u8 d in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_length d ~what =
+  let n = get_int d in
+  if n < 0 then fail "negative %s length %d" what n
+  else if n > remaining d then
+    fail "%s length %d exceeds remaining %d bytes" what n (remaining d)
+  else n
+
+let get_string d =
+  let n = get_length d ~what:"string" in
+  let s = String.sub d.src d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let get_value d =
+  match get_u8 d with
+  | 0 -> Core.Value.Bottom
+  | 1 -> Core.Value.V (get_string d)
+  | t -> fail "bad value tag %d" t
+
+let get_tsval d =
+  let ts = get_int d in
+  let v = get_value d in
+  Core.Tsval.make ~ts ~v
+
+(* Collection counts are validated against the remaining byte budget
+   (every element costs at least one byte) before any element decodes,
+   so a forged count cannot trigger unbounded work. *)
+let get_count d ~what =
+  let n = get_int d in
+  if n < 0 then fail "negative %s count %d" what n
+  else if n > remaining d then
+    fail "%s count %d exceeds remaining %d bytes" what n (remaining d)
+  else n
+
+let get_int_map d =
+  let n = get_count d ~what:"map" in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let k = get_int d in
+      let v = get_int d in
+      go (Core.Ints.Map.add k v acc) (i + 1)
+  in
+  go Core.Ints.Map.empty 0
+
+let get_matrix d =
+  let n = get_count d ~what:"matrix row" in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let obj = get_int d in
+      let row = get_int_map d in
+      go (Core.Tsr_matrix.set_row acc ~obj row) (i + 1)
+  in
+  go Core.Tsr_matrix.empty 0
+
+let get_wtuple d =
+  let tsval = get_tsval d in
+  let tsrarray = get_matrix d in
+  Core.Wtuple.make ~tsval ~tsrarray
+
+let get_history d =
+  let n = get_count d ~what:"history" in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let ts = get_int d in
+      let pw = get_tsval d in
+      let w =
+        match get_u8 d with
+        | 0 -> None
+        | 1 -> Some (get_wtuple d)
+        | t -> fail "bad history entry tag %d" t
+      in
+      go (Core.History_store.set acc ~ts { Core.History_store.pw; w }) (i + 1)
+  in
+  go Core.History_store.empty 0
+
+(* ----- per-protocol message codecs -------------------------------------- *)
+
+type 'm t = {
+  name : string;
+  encode : Buffer.t -> 'm -> unit;
+  decode : dec -> 'm;  (* may raise Fail; callers catch at the boundary *)
+}
+
+type 'm codec = 'm t
+
+let name c = c.name
+
+let messages : Core.Messages.t t =
+  let encode buf (m : Core.Messages.t) =
+    match m with
+    | Pw { ts; pw; w } ->
+        put_u8 buf 0;
+        put_int buf ts;
+        put_tsval buf pw;
+        put_wtuple buf w
+    | Pw_ack { ts; tsr } ->
+        put_u8 buf 1;
+        put_int buf ts;
+        put_int_map buf tsr
+    | W { ts; pw; w } ->
+        put_u8 buf 2;
+        put_int buf ts;
+        put_tsval buf pw;
+        put_wtuple buf w
+    | W_ack { ts } ->
+        put_u8 buf 3;
+        put_int buf ts
+    | Read1 { tsr; from_ts } ->
+        put_u8 buf 4;
+        put_int buf tsr;
+        put_int buf from_ts
+    | Read2 { tsr; from_ts } ->
+        put_u8 buf 5;
+        put_int buf tsr;
+        put_int buf from_ts
+    | Read1_ack { tsr; pw; w } ->
+        put_u8 buf 6;
+        put_int buf tsr;
+        put_tsval buf pw;
+        put_wtuple buf w
+    | Read2_ack { tsr; pw; w } ->
+        put_u8 buf 7;
+        put_int buf tsr;
+        put_tsval buf pw;
+        put_wtuple buf w
+    | Read1_ack_h { tsr; history } ->
+        put_u8 buf 8;
+        put_int buf tsr;
+        put_history buf history
+    | Read2_ack_h { tsr; history } ->
+        put_u8 buf 9;
+        put_int buf tsr;
+        put_history buf history
+  in
+  let decode d : Core.Messages.t =
+    match get_u8 d with
+    | 0 ->
+        let ts = get_int d in
+        let pw = get_tsval d in
+        let w = get_wtuple d in
+        Pw { ts; pw; w }
+    | 1 ->
+        let ts = get_int d in
+        let tsr = get_int_map d in
+        Pw_ack { ts; tsr }
+    | 2 ->
+        let ts = get_int d in
+        let pw = get_tsval d in
+        let w = get_wtuple d in
+        W { ts; pw; w }
+    | 3 -> W_ack { ts = get_int d }
+    | 4 ->
+        let tsr = get_int d in
+        let from_ts = get_int d in
+        Read1 { tsr; from_ts }
+    | 5 ->
+        let tsr = get_int d in
+        let from_ts = get_int d in
+        Read2 { tsr; from_ts }
+    | 6 ->
+        let tsr = get_int d in
+        let pw = get_tsval d in
+        let w = get_wtuple d in
+        Read1_ack { tsr; pw; w }
+    | 7 ->
+        let tsr = get_int d in
+        let pw = get_tsval d in
+        let w = get_wtuple d in
+        Read2_ack { tsr; pw; w }
+    | 8 ->
+        let tsr = get_int d in
+        let history = get_history d in
+        Read1_ack_h { tsr; history }
+    | 9 ->
+        let tsr = get_int d in
+        let history = get_history d in
+        Read2_ack_h { tsr; history }
+    | t -> fail "bad core message tag %d" t
+  in
+  { name = "core"; encode; decode }
+
+let abd : Baseline.Abd.msg t =
+  let encode buf (m : Baseline.Abd.msg) =
+    match m with
+    | Write_req { ts; v } ->
+        put_u8 buf 0;
+        put_int buf ts;
+        put_value buf v
+    | Write_ack { ts } ->
+        put_u8 buf 1;
+        put_int buf ts
+    | Read_req { rid } ->
+        put_u8 buf 2;
+        put_int buf rid
+    | Read_ack { rid; ts; v } ->
+        put_u8 buf 3;
+        put_int buf rid;
+        put_int buf ts;
+        put_value buf v
+    | Write_back { rid; ts; v } ->
+        put_u8 buf 4;
+        put_int buf rid;
+        put_int buf ts;
+        put_value buf v
+    | Write_back_ack { rid } ->
+        put_u8 buf 5;
+        put_int buf rid
+  in
+  let decode d : Baseline.Abd.msg =
+    match get_u8 d with
+    | 0 ->
+        let ts = get_int d in
+        let v = get_value d in
+        Write_req { ts; v }
+    | 1 -> Write_ack { ts = get_int d }
+    | 2 -> Read_req { rid = get_int d }
+    | 3 ->
+        let rid = get_int d in
+        let ts = get_int d in
+        let v = get_value d in
+        Read_ack { rid; ts; v }
+    | 4 ->
+        let rid = get_int d in
+        let ts = get_int d in
+        let v = get_value d in
+        Write_back { rid; ts; v }
+    | 5 -> Write_back_ack { rid = get_int d }
+    | t -> fail "bad abd message tag %d" t
+  in
+  { name = "abd"; encode; decode }
+
+let finish_strict d ~what v =
+  if remaining d > 0 then fail "%d trailing bytes after %s" (remaining d) what
+  else v
+
+let encode_msg c m =
+  let buf = Buffer.create 64 in
+  c.encode buf m;
+  Buffer.contents buf
+
+let decode_msg c s =
+  let d = { src = s; pos = 0; limit = String.length s } in
+  match finish_strict d ~what:"message" (c.decode d) with
+  | m -> Ok m
+  | exception Fail e -> Error e
+
+(* ----- frames ----------------------------------------------------------- *)
+
+type 'm frame =
+  | Hello of { proto : string; sender : string; obj : int }
+  | Hello_ack of { proto : string; obj : int }
+  | Msg of 'm
+  | Err of string
+
+let frame_info ~msg_info = function
+  | Hello { proto; sender; obj } ->
+      Printf.sprintf "HELLO(proto=%s,sender=%s,obj=%d)" proto sender obj
+  | Hello_ack { proto; obj } ->
+      Printf.sprintf "HELLO_ACK(proto=%s,obj=%d)" proto obj
+  | Msg m -> msg_info m
+  | Err e -> Printf.sprintf "ERR(%s)" e
+
+let kind_hello = 0
+
+let kind_hello_ack = 1
+
+let kind_msg = 2
+
+let kind_err = 3
+
+let encode_frame c frame =
+  let buf = Buffer.create 64 in
+  (* placeholder for the length prefix, patched below *)
+  Buffer.add_string buf "\000\000\000\000";
+  Buffer.add_char buf magic1;
+  Buffer.add_char buf magic2;
+  put_u8 buf version;
+  (match frame with
+  | Hello { proto; sender; obj } ->
+      put_u8 buf kind_hello;
+      put_string buf proto;
+      put_string buf sender;
+      put_int buf obj
+  | Hello_ack { proto; obj } ->
+      put_u8 buf kind_hello_ack;
+      put_string buf proto;
+      put_int buf obj
+  | Msg m ->
+      put_u8 buf kind_msg;
+      c.encode buf m
+  | Err e ->
+      put_u8 buf kind_err;
+      put_string buf e);
+  let s = Buffer.to_bytes buf in
+  let payload = Bytes.length s - 4 in
+  if payload > max_frame then
+    invalid_arg (Printf.sprintf "Codec.encode_frame: %d-byte frame" payload);
+  Bytes.set_uint8 s 0 ((payload lsr 24) land 0xff);
+  Bytes.set_uint8 s 1 ((payload lsr 16) land 0xff);
+  Bytes.set_uint8 s 2 ((payload lsr 8) land 0xff);
+  Bytes.set_uint8 s 3 (payload land 0xff);
+  Bytes.unsafe_to_string s
+
+let decode_payload c s =
+  let d = { src = s; pos = 0; limit = String.length s } in
+  let go () =
+    if get_u8 d <> Char.code magic1 || get_u8 d <> Char.code magic2 then
+      fail "bad magic"
+    else begin
+      let v = get_u8 d in
+      if v <> version then fail "unsupported wire version %d (expected %d)" v version;
+      let kind = get_u8 d in
+      if kind = kind_hello then begin
+        let proto = get_string d in
+        let sender = get_string d in
+        let obj = get_int d in
+        Hello { proto; sender; obj }
+      end
+      else if kind = kind_hello_ack then begin
+        let proto = get_string d in
+        let obj = get_int d in
+        Hello_ack { proto; obj }
+      end
+      else if kind = kind_msg then Msg (c.decode d)
+      else if kind = kind_err then Err (get_string d)
+      else fail "bad frame kind %d" kind
+    end
+  in
+  match finish_strict d ~what:"frame" (go ()) with
+  | f -> Ok f
+  | exception Fail e -> Error e
+
+(* ----- incremental reader ----------------------------------------------- *)
+
+module Reader = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+  let pending r = r.len
+
+  let make_room r extra =
+    if r.start + r.len + extra > Bytes.length r.buf then begin
+      let need = r.len + extra in
+      let cap = max (Bytes.length r.buf) 64 in
+      let cap =
+        let rec grow c = if c >= need then c else grow (2 * c) in
+        grow cap
+      in
+      let nb = if cap > Bytes.length r.buf then Bytes.create cap else r.buf in
+      Bytes.blit r.buf r.start nb 0 r.len;
+      r.buf <- nb;
+      r.start <- 0
+    end
+
+  let feed r b off len =
+    if off < 0 || len < 0 || off + len > Bytes.length b then
+      invalid_arg "Codec.Reader.feed";
+    make_room r len;
+    Bytes.blit b off r.buf (r.start + r.len) len;
+    r.len <- r.len + len
+
+  let peek_len r =
+    let at i = Bytes.get_uint8 r.buf (r.start + i) in
+    (at 0 lsl 24) lor (at 1 lsl 16) lor (at 2 lsl 8) lor at 3
+
+  let next c r =
+    if r.len < 4 then Ok `Awaiting
+    else
+      let n = peek_len r in
+      if n > max_frame then
+        Error (Printf.sprintf "frame length %d exceeds limit %d" n max_frame)
+      else if n < 4 then Error (Printf.sprintf "frame length %d too short" n)
+      else if r.len < 4 + n then Ok `Awaiting
+      else begin
+        let payload = Bytes.sub_string r.buf (r.start + 4) n in
+        r.start <- r.start + 4 + n;
+        r.len <- r.len - 4 - n;
+        if r.len = 0 then r.start <- 0;
+        match decode_payload c payload with
+        | Ok f -> Ok (`Frame f)
+        | Error e -> Error e
+      end
+end
+
+(* ----- blocking socket helpers ------------------------------------------ *)
+
+let send fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let recv_chunk = 65536
+
+let recv_into fd r =
+  let b = Bytes.create recv_chunk in
+  let n = Unix.read fd b 0 recv_chunk in
+  if n > 0 then Reader.feed r b 0 n;
+  n

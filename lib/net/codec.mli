@@ -1,0 +1,115 @@
+(** Versioned length-prefixed binary framing for the protocol wire
+    messages.
+
+    The simulator moves OCaml values between pure state machines; the
+    network runtime moves bytes between processes.  This module is the
+    boundary: a compact binary encoding for each protocol's message type
+    plus a self-describing frame layout shared by every connection.
+
+    Frame layout (everything big-endian):
+
+    {v
+    +----------------+------+---------+------+----------------+
+    | length (u32)   | 'R'  | version | kind | body ...       |
+    +----------------+------+---------+------+----------------+
+                       'B'
+    v}
+
+    [length] counts the bytes after the length field.  [kind]
+    distinguishes the session-control frames ({!Hello}, {!Hello_ack},
+    {!Err}) from protocol messages ({!Msg}).  Integers inside bodies are
+    zigzag LEB128 varints; strings are length-prefixed.
+
+    Decoding is total: every exported decode function returns [Error]
+    on truncated, oversized, or corrupt input — it never raises, which
+    the codec property suite checks on adversarial byte strings. *)
+
+val version : int
+(** Wire format version stamped into (and checked on) every frame. *)
+
+val max_frame : int
+(** Upper bound on a frame's payload size; larger length prefixes are
+    rejected before any allocation. *)
+
+type error = string
+
+(** {2 Per-protocol message codecs} *)
+
+type 'm t
+(** Encoder/decoder pair for one protocol's message type ['m]. *)
+
+type 'm codec = 'm t
+
+val name : 'm t -> string
+(** Short codec identifier ("core", "abd"), embedded in [Hello]
+    validation errors. *)
+
+val messages : Core.Messages.t t
+(** The safe/regular family ({!Core.Messages.t}): PW/W write rounds,
+    READ1/READ2 with tuple or history-suffix acks. *)
+
+val abd : Baseline.Abd.msg t
+(** The ABD baseline's read/write/write-back messages. *)
+
+val encode_msg : 'm t -> 'm -> string
+(** Message body only (no frame header) — what a [Msg] frame carries. *)
+
+val decode_msg : 'm t -> string -> ('m, error) result
+(** Strict inverse of {!encode_msg}: trailing bytes are an error. *)
+
+(** {2 Frames} *)
+
+type 'm frame =
+  | Hello of { proto : string; sender : string; obj : int }
+      (** First frame on every connection: the protocol the client
+          speaks, its process name ("w", "r3"), and the object index it
+          believes it dialed (0 = any). *)
+  | Hello_ack of { proto : string; obj : int }
+      (** Server's reply: the protocol it hosts and the actual object
+          index. *)
+  | Msg of 'm  (** A protocol message. *)
+  | Err of string
+      (** Terminal: the peer rejected the session or a frame; the
+          connection closes after sending it. *)
+
+val frame_info : msg_info:('m -> string) -> 'm frame -> string
+
+val encode_frame : 'm t -> 'm frame -> string
+(** Full wire bytes, length prefix included. *)
+
+val decode_payload : 'm t -> string -> ('m frame, error) result
+(** Decode one frame payload (the bytes after the length prefix). *)
+
+(** {2 Incremental frame extraction}
+
+    A stream socket delivers byte runs that need not align with frame
+    boundaries; each connection owns a [Reader] that buffers partial
+    input and yields complete frames. *)
+
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed r b off len] appends [len] bytes of received data. *)
+
+  val next : 'm codec -> t -> ([ `Frame of 'm frame | `Awaiting ], error) result
+  (** Extract the next complete frame, [`Awaiting] if more bytes are
+      needed.  An [Error] means the stream is corrupt (bad magic,
+      version, oversized length): the connection cannot resynchronize
+      and must be closed. *)
+
+  val pending : t -> int
+  (** Buffered bytes not yet consumed. *)
+end
+
+(** {2 Blocking socket helpers} *)
+
+val send : Unix.file_descr -> string -> unit
+(** Write the whole string (retrying short writes).
+    @raise Unix.Unix_error like [Unix.write]. *)
+
+val recv_into : Unix.file_descr -> Reader.t -> int
+(** Read one chunk into the reader; returns the byte count, 0 at EOF.
+    @raise Unix.Unix_error like [Unix.read]. *)

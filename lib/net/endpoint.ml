@@ -1,0 +1,49 @@
+type t = Unix_sock of string | Tcp of { host : string; port : int }
+
+let of_string s =
+  let tcp host port =
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p <= 65535 -> Ok (Tcp { host; port = p })
+    | _ -> Error (Printf.sprintf "invalid port %S in %S" port s)
+  in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "endpoint %S: expected unix:PATH or HOST:PORT" s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error "empty unix socket path"
+          else Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error (Printf.sprintf "endpoint %S: expected tcp:HOST:PORT" s)
+          | Some j ->
+              tcp
+                (String.sub rest 0 j)
+                (String.sub rest (j + 1) (String.length rest - j - 1)))
+      | host -> tcp host rest)
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let resolve host =
+  try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  with Not_found | Invalid_argument _ -> (
+    try Unix.inet_addr_of_string host
+    with Failure _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let to_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (resolve host, port)
+
+let socket_domain = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let cleanup = function
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

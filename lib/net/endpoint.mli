@@ -1,0 +1,25 @@
+(** Server addresses: Unix-domain socket paths and TCP host:port pairs.
+
+    The loopback harness defaults to Unix-domain sockets (no ports to
+    collide, the kernel cleans nothing up behind our back); TCP covers
+    multi-host deployments and the CLI.  [Tcp] with port 0 asks the
+    kernel for an ephemeral port — {!Server.endpoint} reports the bound
+    one. *)
+
+type t = Unix_sock of string | Tcp of { host : string; port : int }
+
+val of_string : string -> (t, string) result
+(** ["unix:/path/to.sock"], ["tcp:host:port"], or bare ["host:port"]. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} (always with an explicit scheme). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_sockaddr : t -> Unix.sockaddr
+(** @raise Failure if a TCP host does not resolve. *)
+
+val socket_domain : t -> Unix.socket_domain
+
+val cleanup : t -> unit
+(** Remove a stale Unix-domain socket file, if any; no-op for TCP. *)

@@ -1,0 +1,34 @@
+(** The protocols that can be served over the network: a
+    {!Core.Protocol_intf.S} implementation packed with the {!Codec} for
+    its wire message type.
+
+    The pack is existential in the message type, so servers, clients and
+    the CLI handle heterogeneous protocols through one value; they
+    unpack it once at session setup.  Every pack reuses the simulator's
+    protocol modules unchanged — the network runtime adds only framing,
+    deadlines and retries (see DESIGN.md §10). *)
+
+type t =
+  | Packed : {
+      proto : (module Core.Protocol_intf.S with type msg = 'm);
+      codec : 'm Codec.t;
+    }
+      -> t
+
+val name : t -> string
+(** The protocol's own [P.name]. *)
+
+val safe : t
+
+val regular : t
+
+val regular_opt : t
+
+val abd : t
+
+val abd_atomic : t
+
+val all : t list
+
+val of_string : string -> t option
+(** Lookup by {!name}. *)

@@ -1,0 +1,246 @@
+type stats = { connections : int; messages : int }
+
+type t = {
+  endpoint : Endpoint.t;
+  index : int;
+  alive_ : unit -> bool;
+  stats_ : unit -> stats;
+  stop_ : graceful:bool -> unit;
+  restart_ : wipe:bool -> t;
+}
+
+(* A peer vanishing mid-write must surface as EPIPE, not kill the
+   process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let proc_of_string s =
+  if s = "w" then Some Sim.Proc_id.Writer
+  else
+    let indexed c mk =
+      if String.length s >= 2 && s.[0] = c then
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some n when n >= 1 -> Some (mk n)
+        | _ -> None
+      else None
+    in
+    match indexed 'r' (fun n -> Sim.Proc_id.Reader n) with
+    | Some _ as p -> p
+    | None -> indexed 's' (fun n -> Sim.Proc_id.Obj n)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_on endpoint =
+  Endpoint.cleanup endpoint;
+  let fd = Unix.socket (Endpoint.socket_domain endpoint) Unix.SOCK_STREAM 0 in
+  (try
+     (match endpoint with
+     | Endpoint.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Endpoint.Unix_sock _ -> ());
+     Unix.bind fd (Endpoint.to_sockaddr endpoint);
+     Unix.listen fd 64
+   with e ->
+     close_quietly fd;
+     raise e);
+  let actual =
+    match endpoint with
+    | Endpoint.Tcp { host; port = 0 } -> (
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Endpoint.Tcp { host; port }
+        | _ -> endpoint)
+    | _ -> endpoint
+  in
+  (fd, actual)
+
+let start ?metrics ~protocol ~cfg ~index endpoint =
+  Lazy.force ignore_sigpipe;
+  let (Protocols.Packed { proto = (module P); codec }) = protocol in
+  let fresh () = P.obj_init ~cfg ~index in
+  let rec go obj0 endpoint =
+    let listen_fd, endpoint = listen_on endpoint in
+    let stop_rd, stop_wr = Unix.pipe () in
+    let mutex = Mutex.create () in
+    let obj = ref obj0 in
+    let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 8 in
+    let threads = ref [] in
+    let stopping = ref false in
+    let connections = ref 0 and messages = ref 0 in
+    let locked f =
+      Mutex.lock mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+    in
+    (* Must be called with the lock held. *)
+    let meter stage m =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg
+            ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+    in
+    let count name =
+      match metrics with
+      | None -> ()
+      | Some reg -> Obs.Metrics.incr reg name
+    in
+    let send_frame fd fr =
+      try Codec.send fd (Codec.encode_frame codec fr)
+      with Unix.Unix_error _ -> ()
+    in
+    let handle_conn fd =
+      let reader = Codec.Reader.create () in
+      let src = ref None in
+      let on_frame = function
+        | Codec.Hello { proto; sender; obj = dialed } ->
+            if proto <> P.name then begin
+              send_frame fd
+                (Codec.Err
+                   (Printf.sprintf
+                      "server hosts protocol %s, client speaks %s" P.name proto));
+              `Close
+            end
+            else if dialed <> 0 && dialed <> index then begin
+              send_frame fd
+                (Codec.Err
+                   (Printf.sprintf "server hosts object %d, client dialed %d"
+                      index dialed));
+              `Close
+            end
+            else (
+              match proc_of_string sender with
+              | None ->
+                  send_frame fd
+                    (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                  `Close
+              | Some p ->
+                  src := Some p;
+                  send_frame fd (Codec.Hello_ack { proto = P.name; obj = index });
+                  `Continue)
+        | Codec.Msg m -> (
+            match !src with
+            | None ->
+                send_frame fd (Codec.Err "protocol message before hello");
+                `Close
+            | Some s ->
+                let reply =
+                  locked (fun () ->
+                      let obj', reply = P.obj_handle !obj ~src:s m in
+                      obj := obj';
+                      incr messages;
+                      count "net.server.messages";
+                      meter "delivered" m;
+                      Option.iter (meter "sent") reply;
+                      reply)
+                in
+                (match reply with
+                | Some r -> send_frame fd (Codec.Msg r)
+                | None -> ());
+                `Continue)
+        | Codec.Hello_ack _ ->
+            send_frame fd (Codec.Err "unexpected hello_ack");
+            `Close
+        | Codec.Err _ -> `Close
+      in
+      let rec drain () =
+        match Codec.Reader.next codec reader with
+        | Ok `Awaiting -> `Continue
+        | Ok (`Frame f) -> (
+            match on_frame f with `Close -> `Close | `Continue -> drain ())
+        | Error e ->
+            (* Strict decoding: a corrupt frame poisons the whole stream;
+               report and drop the session. *)
+            locked (fun () -> count "net.server.decode_errors");
+            send_frame fd (Codec.Err e);
+            `Close
+      in
+      let rec loop () =
+        match Codec.recv_into fd reader with
+        | 0 -> ()
+        | exception Unix.Unix_error _ -> ()
+        | _ -> ( match drain () with `Close -> () | `Continue -> loop ())
+      in
+      loop ();
+      locked (fun () -> Hashtbl.remove conns fd);
+      close_quietly fd
+    in
+    let rec accept_loop () =
+      match Unix.select [ listen_fd; stop_rd ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | ready, _, _ ->
+          if List.mem stop_rd ready then ()
+          else (
+            match Unix.accept listen_fd with
+            | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _)
+              ->
+                accept_loop ()
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ ->
+                locked (fun () ->
+                    incr connections;
+                    count "net.server.connections";
+                    Hashtbl.replace conns fd ());
+                let th = Thread.create handle_conn fd in
+                locked (fun () -> threads := th :: !threads);
+                accept_loop ())
+    in
+    let accept_thread = Thread.create accept_loop () in
+    let shutdown ~graceful =
+      let already =
+        locked (fun () ->
+            if !stopping then true
+            else begin
+              stopping := true;
+              false
+            end)
+      in
+      if not already then begin
+        (try ignore (Unix.write stop_wr (Bytes.make 1 'x') 0 1)
+         with Unix.Unix_error _ -> ());
+        Thread.join accept_thread;
+        close_quietly listen_fd;
+        Endpoint.cleanup endpoint;
+        (* Wake every handler blocked in read; graceful keeps the write
+           side open so queued replies still flush. *)
+        let cmd = if graceful then Unix.SHUTDOWN_RECEIVE else Unix.SHUTDOWN_ALL in
+        locked (fun () ->
+            Hashtbl.iter
+              (fun fd () ->
+                try Unix.shutdown fd cmd with Unix.Unix_error _ -> ())
+              conns);
+        List.iter Thread.join (locked (fun () -> !threads));
+        close_quietly stop_rd;
+        close_quietly stop_wr
+      end
+    in
+    {
+      endpoint;
+      index;
+      alive_ = (fun () -> not (locked (fun () -> !stopping)));
+      stats_ =
+        (fun () ->
+          locked (fun () ->
+              { connections = !connections; messages = !messages }));
+      stop_ = (fun ~graceful -> shutdown ~graceful);
+      restart_ =
+        (fun ~wipe ->
+          if not (locked (fun () -> !stopping)) then
+            invalid_arg "Server.restart: server still alive";
+          go (if wipe then fresh () else !obj) endpoint);
+    }
+  in
+  go (fresh ()) endpoint
+
+let endpoint t = t.endpoint
+
+let index t = t.index
+
+let alive t = t.alive_ ()
+
+let stats t = t.stats_ ()
+
+let stop t = t.stop_ ~graceful:true
+
+let crash t = t.stop_ ~graceful:false
+
+let restart ?(wipe = false) t = t.restart_ ~wipe

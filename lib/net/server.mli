@@ -1,0 +1,60 @@
+(** Socket server hosting one base object.
+
+    Each server owns a listening socket (Unix-domain or TCP) and runs
+    the protocol's {e unchanged} base-object state machine behind it: an
+    accept loop hands every connection to its own thread, which reads
+    framed messages, feeds them through [P.obj_handle] under the
+    object's lock, and writes the reply frame back.  A process that
+    hosts several objects simply starts several servers.
+
+    Sessions open with a {!Codec.Hello} naming the protocol and the
+    object index the client dialed; mismatches are answered with a
+    terminal {!Codec.Err} frame, so a client pointed at the wrong server
+    fails loudly instead of feeding garbage into a state machine.
+
+    [stop] is the graceful path (stop accepting, let queued replies
+    flush, join every thread); [crash] tears the sockets down hard —
+    the loopback chaos tests use it as the process-kill stand-in.
+    [restart] rebinds the same endpoint with the object state captured
+    at shutdown ([wipe:false], a crash-recovery with persistent state)
+    or freshly initialized ([wipe:true], a wiped replica). *)
+
+type t
+
+type stats = {
+  connections : int;  (** sessions accepted over the server's lifetime *)
+  messages : int;  (** protocol messages handled *)
+}
+
+val start :
+  ?metrics:Obs.Metrics.t ->
+  protocol:Protocols.t ->
+  cfg:Quorum.Config.t ->
+  index:int ->
+  Endpoint.t ->
+  t
+(** Bind, listen and serve object [index] (1-based).  [Tcp] port 0 binds
+    an ephemeral port; {!endpoint} reports the actual one.  With
+    [metrics], the registry accumulates [net.server.*] counters and
+    per-class [wire.*] counters compatible with the simulator's.
+    @raise Unix.Unix_error if the endpoint cannot be bound. *)
+
+val endpoint : t -> Endpoint.t
+(** The bound address (ephemeral TCP ports resolved). *)
+
+val index : t -> int
+
+val alive : t -> bool
+
+val stats : t -> stats
+
+val stop : t -> unit
+(** Graceful shutdown; idempotent. *)
+
+val crash : t -> unit
+(** Abrupt shutdown: connections are reset, nothing drains; idempotent. *)
+
+val restart : ?wipe:bool -> t -> t
+(** Restart a stopped/crashed server on the same endpoint.  [wipe]
+    (default [false]) discards the persisted object state.
+    @raise Invalid_argument if the server is still alive. *)

@@ -33,4 +33,6 @@ let () =
       Suite_golden_trace.suite;
       Suite_span_conformance.suite;
       Suite_parallel.suite;
+      Suite_net_codec.suite;
+      Suite_net.suite;
     ]
