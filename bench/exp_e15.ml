@@ -1,0 +1,262 @@
+(* E15 -- pipelined wire throughput: the in-flight operation window.
+
+   The paper fixes a robust READ at two round-trips (one on the fast
+   path), so once latency is wire-bound, throughput is decided by how
+   many of those round-trips the runtime keeps in flight.  E15 measures
+   exactly that: the serial client (one op at a time, the E14 baseline)
+   against the pipelined mux at max_inflight in E15_INFLIGHT, over both
+   server loop modes.
+
+   For each (loop mode) cell on a loopback cluster (safe protocol,
+   S=4 t=1 b=0):
+
+   1. serial baseline: E15_OPS reads through Cluster.read, wall-clock
+      ops/s and p50/p99 latency;
+   2. pipelined sweep: E15_OPS reads through Cluster.read_pipelined at
+      each window size, same measures, plus failure counts;
+   3. correctness: every pipelined op must return the value the serial
+      reads returned (matches_serial) and the full recorded history must
+      pass the safety/regularity checkers (violations = 0).
+
+   Rates on a shared box jitter by +/-20%, so each timing cell is run
+   E15_TRIALS times and the best trial is reported (standard practice
+   for throughput floors: the best trial is the one least disturbed by
+   unrelated machine noise).  Correctness accounting — mismatches,
+   failures, history checks — always covers every trial, not just the
+   reported one.
+
+   One JSON artifact: BENCH_e15.json.  Environment-tunable:
+     E15_OPS       (2000)          reads per timing cell
+     E15_INFLIGHT  (1,4,16,64)     operation-window sweep
+     E15_LOOPS     (threads,poll)  server loop modes to measure
+     E15_TRIALS    (3)             trials per cell; best is reported
+     E15_TRANSPORT (tcp)           loopback transport: tcp | unix
+     E15_OUT       (BENCH_e15.json) output path *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf "%s expects a positive integer (got %S)\n" name s;
+          exit 2)
+  | None -> default
+
+let getenv_list name default parse =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter (fun x -> String.trim x <> "")
+      |> List.map (fun x ->
+             match parse (String.trim x) with
+             | Some v -> v
+             | None ->
+                 Printf.eprintf "%s: cannot parse %S\n" name s;
+                 exit 2)
+
+let inflight_levels () =
+  getenv_list "E15_INFLIGHT" [ 1; 4; 16; 64 ] (fun s ->
+      match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let loop_modes () =
+  getenv_list "E15_LOOPS" [ `Threads; `Poll ] Net.Server.loop_of_string
+
+let ok_exn what = function
+  | Ok o -> o
+  | Error e ->
+      Printf.eprintf "E15: %s failed: %s\n" what e;
+      exit 1
+
+let summary_json buf label (s : Stats.Summary.t) =
+  Printf.bprintf buf
+    "\"%s\": { \"count\": %d, \"p50_us\": %.0f, \"p99_us\": %.0f, \
+     \"mean_us\": %.1f, \"max_us\": %.0f }"
+    label (Stats.Summary.count s)
+    (Stats.Summary.percentile s 50.)
+    (Stats.Summary.percentile s 99.)
+    (Stats.Summary.mean s) (Stats.Summary.max s)
+
+let transport () =
+  match Sys.getenv_opt "E15_TRANSPORT" with
+  | None -> `Tcp
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "tcp" -> `Tcp
+      | "unix" -> `Unix
+      | _ ->
+          Printf.eprintf "E15_TRANSPORT expects tcp or unix (got %S)\n" s;
+          exit 2)
+
+let run () =
+  let ops = getenv_int "E15_OPS" 2000 in
+  let trials = getenv_int "E15_TRIALS" 3 in
+  let out = Option.value (Sys.getenv_opt "E15_OUT") ~default:"BENCH_e15.json" in
+  let levels = inflight_levels () in
+  let loops = loop_modes () in
+  let transport = transport () in
+  let transport_name = match transport with `Tcp -> "tcp" | `Unix -> "unix" in
+  let protocol = Net.Protocols.safe in
+  let cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:0 in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"experiment\": \"e15\",\n  \"transport\": \"%s\",\n  \
+     \"protocol\": \"%s\",\n  \"s\": 4, \"t\": 1, \"b\": 0,\n  \"ops\": %d,\n\
+    \  \"trials\": %d,\n  \"cells\": [\n"
+    transport_name
+    (Net.Protocols.name protocol)
+    ops trials;
+  Exp_common.note
+    "E15: pipelined wire throughput (%d loop modes, %d ops/cell, best of %d, \
+     %s loopback)"
+    (List.length loops) ops trials transport_name;
+  List.iteri
+    (fun li loop ->
+      let loop_name = Net.Server.loop_to_string loop in
+      let cluster =
+        Net.Cluster.start ~transport ~loop ~protocol ~cfg ~readers:1 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Net.Cluster.stop cluster)
+        (fun () ->
+          let _ =
+            ok_exn "write" (Net.Cluster.write cluster (Core.Value.v "e15"))
+          in
+          (* warm the serial path before timing it: connections,
+             automata, and branch caches are cold on the first ops *)
+          for i = 1 to 100 do
+            ignore
+              (ok_exn
+                 (Printf.sprintf "serial warmup %d" i)
+                 (Net.Cluster.read cluster ~reader:1))
+          done;
+          (* 1. serial baseline, best of [trials] *)
+          let measure_serial () =
+            let slat = Stats.Summary.create () in
+            let t0 = Unix.gettimeofday () in
+            for i = 1 to ops do
+              let o =
+                ok_exn
+                  (Printf.sprintf "serial read %d" i)
+                  (Net.Cluster.read cluster ~reader:1)
+              in
+              Stats.Summary.add_int slat o.latency_us
+            done;
+            let wall = Unix.gettimeofday () -. t0 in
+            (wall, float_of_int ops /. wall, slat)
+          in
+          let serial_wall, serial_rate, slat =
+            let best = ref (measure_serial ()) in
+            for _ = 2 to trials do
+              let (_, rate, _) as m = measure_serial () in
+              let _, best_rate, _ = !best in
+              if rate > best_rate then best := m
+            done;
+            !best
+          in
+          (* 2. pipelined sweep: [trials] full passes over the window
+             levels (interleaved, so machine drift hits all levels
+             alike); per level, keep the fastest pass *)
+          let mismatches = ref 0 in
+          let failures_total = ref 0 in
+          let best = Hashtbl.create 8 in
+          for trial = 1 to trials do
+            List.iter
+              (fun inflight ->
+                let plat = Stats.Summary.create () in
+                let failures = ref 0 in
+                (* untimed warmup at this window size: builds the mux
+                   (connections + hellos) outside the timing window *)
+                Array.iter
+                  (function
+                    | Ok (_ : Net.Client.outcome) -> ()
+                    | Error _ -> incr failures)
+                  (Net.Cluster.read_pipelined cluster ~inflight
+                     ~ops:(Stdlib.min 200 ops));
+                let t0 = Unix.gettimeofday () in
+                let results =
+                  Net.Cluster.read_pipelined cluster ~inflight ~ops
+                in
+                let wall = Unix.gettimeofday () -. t0 in
+                Array.iter
+                  (function
+                    | Ok (o : Net.Client.outcome) ->
+                        Stats.Summary.add_int plat o.latency_us;
+                        (match o.value with
+                        | Some (Core.Value.V "e15") -> ()
+                        | Some _ | None -> incr mismatches)
+                    | Error e ->
+                        incr failures;
+                        Printf.eprintf "E15: pipelined read failed: %s\n" e)
+                  results;
+                failures_total := !failures_total + !failures;
+                let rate = float_of_int ops /. wall in
+                Exp_common.note
+                  "  %-7s trial=%d inflight=%-3d %8.0f ops/s  p50=%.0fus \
+                   p99=%.0fus  (serial %.0f ops/s)"
+                  loop_name trial inflight rate
+                  (Stats.Summary.percentile plat 50.)
+                  (Stats.Summary.percentile plat 99.)
+                  serial_rate;
+                match Hashtbl.find_opt best inflight with
+                | Some (_, best_rate, _, _) when best_rate >= rate -> ()
+                | _ -> Hashtbl.replace best inflight (wall, rate, plat, !failures))
+              levels
+          done;
+          let sweep =
+            List.map
+              (fun inflight ->
+                let wall, rate, plat, failures = Hashtbl.find best inflight in
+                (inflight, wall, rate, plat, failures))
+              levels
+          in
+          (* 3. correctness: the live history (all trials) must check out *)
+          let history = Net.Cluster.history cluster in
+          let violations =
+            (if Histories.Checks.is_safe ~equal:String.equal history then 0
+             else 1)
+            + if Histories.Checks.is_regular ~equal:String.equal history then 0
+              else 1
+          in
+          let matches_serial = !mismatches = 0 && !failures_total = 0 in
+          let rate_at k =
+            List.find_map
+              (fun (i, _, r, _, _) -> if i = k then Some r else None)
+              sweep
+          in
+          Printf.bprintf buf
+            "    { \"loop\": \"%s\",\n      \"serial\": { \"ops\": %d, \
+             \"wall_s\": %.4f, \"ops_per_s\": %.1f,\n        "
+            loop_name ops serial_wall serial_rate;
+          summary_json buf "latency" slat;
+          Printf.bprintf buf " },\n      \"pipelined\": [\n";
+          List.iteri
+            (fun i (inflight, wall, rate, plat, failures) ->
+              Printf.bprintf buf
+                "        { \"max_inflight\": %d, \"ops\": %d, \"wall_s\": \
+                 %.4f, \"ops_per_s\": %.1f, \"failures\": %d,\n          "
+                inflight ops wall rate failures;
+              summary_json buf "latency" plat;
+              Printf.bprintf buf " }%s\n"
+                (if i = List.length sweep - 1 then "" else ","))
+            sweep;
+          Printf.bprintf buf "      ],\n";
+          (match (rate_at 1, rate_at 16) with
+          | Some r1, Some r16 when r1 > 0. ->
+              Printf.bprintf buf "      \"speedup_16_vs_1\": %.2f,\n"
+                (r16 /. r1)
+          | _ -> ());
+          (match rate_at 16 with
+          | Some r16 when serial_rate > 0. ->
+              Printf.bprintf buf "      \"speedup_16_vs_serial\": %.2f,\n"
+                (r16 /. serial_rate)
+          | _ -> ());
+          Printf.bprintf buf
+            "      \"matches_serial\": %b,\n      \"violations\": %d }%s\n"
+            matches_serial violations
+            (if li = List.length loops - 1 then "" else ",")))
+    loops;
+  Printf.bprintf buf "  ]\n}\n";
+  Obs.Export.write_file ~path:out (Buffer.contents buf);
+  Exp_common.note "wrote %s" out

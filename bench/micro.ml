@@ -121,6 +121,55 @@ let bench_prng =
            ignore (Sim.Prng.int g ~bound:1000)
          done))
 
+(* -- wire codec --------------------------------------------------------- *)
+
+(* A READ1_ACK as the pipelined read path sees it: sender-tagged frame,
+   write tuple with a populated reader-timestamp matrix. *)
+let codec_fixture () =
+  let codec = Net.Codec.messages in
+  let row = Core.Ints.Map.add 2 5 (Core.Ints.Map.add 1 3 Core.Ints.Map.empty) in
+  let tsrarray =
+    List.fold_left
+      (fun m obj -> Core.Tsr_matrix.set_row m ~obj row)
+      Core.Tsr_matrix.empty [ 1; 2; 3; 4 ]
+  in
+  let ack ts =
+    let tsval = Core.Tsval.make ~ts ~v:(Core.Value.v "payload") in
+    let w = Core.Wtuple.make ~tsval ~tsrarray in
+    Net.Codec.Msg_from
+      { sender = "r3"; msg = Core.Messages.Read1_ack { tsr = 3; pw = tsval; w } }
+  in
+  (* encode_frame prepends the 4-byte length prefix that the Reader
+     strips before decode_payload sees the bytes *)
+  let payload frame =
+    let s = Net.Codec.encode_frame codec frame in
+    String.sub s 4 (String.length s - 4)
+  in
+  (codec, ack 7, payload (ack 7), payload (ack 8))
+
+let bench_codec_encode =
+  let codec, frame, _, _ = codec_fixture () in
+  let out = Net.Codec.Out.create () in
+  Test.make ~name:"codec: encode READ1_ACK (scratch reuse)"
+    (Staged.stage (fun () ->
+         Net.Codec.Out.clear out;
+         Net.Codec.encode_frame_into codec out frame))
+
+let bench_codec_decode_hot =
+  let codec, _, payload, _ = codec_fixture () in
+  Test.make ~name:"codec: decode READ1_ACK (interned)"
+    (Staged.stage (fun () -> ignore (Net.Codec.decode_payload codec payload)))
+
+let bench_codec_decode_cold =
+  let codec, _, payload_a, payload_b = codec_fixture () in
+  let flip = ref false in
+  Test.make ~name:"codec: decode READ1_ACK (intern miss)"
+    (Staged.stage (fun () ->
+         flip := not !flip;
+         ignore
+           (Net.Codec.decode_payload codec
+              (if !flip then payload_a else payload_b))))
+
 let tests =
   [
     bench_prng;
@@ -131,39 +180,55 @@ let tests =
     bench_safe_read_fast_path;
     bench_end_to_end_scenario;
     bench_checker;
+    bench_codec_encode;
+    bench_codec_decode_hot;
+    bench_codec_decode_cold;
   ]
 
 let run () =
-  Exp_common.section "Micro-benchmarks (bechamel, ns per run)";
+  Exp_common.section "Micro-benchmarks (bechamel, per run)";
   let grouped = Test.make_grouped ~name:"robust_read" tests in
   let benchmark_cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
-  let raw = Benchmark.all benchmark_cfg [ Instance.monotonic_clock ] grouped in
+  let raw =
+    Benchmark.all benchmark_cfg
+      [ Instance.monotonic_clock; Instance.minor_allocated ]
+      grouped
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> est
-          | Some _ | None -> nan
-        in
-        (name, ns) :: acc)
-      results []
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> nan)
+    | None -> nan
   in
-  let table = Stats.Table.create ~headers:[ "benchmark"; "time/run" ] in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) times []
+    |> List.sort_uniq compare
+  in
+  let table =
+    Stats.Table.create ~headers:[ "benchmark"; "time/run"; "minor words/run" ]
+  in
   List.iter
-    (fun (name, ns) ->
-      let cell =
+    (fun name ->
+      let ns = estimate times name in
+      let time_cell =
         if Float.is_nan ns then "n/a"
         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
         else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
         else Printf.sprintf "%.0f ns" ns
       in
-      Stats.Table.add_row table [ name; cell ])
-    (List.sort compare rows);
+      let words = estimate allocs name in
+      let alloc_cell =
+        if Float.is_nan words then "n/a" else Printf.sprintf "%.0f" words
+      in
+      Stats.Table.add_row table [ name; time_cell; alloc_cell ])
+    rows;
   Exp_common.print_table table

@@ -808,6 +808,16 @@ let client_opts_args =
         { Net.Client.deadline; retries; backoff })
     $ deadline_arg $ retries_arg $ backoff_arg)
 
+let loop_arg =
+  Arg.(
+    value
+    & opt (enum [ ("threads", `Threads); ("poll", `Poll) ]) `Threads
+    & info [ "loop" ] ~docv:"MODE"
+        ~doc:
+          "Connection handling: $(b,threads) (default; a thread per \
+           connection) or $(b,poll) (a single event-loop domain — with \
+           'cluster', all S base objects share it).")
+
 let live_artifacts ~metrics ~artifacts ~spans registry =
   match artifacts with
   | None -> ()
@@ -847,7 +857,7 @@ let serve_cmd =
              $(b,host:port).  TCP port 0 picks an ephemeral port and prints \
              it.")
   in
-  let run protocol t b s index endpoint metrics artifacts =
+  let run protocol t b s index endpoint loop metrics artifacts =
     let cfg = config ~s ~t ~b () in
     if index < 1 || index > cfg.Quorum.Config.s then begin
       Format.eprintf "robustread: --index %d out of range 1..%d@." index
@@ -856,7 +866,7 @@ let serve_cmd =
     end;
     let registry = if metrics then Some (Obs.Metrics.create ()) else None in
     let server =
-      Net.Server.start ?metrics:registry ~protocol ~cfg ~index endpoint
+      Net.Server.start ?metrics:registry ~loop ~protocol ~cfg ~index endpoint
     in
     Format.printf "serving object %d of %a (%s) on %a@." index Quorum.Config.pp
       cfg
@@ -888,7 +898,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ index_arg
-      $ endpoint_arg $ metrics_arg $ artifacts_arg)
+      $ endpoint_arg $ loop_arg $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1035,8 +1045,22 @@ let cluster_cmd =
              reader's reads and restart it near the end — operations must \
              keep completing (requires t >= 1).")
   in
-  let run protocol t b s readers writes reads transport crash copts jobs
-      metrics artifacts =
+  let inflight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inflight" ] ~docv:"W"
+          ~doc:
+            "Pipeline the reads through one multiplexed connection set with \
+             an operation window of $(docv) in-flight reads (total reads = \
+             readers x reads).  0, the default, runs one serial client per \
+             reader.")
+  in
+  let run protocol t b s readers writes reads transport crash inflight loop
+      copts jobs metrics artifacts =
+    if inflight < 0 then begin
+      Format.eprintf "robustread: --inflight %d must be >= 0@." inflight;
+      exit 2
+    end;
     let cfg = config ~s ~t ~b () in
     (match crash with
     | Some i when i < 1 || i > cfg.Quorum.Config.s ->
@@ -1048,15 +1072,18 @@ let cluster_cmd =
         exit 2
     | _ -> ());
     let cluster =
-      Net.Cluster.start ~metrics ~opts:copts ~transport ~protocol ~cfg ~readers
-        ()
+      Net.Cluster.start ~metrics ~opts:copts ~transport ~loop ~protocol ~cfg
+        ~readers ()
     in
-    Format.printf "cluster of %a (%s) over %s sockets: %d writes, %d readers \
-                   x %d reads%s@."
+    Format.printf "cluster of %a (%s) over %s sockets (%s loop): %d writes, \
+                   %d readers x %d reads%s%s@."
       Quorum.Config.pp cfg
       (Net.Protocols.name protocol)
       (match transport with `Unix -> "unix" | `Tcp -> "tcp")
+      (match loop with `Threads -> "threads" | `Poll -> "poll")
       writes readers reads
+      (if inflight > 0 then Printf.sprintf " (pipelined, window %d)" inflight
+       else "")
       (match crash with
       | Some i -> Printf.sprintf ", crashing object %d mid-run" i
       | None -> "");
@@ -1093,7 +1120,33 @@ let cluster_cmd =
       | Ok o -> print_outcome (Printf.sprintf "write(v%d)" i) o
       | Error e -> record_failure (Printf.sprintf "write v%d FAILED: %s" i e)
     done;
-    if sequential then
+    if inflight > 0 then begin
+      (* Pipelined mode: all reads flow through the mux's operation
+         window.  A requested crash lands between two half-batches, the
+         window-level analogue of "halfway through each reader". *)
+      let run_pipelined n =
+        if n > 0 then
+          Array.iteri
+            (fun k -> function
+              | Ok _ -> ()
+              | Error e ->
+                  record_failure
+                    (Printf.sprintf "pipelined read #%d FAILED: %s" (k + 1) e))
+            (Net.Cluster.read_pipelined cluster ~inflight ~ops:n)
+      in
+      let total = readers * reads in
+      let half = total / 2 in
+      run_pipelined half;
+      (match crash with
+      | Some i when List.mem i (Net.Cluster.alive cluster) ->
+          Net.Cluster.crash cluster i;
+          Format.printf "  crashed object %d (alive: %s)@." i
+            (String.concat ","
+               (List.map string_of_int (Net.Cluster.alive cluster)))
+      | _ -> ());
+      run_pipelined (total - half)
+    end
+    else if sequential then
       for j = 1 to readers do
         reader_body j ()
       done
@@ -1142,8 +1195,8 @@ let cluster_cmd =
   let term =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
-      $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ client_opts_args
-      $ jobs_arg $ metrics_arg $ artifacts_arg)
+      $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ inflight_arg
+      $ loop_arg $ client_opts_args $ jobs_arg $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "cluster"

@@ -12,6 +12,10 @@ let row_present m ~obj = Int_map.mem obj m
 
 let rows_present m = List.map fst (Int_map.bindings m)
 
+let row_count = Int_map.cardinal
+
+let fold_rows f m acc = Int_map.fold f m acc
+
 let get m ~obj ~reader =
   match Int_map.find_opt obj m with
   | None -> None
@@ -20,9 +24,10 @@ let get m ~obj ~reader =
 let exceeds m ~obj ~reader ~bound =
   match get m ~obj ~reader with None -> false | Some ts -> ts > bound
 
-let compare = Int_map.compare (Int_map.compare Int.compare)
+let compare a b =
+  if a == b then 0 else Int_map.compare (Int_map.compare Int.compare) a b
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let pp ppf m =
   let pp_row ppf r =

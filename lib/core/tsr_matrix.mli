@@ -28,6 +28,13 @@ val row_present : t -> obj:int -> bool
 val rows_present : t -> int list
 (** Ascending object indices with non-nil rows. *)
 
+val row_count : t -> int
+(** Number of non-nil rows, without materialising the index list. *)
+
+val fold_rows : (int -> int Map.Make(Int).t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over non-nil rows in ascending object order.  Lets encoders
+    walk the matrix without building an intermediate binding list. *)
+
 val get : t -> obj:int -> reader:int -> int option
 (** [None] iff the row is nil; [Some ts] otherwise, where an absent
     reader entry yields [Some 0]. *)

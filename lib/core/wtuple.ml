@@ -8,10 +8,15 @@ let ts t = t.tsval.Tsval.ts
 
 let value t = t.tsval.Tsval.v
 
+(* Interned decodes make repeated tuples physically shared, so the
+   candidate maps' key comparisons short-circuit without walking the
+   matrix. *)
 let compare a b =
-  match Tsval.compare a.tsval b.tsval with
-  | 0 -> Tsr_matrix.compare a.tsrarray b.tsrarray
-  | c -> c
+  if a == b then 0
+  else
+    match Tsval.compare a.tsval b.tsval with
+    | 0 -> Tsr_matrix.compare a.tsrarray b.tsrarray
+    | c -> c
 
 let equal a b = compare a b = 0
 

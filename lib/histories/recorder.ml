@@ -6,13 +6,17 @@ type 'v pending =
 
 type 'v open_op = { invoked_at : int; invoked_stamp : int; pending : 'v pending }
 
+(* Open-op and busy-reader bookkeeping is hashed, not kept in assoc
+   lists: the pipelined runtime records an invoke/respond pair per
+   operation with up to the whole window open at once, so per-event cost
+   must stay O(1) in the window size. *)
 type 'v t = {
   mutable next_id : int;
   mutable next_stamp : int;
   mutable writes_so_far : int;
   mutable writer_busy : bool;
-  mutable busy_readers : int list;
-  mutable open_ops : (int * 'v open_op) list;
+  busy_readers : (int, unit) Hashtbl.t;
+  open_ops : (int, 'v open_op) Hashtbl.t;
   mutable finished : 'v Op.t list;  (* reverse response order *)
 }
 
@@ -22,8 +26,8 @@ let create () =
     next_stamp = 0;
     writes_so_far = 0;
     writer_busy = false;
-    busy_readers = [];
-    open_ops = [];
+    busy_readers = Hashtbl.create 16;
+    open_ops = Hashtbl.create 64;
     finished = [];
   }
 
@@ -36,7 +40,7 @@ let invoke t ~time pending =
   let id = t.next_id in
   t.next_id <- id + 1;
   let entry = { invoked_at = time; invoked_stamp = fresh_stamp t; pending } in
-  t.open_ops <- (id, entry) :: t.open_ops;
+  Hashtbl.replace t.open_ops id entry;
   id
 
 let invoke_write t ~time value =
@@ -47,13 +51,13 @@ let invoke_write t ~time value =
   invoke t ~time (Pending_write { index = t.writes_so_far; value })
 
 let invoke_read t ~time ~reader =
-  if List.mem reader t.busy_readers then
+  if Hashtbl.mem t.busy_readers reader then
     invalid_arg "Recorder.invoke_read: reader already has an operation in progress";
-  t.busy_readers <- reader :: t.busy_readers;
+  Hashtbl.replace t.busy_readers reader ();
   invoke t ~time (Pending_read { reader })
 
 let close t handle entry ~time action =
-  t.open_ops <- List.remove_assoc handle t.open_ops;
+  Hashtbl.remove t.open_ops handle;
   let stamp = fresh_stamp t in
   let op =
     {
@@ -68,7 +72,7 @@ let close t handle entry ~time action =
   t.finished <- op :: t.finished
 
 let respond_write t handle ~time =
-  match List.assoc_opt handle t.open_ops with
+  match Hashtbl.find_opt t.open_ops handle with
   | Some ({ pending = Pending_write { index; value }; _ } as entry) ->
       t.writer_busy <- false;
       close t handle entry ~time (Op.Write { index; value })
@@ -78,9 +82,9 @@ let respond_write t handle ~time =
       invalid_arg "Recorder.respond_write: unknown or already-closed operation"
 
 let respond_read t handle ~time result =
-  match List.assoc_opt handle t.open_ops with
+  match Hashtbl.find_opt t.open_ops handle with
   | Some ({ pending = Pending_read { reader }; _ } as entry) ->
-      t.busy_readers <- List.filter (fun r -> r <> reader) t.busy_readers;
+      Hashtbl.remove t.busy_readers reader;
       close t handle entry ~time (Op.Read { reader; result = Some result })
   | Some { pending = Pending_write _; _ } ->
       invalid_arg "Recorder.respond_read: handle belongs to a write"
@@ -89,8 +93,8 @@ let respond_read t handle ~time result =
 
 let ops t =
   let open_as_ops =
-    List.map
-      (fun (id, { invoked_at; invoked_stamp; pending }) ->
+    Hashtbl.fold
+      (fun id { invoked_at; invoked_stamp; pending } acc ->
         let action =
           match pending with
           | Pending_write { index; value } -> Op.Write { index; value }
@@ -103,8 +107,9 @@ let ops t =
           invoked_stamp;
           responded_at = None;
           responded_stamp = None;
-        })
-      t.open_ops
+        }
+        :: acc)
+      t.open_ops []
   in
   let all = List.rev_append t.finished open_as_ops in
   List.sort (fun a b -> Int.compare a.Op.invoked_stamp b.Op.invoked_stamp) all

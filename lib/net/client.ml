@@ -31,19 +31,62 @@ type conn = {
   index : int;  (* 1-based object index *)
   ep : Endpoint.t;
   mutable fd : Unix.file_descr option;
-  mutable reader : Codec.Reader.t;
+  reader : Codec.Reader.t;  (* reused (reset) across reconnects *)
+  out : Codec.Out.t;  (* per-connection encode scratch / outbound batch *)
+  mutable frames_out : int;  (* frames appended since the last flush *)
   mutable fails : int;
   mutable next_attempt : float;
+  mutable warned_at : float;
+  mutable suppressed : int;  (* warnings swallowed since [warned_at] *)
 }
+
+let mk_conn i ep =
+  {
+    index = i + 1;
+    ep;
+    fd = None;
+    reader = Codec.Reader.create ();
+    out = Codec.Out.create ();
+    frames_out = 0;
+    fails = 0;
+    next_attempt = 0.;
+    warned_at = neg_infinity;
+    suppressed = 0;
+  }
 
 let reconnect_cap = 2.0
 
 let connect_timeout = 0.5
 
+(* A flapping endpoint must not flood stderr during a long bench: at
+   most one reconnect warning per endpoint per window, with a count of
+   what was swallowed in between. *)
+let warn_interval = 5.0
+
+let warn_reconnect c ~now msg =
+  if now -. c.warned_at >= warn_interval then begin
+    Printf.eprintf "robustread-net: object %d (%s): %s%s\n%!" c.index
+      (Endpoint.to_string c.ep) msg
+      (if c.suppressed > 0 then
+         Printf.sprintf " (%d similar warnings suppressed)" c.suppressed
+       else "");
+    c.warned_at <- now;
+    c.suppressed <- 0
+  end
+  else c.suppressed <- c.suppressed + 1
+
+(* Batched flushes must hit the wire immediately: Nagle + delayed-ACK
+   would otherwise stall the round-trip pipeline on TCP loopback. *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
 let connect_fd ep =
   let fd = Unix.socket (Endpoint.socket_domain ep) Unix.SOCK_STREAM 0 in
   try
     Unix.set_nonblock fd;
+    (match ep with
+    | Endpoint.Tcp _ -> set_nodelay fd
+    | Endpoint.Unix_sock _ -> ());
     (try Unix.connect fd (Endpoint.to_sockaddr ep)
      with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
        match Unix.select [] [ fd ] [] connect_timeout with
@@ -57,6 +100,71 @@ let connect_fd ep =
   with e ->
     close_quietly fd;
     raise e
+
+let penalize c ~now =
+  c.fails <- c.fails + 1;
+  c.next_attempt <- now +. Float.min reconnect_cap (0.05 *. float_of_int c.fails)
+
+let drop_conn ?count c =
+  match c.fd with
+  | None -> ()
+  | Some fd ->
+      close_quietly fd;
+      c.fd <- None;
+      Codec.Reader.reset c.reader;
+      Codec.Out.clear c.out;
+      c.frames_out <- 0;
+      penalize c ~now:(Unix.gettimeofday ());
+      (match count with None -> () | Some f -> f "net.client.disconnects")
+
+(* Connect and send the session [Hello]; failures are penalized and
+   (rate-limitedly) reported. *)
+let try_connect ?count ~codec ~proto_name ~proc c =
+  match connect_fd c.ep with
+  | fd -> (
+      Codec.Reader.reset c.reader;
+      c.fails <- 0;
+      c.fd <- Some fd;
+      (match count with None -> () | Some f -> f "net.client.connects");
+      try
+        Codec.encode_frame_into codec c.out
+          (Codec.Hello { proto = proto_name; sender = proc; obj = c.index });
+        Codec.flush fd c.out;
+        c.frames_out <- 0
+      with Unix.Unix_error _ -> drop_conn ?count c)
+  | exception Unix.Unix_error (err, _, _) ->
+      let now = Unix.gettimeofday () in
+      penalize c ~now;
+      warn_reconnect c ~now
+        (Printf.sprintf "reconnect failed: %s" (Unix.error_message err))
+
+(* Flush a connection's outbound batch: one [write] for however many
+   frames accumulated since the last flush, recording the batch size
+   and flush latency. *)
+let flush_conn ?metrics ?count c =
+  if Codec.Out.pending c.out > 0 then begin
+    match c.fd with
+    | None ->
+        Codec.Out.clear c.out;
+        c.frames_out <- 0
+    | Some fd -> (
+        let frames = c.frames_out in
+        c.frames_out <- 0;
+        match metrics with
+        | None -> (
+            try Codec.flush fd c.out
+            with Unix.Unix_error _ -> drop_conn ?count c)
+        | Some reg -> (
+            let t0 = Unix.gettimeofday () in
+            try
+              Codec.flush fd c.out;
+              Obs.Metrics.observe_int reg "wire.batch_size"
+                ~bounds:Obs.Metrics.batch_bounds frames;
+              Obs.Metrics.observe_int reg "wire.flush_us"
+                ~bounds:Obs.Metrics.wallclock_bounds
+                (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+            with Unix.Unix_error _ -> drop_conn ?count c))
+  end
 
 let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
     endpoints =
@@ -92,55 +200,18 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
         Obs.Metrics.incr reg
           ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
   in
-  let conns =
-    Array.mapi
-      (fun i ep ->
-        {
-          index = i + 1;
-          ep;
-          fd = None;
-          reader = Codec.Reader.create ();
-          fails = 0;
-          next_attempt = 0.;
-        })
-      endpoints
-  in
-  let drop c =
-    match c.fd with
-    | None -> ()
-    | Some fd ->
-        close_quietly fd;
-        c.fd <- None;
-        c.fails <- c.fails + 1;
-        c.next_attempt <-
-          now_f () +. Float.min reconnect_cap (0.05 *. float_of_int c.fails);
-        count "net.client.disconnects"
-  in
+  let conns = Array.mapi mk_conn endpoints in
+  let drop c = drop_conn ~count c in
   let send_conn c m =
     match c.fd with
     | None -> ()
-    | Some fd -> (
+    | Some _ ->
         meter "sent" m;
-        try Codec.send fd (Codec.encode_frame codec (Codec.Msg m))
-        with Unix.Unix_error _ -> drop c)
+        Codec.encode_frame_into codec c.out (Codec.Msg m);
+        c.frames_out <- c.frames_out + 1;
+        flush_conn ?metrics ~count c
   in
-  let try_connect c =
-    match connect_fd c.ep with
-    | fd -> (
-        c.reader <- Codec.Reader.create ();
-        c.fails <- 0;
-        c.fd <- Some fd;
-        count "net.client.connects";
-        try
-          Codec.send fd
-            (Codec.encode_frame codec
-               (Codec.Hello { proto = P.name; sender = proc; obj = c.index }))
-        with Unix.Unix_error _ -> drop c)
-    | exception Unix.Unix_error _ ->
-        c.fails <- c.fails + 1;
-        c.next_attempt <-
-          now_f () +. Float.min reconnect_cap (0.05 *. float_of_int c.fails)
-  in
+  let try_connect c = try_connect ~count ~codec ~proto_name:P.name ~proc c in
   let ensure_conns () =
     Array.iter
       (fun c -> if c.fd = None && now_f () >= c.next_attempt then try_connect c)
@@ -187,7 +258,9 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
               count "net.client.peer_errors";
               drop c
           | Codec.Hello _ -> drop c
-          | Codec.Msg m ->
+          | Codec.Msg_from { sender; msg = _ } when sender <> proc ->
+              () (* demuxed reply for someone else: stale, ignore *)
+          | Codec.Msg m | Codec.Msg_from { msg = m; _ } ->
               meter "delivered" m;
               Obs.Span.contact span ~obj:c.index;
               List.iter
@@ -341,10 +414,15 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
         in
         ((fun _ -> invalid_arg "Client.write: this client is a reader"), read)
   in
+  let close_conn c =
+    drop c;
+    Codec.Reader.recycle c.reader;
+    Codec.Out.recycle c.out
+  in
   {
     write_;
     read_;
-    close_ = (fun () -> Array.iter drop conns);
+    close_ = (fun () -> Array.iter close_conn conns);
     connected_ = connected;
     collector;
   }
@@ -358,3 +436,485 @@ let spans t = Obs.Span.spans t.collector
 let connected t = t.connected_ ()
 
 let close t = t.close_ ()
+
+(* ===== pipelined multiplexing client ===================================== *)
+
+(* One reader automaton can only run one operation at a time (its round
+   timestamps are per-op), so the operation window is built from
+   [readers] independent reader machines — each with its own round
+   state, deadline and backoff — multiplexed onto a single event loop.
+   All machines share ONE connection per base object: their messages
+   travel as [Msg_from] frames carrying the reader id inline, and
+   replies demux by the echoed sender.  That sharing is what makes
+   frame batching real — one flush carries every in-flight op's round
+   messages to an object in a single [write].  Per-op quorum logic is
+   exactly the serial client's: the state machines still decide when
+   S−t replies are enough. *)
+
+type 'm active = {
+  aop : int;  (* index into the run's result array *)
+  mutable acur : 'm;  (* current round's broadcast *)
+  aspan : Obs.Span.t;
+  mutable adeadline : float;
+  mutable abackoff_until : float;  (* 0. = not backing off *)
+  mutable aattempt : int;
+  mutable aretr : int;
+}
+
+(* A timed-out op parks its machine mid-round (no abort in the paper's
+   automata); the next op assigned to the slot resumes it.  If replies
+   trickle in while parked and complete the op, the result is stashed
+   ([Sdone]) and adopted by the next assignment — the serial client's
+   resume semantics, event-loop style. *)
+type 'm slot_state =
+  | Sidle
+  | Sactive of 'm active
+  | Sparked of { mutable pcur : 'm; pspan : Obs.Span.t }
+  | Sdone of outcome
+
+type ('m, 'r) slot = {
+  j : int;  (* reader id, 1-based *)
+  sname : string;  (* "r<j>": the [Msg_from] sender tag *)
+  mutable machine : 'r;
+  mutable st : 'm slot_state;
+}
+
+module Mux = struct
+  type event =
+    | Invoke of { op : int; reader : int; at_us : int }
+    | Respond of {
+        op : int;
+        reader : int;
+        at_us : int;
+        outcome : (outcome, string) result;
+      }
+
+  type t = {
+    mux_run :
+      ?on_event:(event -> unit) -> int -> (outcome, string) result array;
+    mux_spans : unit -> Obs.Span.t list;
+    mux_connected : unit -> int list;
+    mux_close : unit -> unit;
+  }
+
+  let connect ?metrics ?(opts = default_opts) ?now_us ?max_inflight
+      ?(first_reader = 1) ~protocol ~cfg ~readers endpoints =
+    Lazy.force ignore_sigpipe;
+    let (Protocols.Packed { proto = (module P); codec }) = protocol in
+    let s = cfg.Quorum.Config.s in
+    if Array.length endpoints <> s then
+      invalid_arg
+        (Printf.sprintf "Mux.connect: %d endpoints for S = %d"
+           (Array.length endpoints) s);
+    if readers < 1 then
+      invalid_arg (Printf.sprintf "Mux.connect: readers = %d" readers);
+    if first_reader < 1 then
+      invalid_arg (Printf.sprintf "Mux.connect: first_reader = %d" first_reader);
+    let window =
+      match max_inflight with
+      | None -> readers
+      | Some w -> max 1 (min w readers)
+    in
+    let now_f = Unix.gettimeofday in
+    let now_us =
+      match now_us with
+      | Some f -> f
+      | None ->
+          let t0 = now_f () in
+          fun () -> int_of_float ((now_f () -. t0) *. 1e6)
+    in
+    let collector = Obs.Span.collector () in
+    let count name =
+      match metrics with None -> () | Some reg -> Obs.Metrics.incr reg name
+    in
+    let meter stage m =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg
+            ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+    in
+    let slots =
+      Array.init readers (fun idx ->
+          let j = first_reader + idx in
+          {
+            j;
+            sname = "r" ^ string_of_int j;
+            machine = P.reader_init ~cfg ~j;
+            st = Sidle;
+          })
+    in
+    (* One connection per base object, shared by every reader machine:
+       the session Hello names the first reader, each protocol message
+       names its own sender. *)
+    let conns = Array.mapi mk_conn endpoints in
+    let session_proc = "r" ^ string_of_int first_reader in
+    let drop c = drop_conn ~count c in
+    let append_msg c ~sender m =
+      match c.fd with
+      | None -> ()
+      | Some _ ->
+          meter "sent" m;
+          Codec.encode_frame_into codec c.out (Codec.Msg_from { sender; msg = m });
+          c.frames_out <- c.frames_out + 1
+    in
+    let broadcast_slot sl m =
+      Array.iter (fun c -> append_msg c ~sender:sl.sname m) conns
+    in
+    let flush_all () =
+      Array.iter (fun c -> flush_conn ?metrics ~count c) conns
+    in
+    let ensure_conns now =
+      Array.iter
+        (fun c ->
+          if c.fd = None && now >= c.next_attempt then
+            try_connect ~count ~codec ~proto_name:P.name ~proc:session_proc c)
+        conns
+    in
+    let connected () =
+      Array.to_list conns
+      |> List.filter_map (fun c ->
+             match c.fd with Some _ -> Some c.index | None -> None)
+    in
+    (* In-place parse of the echoed sender ("r<j>"): one call per reply
+       frame, so no [String.sub] allocation.  Returns the slot index or
+       -1 for a sender outside this mux's reader range. *)
+    let slot_of_sender sender =
+      let len = String.length sender in
+      if len >= 2 && sender.[0] = 'r' then begin
+        let rec go i acc =
+          if i >= len then acc
+          else
+            match sender.[i] with
+            | '0' .. '9' when acc < 0x3FFFFFF ->
+                go (i + 1) ((acc * 10) + (Char.code sender.[i] - Char.code '0'))
+            | _ -> -1
+        in
+        let j = go 1 0 in
+        if j >= first_reader && j < first_reader + readers then
+          j - first_reader
+        else -1
+      end
+      else -1
+    in
+    let op_metrics span now =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg "op.read.completed";
+          Obs.Metrics.observe_int reg "op.read.rounds"
+            ~bounds:Obs.Metrics.round_bounds span.Obs.Span.rounds;
+          Obs.Metrics.observe_int reg "op.read.latency_us"
+            ~bounds:Obs.Metrics.wallclock_bounds
+            (now - span.Obs.Span.started_at);
+          Obs.Metrics.observe_int reg "op.read.replies"
+            ~bounds:Obs.Metrics.count_bounds span.Obs.Span.replies;
+          Obs.Metrics.observe_int reg "op.read.contacted"
+            ~bounds:Obs.Metrics.count_bounds
+            (List.length (Obs.Span.contacted span))
+    in
+    let run ?on_event n =
+      if n < 0 then invalid_arg "Mux.run_reads: negative op count";
+      let results = Array.make (max n 1) (Error "operation not run") in
+      let emit e = match on_event with Some f -> f e | None -> () in
+      let next_op = ref 0 in
+      let completed = ref 0 in
+      let in_flight = ref 0 in
+      let finish_active sl (a : _ active) outcome =
+        results.(a.aop) <- outcome;
+        emit
+          (Respond { op = a.aop; reader = sl.j; at_us = now_us (); outcome });
+        incr completed;
+        decr in_flight
+      in
+      let feed_slot sl ~obj m =
+        let r, evs = P.reader_on_msg sl.machine ~obj m in
+        sl.machine <- r;
+        List.iter
+          (function
+            | Core.Events.Broadcast m' -> (
+                match sl.st with
+                | Sactive a ->
+                    Obs.Span.transition a.aspan ~now:(now_us ());
+                    a.acur <- m';
+                    a.adeadline <- now_f () +. opts.deadline;
+                    a.abackoff_until <- 0.;
+                    broadcast_slot sl m'
+                | Sparked p -> p.pcur <- m'
+                | Sidle | Sdone _ -> ())
+            | Core.Events.Read_done { value; rounds } -> (
+                match sl.st with
+                | Sactive a ->
+                    let now = now_us () in
+                    Obs.Span.finish a.aspan ~now ~rounds
+                      ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                    op_metrics a.aspan now;
+                    let out =
+                      {
+                        value = Some value;
+                        rounds;
+                        retransmits = a.aretr;
+                        latency_us = now - a.aspan.Obs.Span.started_at;
+                      }
+                    in
+                    sl.st <- Sidle;
+                    finish_active sl a (Ok out)
+                | Sparked p ->
+                    let now = now_us () in
+                    Obs.Span.finish p.pspan ~now ~rounds
+                      ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                    op_metrics p.pspan now;
+                    sl.st <-
+                      Sdone
+                        {
+                          value = Some value;
+                          rounds;
+                          retransmits = 0;
+                          latency_us = now - p.pspan.Obs.Span.started_at;
+                        }
+                | Sidle | Sdone _ -> ())
+            | Core.Events.Write_done _ -> ())
+          evs
+      in
+      let span_of_st sl =
+        match sl.st with
+        | Sactive a -> Some a.aspan
+        | Sparked p -> Some p.pspan
+        | Sidle | Sdone _ -> None
+      in
+      let deliver_to sl c m =
+        meter "delivered" m;
+        match sl.st with
+        | Sactive _ | Sparked _ ->
+            (match span_of_st sl with
+            | Some span -> Obs.Span.contact span ~obj:c.index
+            | None -> ());
+            feed_slot sl ~obj:c.index m
+        | Sidle | Sdone _ -> () (* stale ack between operations *)
+      in
+      let on_frame c = function
+        | Codec.Hello_ack { proto; obj } ->
+            if proto <> P.name || obj <> c.index then drop c
+        | Codec.Err _ ->
+            count "net.client.peer_errors";
+            drop c
+        | Codec.Hello _ -> drop c
+        | Codec.Msg m ->
+            (* A pre-[Msg_from] server attributes replies to the session
+               sender — the first reader machine. *)
+            deliver_to slots.(0) c m
+        | Codec.Msg_from { sender; msg } -> (
+            match slot_of_sender sender with
+            | -1 -> () (* reply for a reader of a previous mux: stale *)
+            | idx -> deliver_to slots.(idx) c msg)
+      in
+      let handle_conn c =
+        match c.fd with
+        | None -> ()
+        | Some fd -> (
+            match Codec.recv_into fd c.reader with
+            | 0 -> drop c
+            | exception Unix.Unix_error _ -> drop c
+            | _ ->
+                let rec drain () =
+                  if c.fd <> None then
+                    match Codec.Reader.next codec c.reader with
+                    | Ok `Awaiting -> ()
+                    | Error _ ->
+                        count "net.client.decode_errors";
+                        drop c
+                    | Ok (`Frame f) ->
+                        on_frame c f;
+                        drain ()
+                in
+                drain ())
+      in
+      let start_one sl =
+        let op = !next_op in
+        incr next_op;
+        emit (Invoke { op; reader = sl.j; at_us = now_us () });
+        match sl.st with
+        | Sdone out ->
+            sl.st <- Sidle;
+            results.(op) <- Ok out;
+            emit
+              (Respond { op; reader = sl.j; at_us = now_us (); outcome = Ok out });
+            incr completed
+        | Sparked p ->
+            sl.st <-
+              Sactive
+                {
+                  aop = op;
+                  acur = p.pcur;
+                  aspan = p.pspan;
+                  adeadline = now_f () +. opts.deadline;
+                  abackoff_until = 0.;
+                  aattempt = 0;
+                  aretr = 0;
+                };
+            broadcast_slot sl p.pcur;
+            incr in_flight
+        | Sidle -> (
+            match P.reader_start sl.machine with
+            | Error e ->
+                results.(op) <- Error e;
+                emit
+                  (Respond
+                     { op; reader = sl.j; at_us = now_us (); outcome = Error e });
+                incr completed
+            | Ok (r, m) ->
+                sl.machine <- r;
+                let span =
+                  Obs.Span.start collector
+                    (Obs.Span.Read { reader = sl.j })
+                    ~proc:("r" ^ string_of_int sl.j)
+                    ~now:(now_us ()) ~trace_pos:0
+                in
+                sl.st <-
+                  Sactive
+                    {
+                      aop = op;
+                      acur = m;
+                      aspan = span;
+                      adeadline = now_f () +. opts.deadline;
+                      abackoff_until = 0.;
+                      aattempt = 0;
+                      aretr = 0;
+                    };
+                broadcast_slot sl m;
+                incr in_flight)
+        | Sactive _ -> assert false
+      in
+      let free_slot () =
+        let rec go i =
+          if i >= Array.length slots then None
+          else
+            match slots.(i).st with
+            | Sactive _ -> go (i + 1)
+            | Sidle | Sparked _ | Sdone _ -> Some slots.(i)
+        in
+        go 0
+      in
+      let process_timers now =
+        Array.iter
+          (fun sl ->
+            match sl.st with
+            | Sactive a ->
+                if a.abackoff_until > 0. then begin
+                  if now >= a.abackoff_until then begin
+                    a.abackoff_until <- 0.;
+                    a.aretr <- a.aretr + 1;
+                    count "net.client.retransmits";
+                    a.aattempt <- a.aattempt + 1;
+                    a.adeadline <- now +. opts.deadline;
+                    broadcast_slot sl a.acur
+                  end
+                end
+                else if now >= a.adeadline then
+                  if a.aattempt >= opts.retries then begin
+                    count "op.read.timeout";
+                    let err =
+                      Printf.sprintf
+                        "read by r%d timed out after %d attempts (%.1fs \
+                         deadline, connected objects: %s)"
+                        sl.j (a.aattempt + 1) opts.deadline
+                        (match connected () with
+                        | [] -> "none"
+                        | l -> String.concat "," (List.map string_of_int l))
+                    in
+                    let cur = a.acur and span = a.aspan in
+                    sl.st <- Sparked { pcur = cur; pspan = span };
+                    finish_active sl a (Error err)
+                  end
+                  else
+                    a.abackoff_until <-
+                      now +. (opts.backoff *. (2. ** float_of_int a.aattempt))
+            | Sidle | Sparked _ | Sdone _ -> ())
+          slots
+      in
+      let next_wakeup now =
+        let acc = ref (now +. 1.0) in
+        let any_active = ref false in
+        Array.iter
+          (fun sl ->
+            match sl.st with
+            | Sactive a ->
+                any_active := true;
+                let t =
+                  if a.abackoff_until > 0. then a.abackoff_until
+                  else a.adeadline
+                in
+                if t < !acc then acc := t
+            | Sidle | Sparked _ | Sdone _ -> ())
+          slots;
+        if !any_active then
+          Array.iter
+            (fun c ->
+              if c.fd = None && c.next_attempt < !acc then acc := c.next_attempt)
+            conns;
+        Float.max 0. (!acc -. now)
+      in
+      let rec pump () =
+        if !completed < n then begin
+          (* connect before starting ops: a round broadcast only reaches
+             endpoints that already have a live fd *)
+          ensure_conns (now_f ());
+          while
+            !in_flight < window && !next_op < n
+            &&
+            match free_slot () with
+            | Some sl ->
+                start_one sl;
+                true
+            | None -> false
+          do
+            ()
+          done;
+          flush_all ();
+          if !completed >= n then ()
+          else begin
+            let fds = Array.to_list conns |> List.filter_map (fun c -> c.fd) in
+            let timeout = next_wakeup (now_f ()) in
+            (if fds = [] then
+               Thread.delay (Float.min 0.01 (Float.max 0.001 timeout))
+             else
+               match Unix.select fds [] [] timeout with
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               | ready, _, _ ->
+                   List.iter
+                     (fun fd ->
+                       Array.iter
+                         (fun c -> if c.fd = Some fd then handle_conn c)
+                         conns)
+                     ready);
+            process_timers (now_f ());
+            pump ()
+          end
+        end
+      in
+      pump ();
+      if n = 0 then [||] else results
+    in
+    let close_all () =
+      Array.iter
+        (fun c ->
+          drop c;
+          Codec.Reader.recycle c.reader;
+          Codec.Out.recycle c.out)
+        conns
+    in
+    {
+      mux_run = run;
+      mux_spans = (fun () -> Obs.Span.spans collector);
+      mux_connected = connected;
+      mux_close = close_all;
+    }
+
+  let run_reads ?on_event t n = t.mux_run ?on_event n
+
+  let spans t = t.mux_spans ()
+
+  let connected t = t.mux_connected ()
+
+  let close t = t.mux_close ()
+end

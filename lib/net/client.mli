@@ -75,3 +75,67 @@ val connected : t -> int list
 (** Object indices with a currently established connection. *)
 
 val close : t -> unit
+
+(** {2 Pipelined reads}
+
+    A reader automaton runs one operation at a time (its round
+    timestamps are per-op), so the in-flight window is built from
+    [readers] independent reader machines — each with its own connection
+    set to the same S endpoints, its own round state, deadline and
+    backoff — multiplexed onto one select-driven event loop in the
+    caller's thread.  Per-op acceptance is exactly the serial client's:
+    the unchanged state machines decide when S−t replies suffice.
+    Outbound frames are coalesced per connection flush ({!Codec.Out}),
+    which is wire-compatible with unbatched peers because frames are
+    length-prefixed and self-delimiting. *)
+
+module Mux : sig
+  type event =
+    | Invoke of { op : int; reader : int; at_us : int }
+        (** Operation [op] was assigned to reader [reader]. *)
+    | Respond of {
+        op : int;
+        reader : int;
+        at_us : int;
+        outcome : (outcome, string) result;
+      }  (** Operation [op] completed (or timed out). *)
+
+  type t
+
+  val connect :
+    ?metrics:Obs.Metrics.t ->
+    ?opts:opts ->
+    ?now_us:(unit -> int) ->
+    ?max_inflight:int ->
+    ?first_reader:int ->
+    protocol:Protocols.t ->
+    cfg:Quorum.Config.t ->
+    readers:int ->
+    Endpoint.t array ->
+    t
+  (** [connect ~readers endpoints] prepares [readers] reader slots with
+      ids [first_reader .. first_reader+readers-1] (default [1..]);
+      [max_inflight] (default [readers], clamped to [1..readers]) caps
+      how many operations progress concurrently.  Reader ids must be
+      fresh with respect to the cluster: base objects keep per-reader
+      round state, so a {e new} automaton reusing an id some earlier
+      client already advanced can be ignored by the objects.
+      @raise Invalid_argument on an endpoint/S mismatch, [readers < 1]
+      or [first_reader < 1]. *)
+
+  val run_reads :
+    ?on_event:(event -> unit) -> t -> int -> (outcome, string) result array
+  (** [run_reads t n] drives [n] READs to completion (or timeout),
+      keeping up to [max_inflight] in flight; result [i] is operation
+      [i]'s outcome.  [on_event] observes invocations and responses in
+      real time (for history recording).  A timed-out op parks its
+      machine mid-round — the automata have no abort — and the next op
+      on that slot resumes it, mirroring the serial client. *)
+
+  val spans : t -> Obs.Span.t list
+
+  val connected : t -> int list
+  (** Object indices reachable from at least one slot. *)
+
+  val close : t -> unit
+end

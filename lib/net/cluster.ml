@@ -5,6 +5,17 @@ type client_slot = {
   mutable open_op : Histories.Recorder.op_handle option;
 }
 
+(* The pipelined read runtime is created on first use and cached: its
+   reader slots carry parked (timed-out) operations across calls, so
+   rebuilding it per call would leak half-finished automata. *)
+type mux_state = {
+  m_inflight : int;
+  m_first : int;  (* first reader id of this mux's slots *)
+  m_mux : Client.Mux.t;
+  m_registry : Obs.Metrics.t option;
+  m_open : Histories.Recorder.op_handle option array;  (* per reader slot *)
+}
+
 type t = {
   cfg : Quorum.Config.t;
   endpoints : Endpoint.t array;
@@ -12,6 +23,12 @@ type t = {
   server_registries : Obs.Metrics.t option array;
   writer : client_slot;
   readers : client_slot array;
+  mutable mux : mux_state option;
+  (* Base objects keep per-reader round state, so reader ids are never
+     reused across mux generations: each new mux gets a fresh range. *)
+  mutable next_rid : int;
+  copts : Client.opts option;
+  protocol : Protocols.t;
   recorder : string Histories.Recorder.t;
   rec_mutex : Mutex.t;
   now_us : unit -> int;
@@ -35,8 +52,8 @@ let fresh_tmpdir () =
   incr tmp_counter;
   go !tmp_counter
 
-let start ?(metrics = false) ?opts ?(transport = `Unix) ~protocol ~cfg ~readers
-    () =
+let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
+    ~protocol ~cfg ~readers () =
   let s = cfg.Quorum.Config.s in
   let tmpdir, endpoints =
     match transport with
@@ -54,10 +71,20 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ~protocol ~cfg ~readers
   let registry () = if metrics then Some (Obs.Metrics.create ()) else None in
   let server_registries = Array.init s (fun _ -> registry ()) in
   let servers =
-    Array.init s (fun i ->
-        Server.start
-          ?metrics:server_registries.(i)
-          ~protocol ~cfg ~index:(i + 1) endpoints.(i))
+    match loop with
+    | `Threads ->
+        Array.init s (fun i ->
+            Server.start
+              ?metrics:server_registries.(i)
+              ~protocol ~cfg ~index:(i + 1) endpoints.(i))
+    | `Poll ->
+        (* All S objects in one event-loop domain. *)
+        Server.start_group
+          ?metrics:
+            (if metrics then
+               Some (fun i -> Option.get server_registries.(i))
+             else None)
+          ~protocol ~cfg endpoints
   in
   (* Ephemeral TCP ports are only known after bind. *)
   let endpoints = Array.map Server.endpoint servers in
@@ -80,6 +107,10 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ~protocol ~cfg ~readers
     server_registries;
     writer = slot `Writer;
     readers = Array.init readers (fun j -> slot (`Reader (j + 1)));
+    mux = None;
+    next_rid = readers + 1;
+    copts = opts;
+    protocol;
     recorder = Histories.Recorder.create ();
     rec_mutex = Mutex.create ();
     now_us;
@@ -141,6 +172,76 @@ let read t ~reader =
       ok
   | Error _ as e -> e
 
+let mux_for t ~inflight =
+  if inflight < 1 then
+    invalid_arg (Printf.sprintf "Cluster.read_pipelined: inflight %d" inflight);
+  match t.mux with
+  | Some m when m.m_inflight = inflight -> m
+  | existing ->
+      (match existing with
+      | Some m -> Client.Mux.close m.m_mux
+      | None -> ());
+      let registry =
+        if t.with_metrics then Some (Obs.Metrics.create ()) else None
+      in
+      let first = t.next_rid in
+      t.next_rid <- t.next_rid + inflight;
+      let m =
+        {
+          m_inflight = inflight;
+          m_first = first;
+          m_mux =
+            Client.Mux.connect ?metrics:registry ?opts:t.copts
+              ~now_us:t.now_us ~max_inflight:inflight ~first_reader:first
+              ~protocol:t.protocol ~cfg:t.cfg ~readers:inflight t.endpoints;
+          m_registry = registry;
+          m_open = Array.make inflight None;
+        }
+      in
+      t.mux <- Some m;
+      m
+
+let read_pipelined t ~inflight ~ops =
+  let m = mux_for t ~inflight in
+  (* Events fire on the pump's hot path, once per op start and finish:
+     take the mutex directly instead of allocating a [locked] thunk per
+     event.  Recorder calls raise only on misuse bugs; the handler
+     below re-raises with the mutex released so the failure stays
+     loud. *)
+  let record ev =
+    match ev with
+    | Client.Mux.Invoke { reader; at_us; _ } -> (
+        match m.m_open.(reader - m.m_first) with
+        | Some _ -> ()  (* resuming a parked op: invocation stands *)
+        | None ->
+            m.m_open.(reader - m.m_first) <-
+              Some
+                (Histories.Recorder.invoke_read t.recorder ~time:at_us ~reader))
+    | Client.Mux.Respond { reader; at_us; outcome; _ } -> (
+        match outcome with
+        | Error _ -> ()  (* op stays open; a later read resumes it *)
+        | Ok o -> (
+            match m.m_open.(reader - m.m_first) with
+            | None -> ()
+            | Some h ->
+                m.m_open.(reader - m.m_first) <- None;
+                let result =
+                  match o.Client.value with
+                  | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+                  | Some (Core.Value.V s) -> Histories.Op.Value s
+                in
+                Histories.Recorder.respond_read t.recorder h ~time:at_us result))
+  in
+  let on_event ev =
+    Mutex.lock t.rec_mutex;
+    (try record ev
+     with e ->
+       Mutex.unlock t.rec_mutex;
+       raise e);
+    Mutex.unlock t.rec_mutex
+  in
+  Client.Mux.run_reads ~on_event m.m_mux ops
+
 let check_index t i =
   if i < 1 || i > Array.length t.servers then
     invalid_arg (Printf.sprintf "Cluster: object %d" i)
@@ -169,6 +270,7 @@ let spans t =
   @ List.concat_map
       (fun r -> Client.spans r.client)
       (Array.to_list t.readers)
+  @ (match t.mux with Some m -> Client.Mux.spans m.m_mux | None -> [])
 
 let metrics t =
   if not t.with_metrics then None
@@ -181,12 +283,20 @@ let metrics t =
     Array.iter
       (fun r -> Option.iter (fun src -> Obs.Metrics.merge_into ~dst src) r.registry)
       t.readers;
+    (match t.mux with
+    | Some { m_registry = Some src; _ } -> Obs.Metrics.merge_into ~dst src
+    | _ -> ());
     Some dst
   end
 
 let stop t =
   Client.close t.writer.client;
   Array.iter (fun r -> Client.close r.client) t.readers;
+  (match t.mux with
+  | Some m ->
+      Client.Mux.close m.m_mux;
+      t.mux <- None
+  | None -> ());
   Array.iter (fun s -> if Server.alive s then Server.stop s) t.servers;
   match t.tmpdir with
   | None -> ()

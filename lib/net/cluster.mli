@@ -27,13 +27,16 @@ val start :
   ?metrics:bool ->
   ?opts:Client.opts ->
   ?transport:[ `Unix | `Tcp ] ->
+  ?loop:Server.loop ->
   protocol:Protocols.t ->
   cfg:Quorum.Config.t ->
   readers:int ->
   unit ->
   t
 (** Spin up [cfg.s] servers and [readers] reader clients (plus the
-    writer).  [transport] defaults to [`Unix].  With [metrics:true]
+    writer).  [transport] defaults to [`Unix].  [loop] (default
+    [`Threads]) picks the server side: [`Poll] hosts all [cfg.s] objects
+    in one {!Server.start_group} event-loop thread.  With [metrics:true]
     every component keeps a private registry; {!metrics} merges them. *)
 
 val write : t -> Core.Value.t -> (Client.outcome, string) result
@@ -41,6 +44,18 @@ val write : t -> Core.Value.t -> (Client.outcome, string) result
 
 val read : t -> reader:int -> (Client.outcome, string) result
 (** One READ by reader [reader] (1-based), recorded in the history. *)
+
+val read_pipelined :
+  t -> inflight:int -> ops:int -> (Client.outcome, string) result array
+(** Drive [ops] READs with up to [inflight] concurrently in flight
+    through a cached {!Client.Mux} whose reader ids are allocated fresh
+    (above the serial readers' — base objects keep per-reader round
+    state, so ids are never reused across mux generations).  Every
+    operation is recorded in the shared history at its real
+    invoke/respond instants, so the checkers see the true concurrency;
+    timed-out ops stay open and are resumed by a later call, exactly
+    like the serial path.  Changing [inflight] rebuilds the mux.
+    @raise Invalid_argument if [inflight < 1]. *)
 
 val crash : t -> int -> unit
 (** Hard-kill server for object [i] (1-based); idempotent while down. *)

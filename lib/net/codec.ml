@@ -8,73 +8,184 @@ let magic2 = 'B'
 
 type error = string
 
-(* ----- encoding primitives --------------------------------------------- *)
+(* ----- pooled byte buffers ---------------------------------------------- *)
 
-let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+(* Connections churn (reconnects, short-lived sessions) but their buffer
+   needs are uniform: a few KiB steady-state, occasionally more for a
+   large frame.  The arena recycles power-of-two buffers between 4 KiB
+   and 64 KiB so steady-state encode/decode never asks the GC for fresh
+   backing storage; anything larger is a one-off allocation that is
+   deliberately *not* retained (see [Reader] shrinking below). *)
+module Pool = struct
+  let min_cap = 4096
+
+  let max_cap = 65536
+
+  let per_class = 64
+
+  (* classes: 4096 lsl i for i = 0..4 *)
+  let n_classes = 5
+
+  let stacks : Bytes.t list array = Array.make n_classes []
+
+  let depth = Array.make n_classes 0
+
+  let mutex = Mutex.create ()
+
+  let class_of cap =
+    let rec go i sz = if sz >= cap then Some i else if i + 1 >= n_classes then None else go (i + 1) (sz * 2) in
+    if cap > max_cap then None else go 0 min_cap
+
+  let round_up cap =
+    let rec go sz = if sz >= cap then sz else go (sz * 2) in
+    go min_cap
+
+  let take cap =
+    match class_of cap with
+    | None -> Bytes.create (round_up cap)
+    | Some c -> (
+        Mutex.lock mutex;
+        let b =
+          match stacks.(c) with
+          | b :: rest ->
+              stacks.(c) <- rest;
+              depth.(c) <- depth.(c) - 1;
+              Some b
+          | [] -> None
+        in
+        Mutex.unlock mutex;
+        match b with Some b -> b | None -> Bytes.create (min_cap lsl c))
+
+  let give b =
+    let len = Bytes.length b in
+    match class_of len with
+    | Some c when min_cap lsl c = len ->
+        Mutex.lock mutex;
+        if depth.(c) < per_class then begin
+          stacks.(c) <- b :: stacks.(c);
+          depth.(c) <- depth.(c) + 1
+        end;
+        Mutex.unlock mutex
+    | _ -> ()
+end
+
+(* ----- encode scratch ---------------------------------------------------- *)
+
+(* A reusable append buffer: the per-connection encode scratch.  Frames
+   are appended back to back ([encode_frame_into]) and flushed with one
+   [write], which is both the zero-allocation encode path and the frame
+   batching path — length-prefixed frames self-delimit, so N frames per
+   write is wire-compatible with single-frame writes.  [sent] tracks the
+   prefix already written by a partial non-blocking flush. *)
+module Out = struct
+  type t = { mutable buf : Bytes.t; mutable len : int; mutable sent : int }
+
+  let create () = { buf = Pool.take Pool.min_cap; len = 0; sent = 0 }
+
+  let length t = t.len
+
+  let pending t = t.len - t.sent
+
+  let clear t =
+    t.len <- 0;
+    t.sent <- 0
+
+  let contents t = Bytes.sub_string t.buf 0 t.len
+
+  let ensure t extra =
+    let need = t.len + extra in
+    if need > Bytes.length t.buf then begin
+      let nb = Pool.take (max need (2 * Bytes.length t.buf)) in
+      Bytes.blit t.buf 0 nb 0 t.len;
+      Pool.give t.buf;
+      t.buf <- nb
+    end
+
+  (* After a one-off large frame, fall back to a pool-class buffer so
+     the scratch does not retain peak capacity forever. *)
+  let maybe_shrink t =
+    if t.len = 0 && Bytes.length t.buf > Pool.max_cap then t.buf <- Pool.take Pool.min_cap
+
+  let recycle t =
+    Pool.give t.buf;
+    t.buf <- Bytes.empty;
+    t.len <- 0;
+    t.sent <- 0
+end
+
+let out_u8 (o : Out.t) n =
+  Out.ensure o 1;
+  Bytes.unsafe_set o.buf o.len (Char.unsafe_chr (n land 0xff));
+  o.len <- o.len + 1
 
 (* Zigzag LEB128: small magnitudes (timestamps, indices) cost one byte,
    and the logical shift below treats the zigzagged value as a 63-bit
    pattern, so the whole int range (min_int included) round-trips. *)
-let put_int buf n =
+let out_int o n =
   let z = (n lsl 1) lxor (n asr 62) in
   let rec go z =
-    if z >= 0 && z < 0x80 then put_u8 buf z
+    if z >= 0 && z < 0x80 then out_u8 o z
     else begin
-      put_u8 buf (0x80 lor (z land 0x7f));
+      out_u8 o (0x80 lor (z land 0x7f));
       go (z lsr 7)
     end
   in
   go z
 
-let put_string buf s =
-  put_int buf (String.length s);
-  Buffer.add_string buf s
+let out_string (o : Out.t) s =
+  let n = String.length s in
+  out_int o n;
+  Out.ensure o n;
+  Bytes.blit_string s 0 o.buf o.len n;
+  o.len <- o.len + n
 
-let put_value buf = function
-  | Core.Value.Bottom -> put_u8 buf 0
+let out_value o = function
+  | Core.Value.Bottom -> out_u8 o 0
   | Core.Value.V s ->
-      put_u8 buf 1;
-      put_string buf s
+      out_u8 o 1;
+      out_string o s
 
-let put_tsval buf (tv : Core.Tsval.t) =
-  put_int buf tv.ts;
-  put_value buf tv.v
+let out_tsval o (tv : Core.Tsval.t) =
+  out_int o tv.ts;
+  out_value o tv.v
 
-let put_int_map buf m =
-  put_int buf (Core.Ints.Map.cardinal m);
-  Core.Ints.Map.iter
-    (fun k v ->
-      put_int buf k;
-      put_int buf v)
-    m
+(* Folding with top-level functions threads [o] as the accumulator, so
+   the hot encode path allocates no per-call closures or binding
+   lists. *)
+let out_int_map_entry k v o =
+  out_int o k;
+  out_int o v;
+  o
 
-let put_matrix buf m =
-  let rows = Core.Tsr_matrix.rows_present m in
-  put_int buf (List.length rows);
-  List.iter
-    (fun obj ->
-      put_int buf obj;
-      match Core.Tsr_matrix.row m ~obj with
-      | Some row -> put_int_map buf row
-      | None -> assert false)
-    rows
+let out_int_map o m =
+  out_int o (Core.Ints.Map.cardinal m);
+  ignore (Core.Ints.Map.fold out_int_map_entry m o)
 
-let put_wtuple buf (w : Core.Wtuple.t) =
-  put_tsval buf w.tsval;
-  put_matrix buf w.tsrarray
+let out_matrix_row obj row o =
+  out_int o obj;
+  out_int_map o row;
+  o
 
-let put_history buf h =
+let out_matrix o m =
+  out_int o (Core.Tsr_matrix.row_count m);
+  ignore (Core.Tsr_matrix.fold_rows out_matrix_row m o)
+
+let out_wtuple o (w : Core.Wtuple.t) =
+  out_tsval o w.tsval;
+  out_matrix o w.tsrarray
+
+let out_history o h =
   let bindings = Core.History_store.bindings h in
-  put_int buf (List.length bindings);
+  out_int o (List.length bindings);
   List.iter
     (fun (ts, { Core.History_store.pw; w }) ->
-      put_int buf ts;
-      put_tsval buf pw;
+      out_int o ts;
+      out_tsval o pw;
       match w with
-      | None -> put_u8 buf 0
+      | None -> out_u8 o 0
       | Some w ->
-          put_u8 buf 1;
-          put_wtuple buf w)
+          out_u8 o 1;
+          out_wtuple o w)
     bindings
 
 (* ----- decoding primitives --------------------------------------------- *)
@@ -83,14 +194,17 @@ exception Fail of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
 
-type dec = { src : string; mutable pos : int; limit : int }
+(* The decoder reads straight out of the connection's receive buffer
+   (no per-frame copy); [get_string] and friends copy what they keep,
+   so nothing aliases the buffer after a decode returns. *)
+type dec = { src : Bytes.t; mutable pos : int; limit : int }
 
 let remaining d = d.limit - d.pos
 
 let get_u8 d =
   if d.pos >= d.limit then fail "truncated (u8 at %d)" d.pos
   else begin
-    let c = Char.code d.src.[d.pos] in
+    let c = Bytes.get_uint8 d.src d.pos in
     d.pos <- d.pos + 1;
     c
   end
@@ -115,7 +229,7 @@ let get_length d ~what =
 
 let get_string d =
   let n = get_length d ~what:"string" in
-  let s = String.sub d.src d.pos n in
+  let s = Bytes.sub_string d.src d.pos n in
   d.pos <- d.pos + n;
   s
 
@@ -162,10 +276,51 @@ let get_matrix d =
   in
   go Core.Tsr_matrix.empty 0
 
+(* On a read-heavy wire, successive acks repeat the same write tuple in
+   almost every frame, and rebuilding its matrix of maps per ack is the
+   single largest decode cost.  Intern by raw encoded bytes: if the
+   incoming bytes start with the exact encoding seen last time, skip the
+   parse and return the previously decoded tuple.  This is sound because
+   the parser is deterministic and consumes left-to-right — an identical
+   byte prefix replays the identical parse — and the count-vs-remaining
+   guards only get a larger budget than the parse they already passed.
+   The sharing also lets Wtuple.compare short-circuit on physical
+   equality in the reader automaton's candidate maps.  One slot per
+   domain: systhreads within a domain are serialized by the runtime
+   lock, and each server domain has its own slot. *)
+let wtuple_cache : (Bytes.t * Core.Wtuple.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let bytes_match src pos cached len =
+  let rec go i =
+    i = len
+    || Char.equal (Bytes.unsafe_get src (pos + i)) (Bytes.unsafe_get cached i)
+       && go (i + 1)
+  in
+  go 0
+
 let get_wtuple d =
-  let tsval = get_tsval d in
-  let tsrarray = get_matrix d in
-  Core.Wtuple.make ~tsval ~tsrarray
+  let cache = Domain.DLS.get wtuple_cache in
+  let start = d.pos in
+  let cached =
+    match !cache with
+    | Some (cb, w) ->
+        let len = Bytes.length cb in
+        if d.limit - start >= len && bytes_match d.src start cb len then begin
+          d.pos <- start + len;
+          Some w
+        end
+        else None
+    | None -> None
+  in
+  match cached with
+  | Some w -> w
+  | None ->
+      let tsval = get_tsval d in
+      let tsrarray = get_matrix d in
+      let w = Core.Wtuple.make ~tsval ~tsrarray in
+      cache := Some (Bytes.sub d.src start (d.pos - start), w);
+      w
 
 let get_history d =
   let n = get_count d ~what:"history" in
@@ -188,7 +343,7 @@ let get_history d =
 
 type 'm t = {
   name : string;
-  encode : Buffer.t -> 'm -> unit;
+  encode : Out.t -> 'm -> unit;
   decode : dec -> 'm;  (* may raise Fail; callers catch at the boundary *)
 }
 
@@ -197,51 +352,51 @@ type 'm codec = 'm t
 let name c = c.name
 
 let messages : Core.Messages.t t =
-  let encode buf (m : Core.Messages.t) =
+  let encode o (m : Core.Messages.t) =
     match m with
     | Pw { ts; pw; w } ->
-        put_u8 buf 0;
-        put_int buf ts;
-        put_tsval buf pw;
-        put_wtuple buf w
+        out_u8 o 0;
+        out_int o ts;
+        out_tsval o pw;
+        out_wtuple o w
     | Pw_ack { ts; tsr } ->
-        put_u8 buf 1;
-        put_int buf ts;
-        put_int_map buf tsr
+        out_u8 o 1;
+        out_int o ts;
+        out_int_map o tsr
     | W { ts; pw; w } ->
-        put_u8 buf 2;
-        put_int buf ts;
-        put_tsval buf pw;
-        put_wtuple buf w
+        out_u8 o 2;
+        out_int o ts;
+        out_tsval o pw;
+        out_wtuple o w
     | W_ack { ts } ->
-        put_u8 buf 3;
-        put_int buf ts
+        out_u8 o 3;
+        out_int o ts
     | Read1 { tsr; from_ts } ->
-        put_u8 buf 4;
-        put_int buf tsr;
-        put_int buf from_ts
+        out_u8 o 4;
+        out_int o tsr;
+        out_int o from_ts
     | Read2 { tsr; from_ts } ->
-        put_u8 buf 5;
-        put_int buf tsr;
-        put_int buf from_ts
+        out_u8 o 5;
+        out_int o tsr;
+        out_int o from_ts
     | Read1_ack { tsr; pw; w } ->
-        put_u8 buf 6;
-        put_int buf tsr;
-        put_tsval buf pw;
-        put_wtuple buf w
+        out_u8 o 6;
+        out_int o tsr;
+        out_tsval o pw;
+        out_wtuple o w
     | Read2_ack { tsr; pw; w } ->
-        put_u8 buf 7;
-        put_int buf tsr;
-        put_tsval buf pw;
-        put_wtuple buf w
+        out_u8 o 7;
+        out_int o tsr;
+        out_tsval o pw;
+        out_wtuple o w
     | Read1_ack_h { tsr; history } ->
-        put_u8 buf 8;
-        put_int buf tsr;
-        put_history buf history
+        out_u8 o 8;
+        out_int o tsr;
+        out_history o history
     | Read2_ack_h { tsr; history } ->
-        put_u8 buf 9;
-        put_int buf tsr;
-        put_history buf history
+        out_u8 o 9;
+        out_int o tsr;
+        out_history o history
   in
   let decode d : Core.Messages.t =
     match get_u8 d with
@@ -291,31 +446,31 @@ let messages : Core.Messages.t t =
   { name = "core"; encode; decode }
 
 let abd : Baseline.Abd.msg t =
-  let encode buf (m : Baseline.Abd.msg) =
+  let encode o (m : Baseline.Abd.msg) =
     match m with
     | Write_req { ts; v } ->
-        put_u8 buf 0;
-        put_int buf ts;
-        put_value buf v
+        out_u8 o 0;
+        out_int o ts;
+        out_value o v
     | Write_ack { ts } ->
-        put_u8 buf 1;
-        put_int buf ts
+        out_u8 o 1;
+        out_int o ts
     | Read_req { rid } ->
-        put_u8 buf 2;
-        put_int buf rid
+        out_u8 o 2;
+        out_int o rid
     | Read_ack { rid; ts; v } ->
-        put_u8 buf 3;
-        put_int buf rid;
-        put_int buf ts;
-        put_value buf v
+        out_u8 o 3;
+        out_int o rid;
+        out_int o ts;
+        out_value o v
     | Write_back { rid; ts; v } ->
-        put_u8 buf 4;
-        put_int buf rid;
-        put_int buf ts;
-        put_value buf v
+        out_u8 o 4;
+        out_int o rid;
+        out_int o ts;
+        out_value o v
     | Write_back_ack { rid } ->
-        put_u8 buf 5;
-        put_int buf rid
+        out_u8 o 5;
+        out_int o rid
   in
   let decode d : Baseline.Abd.msg =
     match get_u8 d with
@@ -345,12 +500,14 @@ let finish_strict d ~what v =
   else v
 
 let encode_msg c m =
-  let buf = Buffer.create 64 in
-  c.encode buf m;
-  Buffer.contents buf
+  let o = Out.create () in
+  c.encode o m;
+  let s = Out.contents o in
+  Out.recycle o;
+  s
 
 let decode_msg c s =
-  let d = { src = s; pos = 0; limit = String.length s } in
+  let d = { src = Bytes.unsafe_of_string s; pos = 0; limit = String.length s } in
   match finish_strict d ~what:"message" (c.decode d) with
   | m -> Ok m
   | exception Fail e -> Error e
@@ -361,6 +518,7 @@ type 'm frame =
   | Hello of { proto : string; sender : string; obj : int }
   | Hello_ack of { proto : string; obj : int }
   | Msg of 'm
+  | Msg_from of { sender : string; msg : 'm }
   | Err of string
 
 let frame_info ~msg_info = function
@@ -369,6 +527,8 @@ let frame_info ~msg_info = function
   | Hello_ack { proto; obj } ->
       Printf.sprintf "HELLO_ACK(proto=%s,obj=%d)" proto obj
   | Msg m -> msg_info m
+  | Msg_from { sender; msg } ->
+      Printf.sprintf "MSG_FROM(sender=%s,%s)" sender (msg_info msg)
   | Err e -> Printf.sprintf "ERR(%s)" e
 
 let kind_hello = 0
@@ -379,41 +539,56 @@ let kind_msg = 2
 
 let kind_err = 3
 
-let encode_frame c frame =
-  let buf = Buffer.create 64 in
-  (* placeholder for the length prefix, patched below *)
-  Buffer.add_string buf "\000\000\000\000";
-  Buffer.add_char buf magic1;
-  Buffer.add_char buf magic2;
-  put_u8 buf version;
+let kind_msg_from = 4
+
+(* Append one full frame (length prefix included) to the scratch.  The
+   body is encoded in place and the length patched afterwards, so the
+   steady-state cost is the bytes themselves — no intermediate buffer. *)
+let encode_frame_into c (o : Out.t) frame =
+  let start = o.len in
+  Out.ensure o 8;
+  o.len <- start + 4;
+  out_u8 o (Char.code magic1);
+  out_u8 o (Char.code magic2);
+  out_u8 o version;
   (match frame with
   | Hello { proto; sender; obj } ->
-      put_u8 buf kind_hello;
-      put_string buf proto;
-      put_string buf sender;
-      put_int buf obj
+      out_u8 o kind_hello;
+      out_string o proto;
+      out_string o sender;
+      out_int o obj
   | Hello_ack { proto; obj } ->
-      put_u8 buf kind_hello_ack;
-      put_string buf proto;
-      put_int buf obj
+      out_u8 o kind_hello_ack;
+      out_string o proto;
+      out_int o obj
   | Msg m ->
-      put_u8 buf kind_msg;
-      c.encode buf m
+      out_u8 o kind_msg;
+      c.encode o m
+  | Msg_from { sender; msg } ->
+      out_u8 o kind_msg_from;
+      out_string o sender;
+      c.encode o msg
   | Err e ->
-      put_u8 buf kind_err;
-      put_string buf e);
-  let s = Buffer.to_bytes buf in
-  let payload = Bytes.length s - 4 in
-  if payload > max_frame then
-    invalid_arg (Printf.sprintf "Codec.encode_frame: %d-byte frame" payload);
-  Bytes.set_uint8 s 0 ((payload lsr 24) land 0xff);
-  Bytes.set_uint8 s 1 ((payload lsr 16) land 0xff);
-  Bytes.set_uint8 s 2 ((payload lsr 8) land 0xff);
-  Bytes.set_uint8 s 3 (payload land 0xff);
-  Bytes.unsafe_to_string s
+      out_u8 o kind_err;
+      out_string o e);
+  let payload = o.len - start - 4 in
+  if payload > max_frame then begin
+    o.len <- start;
+    invalid_arg (Printf.sprintf "Codec.encode_frame: %d-byte frame" payload)
+  end;
+  Bytes.set_uint8 o.buf start ((payload lsr 24) land 0xff);
+  Bytes.set_uint8 o.buf (start + 1) ((payload lsr 16) land 0xff);
+  Bytes.set_uint8 o.buf (start + 2) ((payload lsr 8) land 0xff);
+  Bytes.set_uint8 o.buf (start + 3) (payload land 0xff)
 
-let decode_payload c s =
-  let d = { src = s; pos = 0; limit = String.length s } in
+let encode_frame c frame =
+  let o = Out.create () in
+  encode_frame_into c o frame;
+  let s = Out.contents o in
+  Out.recycle o;
+  s
+
+let decode_payload_dec c d =
   let go () =
     if get_u8 d <> Char.code magic1 || get_u8 d <> Char.code magic2 then
       fail "bad magic"
@@ -433,6 +608,10 @@ let decode_payload c s =
         Hello_ack { proto; obj }
       end
       else if kind = kind_msg then Msg (c.decode d)
+      else if kind = kind_msg_from then begin
+        let sender = get_string d in
+        Msg_from { sender; msg = c.decode d }
+      end
       else if kind = kind_err then Err (get_string d)
       else fail "bad frame kind %d" kind
     end
@@ -441,24 +620,54 @@ let decode_payload c s =
   | f -> Ok f
   | exception Fail e -> Error e
 
+let decode_payload c s =
+  decode_payload_dec c
+    { src = Bytes.unsafe_of_string s; pos = 0; limit = String.length s }
+
 (* ----- incremental reader ----------------------------------------------- *)
 
 module Reader = struct
   type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
 
-  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+  let create () = { buf = Pool.take Pool.min_cap; start = 0; len = 0 }
 
   let pending r = r.len
+
+  let capacity r = Bytes.length r.buf
+
+  let reset r =
+    r.start <- 0;
+    r.len <- 0;
+    if Bytes.length r.buf > Pool.max_cap then r.buf <- Pool.take Pool.min_cap
+
+  let recycle r =
+    Pool.give r.buf;
+    r.buf <- Bytes.empty;
+    r.start <- 0;
+    r.len <- 0
 
   let make_room r extra =
     if r.start + r.len + extra > Bytes.length r.buf then begin
       let need = r.len + extra in
-      let cap = max (Bytes.length r.buf) 64 in
-      let cap =
-        let rec grow c = if c >= need then c else grow (2 * c) in
-        grow cap
-      in
-      let nb = if cap > Bytes.length r.buf then Bytes.create cap else r.buf in
+      if need <= Bytes.length r.buf then begin
+        (* compact in place *)
+        Bytes.blit r.buf r.start r.buf 0 r.len;
+        r.start <- 0
+      end
+      else begin
+        let nb = Pool.take (max need (2 * Bytes.length r.buf)) in
+        Bytes.blit r.buf r.start nb 0 r.len;
+        Pool.give r.buf;
+        r.buf <- nb;
+        r.start <- 0
+      end
+    end
+
+  (* After a large frame drains, drop back to a pool-class buffer
+     instead of retaining peak capacity for the connection's lifetime. *)
+  let maybe_shrink r =
+    if Bytes.length r.buf > Pool.max_cap && r.len <= Pool.min_cap then begin
+      let nb = Pool.take Pool.min_cap in
       Bytes.blit r.buf r.start nb 0 r.len;
       r.buf <- nb;
       r.start <- 0
@@ -484,13 +693,16 @@ module Reader = struct
       else if n < 4 then Error (Printf.sprintf "frame length %d too short" n)
       else if r.len < 4 + n then Ok `Awaiting
       else begin
-        let payload = Bytes.sub_string r.buf (r.start + 4) n in
+        (* decode in place out of the receive buffer — no payload copy *)
+        let d = { src = r.buf; pos = r.start + 4; limit = r.start + 4 + n } in
         r.start <- r.start + 4 + n;
         r.len <- r.len - 4 - n;
         if r.len = 0 then r.start <- 0;
-        match decode_payload c payload with
-        | Ok f -> Ok (`Frame f)
-        | Error e -> Error e
+        (* decode before shrinking: [d] reads from the current buffer,
+           which must not go back to the (shared) pool underneath it *)
+        let res = decode_payload_dec c d in
+        maybe_shrink r;
+        match res with Ok f -> Ok (`Frame f) | Error e -> Error e
       end
 end
 
@@ -505,10 +717,38 @@ let send fd s =
   in
   go 0
 
-let recv_chunk = 65536
+let flush fd (o : Out.t) =
+  let rec go () =
+    if o.sent < o.len then begin
+      let n = Unix.write fd o.buf o.sent (o.len - o.sent) in
+      o.sent <- o.sent + n;
+      go ()
+    end
+  in
+  go ();
+  Out.clear o;
+  Out.maybe_shrink o
 
-let recv_into fd r =
-  let b = Bytes.create recv_chunk in
-  let n = Unix.read fd b 0 recv_chunk in
-  if n > 0 then Reader.feed r b 0 n;
+let flush_nonblock fd (o : Out.t) =
+  let rec go () =
+    if o.sent >= o.len then begin
+      Out.clear o;
+      Out.maybe_shrink o;
+      `Done
+    end
+    else
+      match Unix.write fd o.buf o.sent (o.len - o.sent) with
+      | n ->
+          o.sent <- o.sent + n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Blocked
+  in
+  go ()
+
+let recv_into fd (r : Reader.t) =
+  let free () = Bytes.length r.buf - r.start - r.len in
+  if free () < 1024 then Reader.make_room r (max 4096 (Bytes.length r.buf));
+  let n = Unix.read fd r.buf (r.start + r.len) (free ()) in
+  if n > 0 then r.len <- r.len + n;
   n

@@ -33,6 +33,39 @@ val max_frame : int
 
 type error = string
 
+(** {2 Encode scratch}
+
+    Each connection owns an [Out]: frames are appended back to back and
+    flushed with a single [write].  Because frames are length-prefixed
+    and self-delimiting, N frames per write is byte-identical to N
+    writes of one frame each — batching is invisible to the peer.  The
+    backing storage comes from a small pooled arena (4–64 KiB power-of-
+    two classes), so steady-state encoding allocates nothing per
+    message; buffers that ballooned for a one-off large frame are
+    dropped back to pool size after the flush. *)
+
+module Out : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+  (** Bytes appended since the last {!clear}. *)
+
+  val pending : t -> int
+  (** Bytes not yet flushed (a partial {!flush_nonblock} consumes a
+      prefix). *)
+
+  val clear : t -> unit
+
+  val contents : t -> string
+  (** Everything appended since the last clear, flushed or not. *)
+
+  val recycle : t -> unit
+  (** Return the backing buffer to the arena.  The scratch stays usable
+      (it re-acquires storage on the next append). *)
+end
+
 (** {2 Per-protocol message codecs} *)
 
 type 'm t
@@ -67,7 +100,12 @@ type 'm frame =
   | Hello_ack of { proto : string; obj : int }
       (** Server's reply: the protocol it hosts and the actual object
           index. *)
-  | Msg of 'm  (** A protocol message. *)
+  | Msg of 'm  (** A protocol message, attributed to the session's sender. *)
+  | Msg_from of { sender : string; msg : 'm }
+      (** A protocol message carrying its sender inline, so one
+          connection can multiplex traffic for many reader automata.
+          Servers reply in kind, echoing [sender], which is how the
+          pipelined client demultiplexes concurrent operations. *)
   | Err of string
       (** Terminal: the peer rejected the session or a frame; the
           connection closes after sending it. *)
@@ -76,6 +114,12 @@ val frame_info : msg_info:('m -> string) -> 'm frame -> string
 
 val encode_frame : 'm t -> 'm frame -> string
 (** Full wire bytes, length prefix included. *)
+
+val encode_frame_into : 'm t -> Out.t -> 'm frame -> unit
+(** Append one full frame (length prefix included) to the scratch; the
+    zero-allocation path used by the runtime.  The bytes appended are
+    exactly {!encode_frame}'s.  @raise Invalid_argument on an oversized
+    frame (the scratch is left unchanged). *)
 
 val decode_payload : 'm t -> string -> ('m frame, error) result
 (** Decode one frame payload (the bytes after the length prefix). *)
@@ -98,18 +142,41 @@ module Reader : sig
   (** Extract the next complete frame, [`Awaiting] if more bytes are
       needed.  An [Error] means the stream is corrupt (bad magic,
       version, oversized length): the connection cannot resynchronize
-      and must be closed. *)
+      and must be closed.  Frames decode in place out of the receive
+      buffer — no per-frame payload copy. *)
 
   val pending : t -> int
   (** Buffered bytes not yet consumed. *)
+
+  val capacity : t -> int
+  (** Current backing-buffer size.  The buffer grows for large frames
+      and shrinks back to a pool-class size once they drain, so a
+      single oversized frame does not pin peak capacity forever. *)
+
+  val reset : t -> unit
+  (** Discard buffered bytes (a reconnect starts a fresh stream). *)
+
+  val recycle : t -> unit
+  (** Return the backing buffer to the arena; the reader stays usable. *)
 end
 
-(** {2 Blocking socket helpers} *)
+(** {2 Socket helpers} *)
 
 val send : Unix.file_descr -> string -> unit
 (** Write the whole string (retrying short writes).
     @raise Unix.Unix_error like [Unix.write]. *)
 
+val flush : Unix.file_descr -> Out.t -> unit
+(** Write everything buffered in the scratch (retrying short writes),
+    then clear it.  One [flush] after N {!encode_frame_into}s is the
+    batched send path.  @raise Unix.Unix_error like [Unix.write]. *)
+
+val flush_nonblock : Unix.file_descr -> Out.t -> [ `Done | `Blocked ]
+(** Non-blocking flush for event-loop servers: writes as much as the
+    socket accepts; [`Blocked] leaves the unsent suffix pending.
+    @raise Unix.Unix_error on hard errors (not EAGAIN). *)
+
 val recv_into : Unix.file_descr -> Reader.t -> int
-(** Read one chunk into the reader; returns the byte count, 0 at EOF.
+(** Read one chunk directly into the reader's buffer (no intermediate
+    allocation); returns the byte count, 0 at EOF.
     @raise Unix.Unix_error like [Unix.read]. *)

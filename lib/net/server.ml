@@ -1,5 +1,7 @@
 type stats = { connections : int; messages : int }
 
+type loop = [ `Threads | `Poll ]
+
 type t = {
   endpoint : Endpoint.t;
   index : int;
@@ -16,21 +18,41 @@ let ignore_sigpipe =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ())
 
+(* In-place decimal parse of "r<n>"/"s<n>" suffixes: this runs once per
+   [Msg_from] on the hot path, so no [String.sub] allocation. *)
+let id_of_suffix s =
+  let len = String.length s in
+  let rec go i acc =
+    if i >= len then acc
+    else
+      match s.[i] with
+      | '0' .. '9' when acc < 0x3FFFFFF ->
+          go (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0'))
+      | _ -> -1
+  in
+  if len < 2 then -1 else go 1 0
+
 let proc_of_string s =
   if s = "w" then Some Sim.Proc_id.Writer
-  else
-    let indexed c mk =
-      if String.length s >= 2 && s.[0] = c then
-        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-        | Some n when n >= 1 -> Some (mk n)
-        | _ -> None
-      else None
-    in
-    match indexed 'r' (fun n -> Sim.Proc_id.Reader n) with
-    | Some _ as p -> p
-    | None -> indexed 's' (fun n -> Sim.Proc_id.Obj n)
+  else if String.length s >= 2 then
+    match s.[0] with
+    | 'r' -> (
+        match id_of_suffix s with
+        | n when n >= 1 -> Some (Sim.Proc_id.Reader n)
+        | _ -> None)
+    | 's' -> (
+        match id_of_suffix s with
+        | n when n >= 1 -> Some (Sim.Proc_id.Obj n)
+        | _ -> None)
+    | _ -> None
+  else None
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Reply batches must not sit in Nagle's buffer waiting for a delayed
+   ACK; harmless no-op on Unix-domain sockets. *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
 
 let listen_on endpoint =
   Endpoint.cleanup endpoint;
@@ -54,7 +76,341 @@ let listen_on endpoint =
   in
   (fd, actual)
 
-let start ?metrics ~protocol ~cfg ~index endpoint =
+(* ===== poll event loop =================================================== *)
+
+(* One connection in a poll group: nonblocking fd, its own incremental
+   Reader and outbound scratch.  [gclosing] marks a session that ends
+   once its pending bytes flush (terminal [Err], received [Err]). *)
+type gconn = {
+  gfd : Unix.file_descr;
+  gobj : int;  (* slot in the group's arrays, 0-based *)
+  greader : Codec.Reader.t;
+  gout : Codec.Out.t;
+  mutable gsrc : Sim.Proc_id.t option;
+  mutable gclosing : bool;
+}
+
+(* All base objects of a cluster in ONE event-loop thread: nonblocking
+   accepts/reads/writes multiplexed by [select], state machines stepped
+   inline (no per-object lock needed — the loop is the only toucher).
+   Each returned handle keeps the thread-server semantics: independent
+   stop/crash/restart per object; the loop thread exits when the last
+   object stops and is respawned by the first restart. *)
+let start_group ?metrics ?indices ~protocol ~cfg endpoints =
+  Lazy.force ignore_sigpipe;
+  let (Protocols.Packed { proto = (module P); codec }) = protocol in
+  let s = Array.length endpoints in
+  if s = 0 then invalid_arg "Server.start_group: no endpoints";
+  let indices =
+    match indices with
+    | None -> Array.init s (fun i -> i + 1)
+    | Some a ->
+        if Array.length a <> s then
+          invalid_arg "Server.start_group: indices/endpoints length mismatch";
+        a
+  in
+  let reg_for i = match metrics with None -> None | Some f -> Some (f i) in
+  let count i name =
+    match reg_for i with None -> () | Some reg -> Obs.Metrics.incr reg name
+  in
+  let meter i stage m =
+    match reg_for i with
+    | None -> ()
+    | Some reg ->
+        Obs.Metrics.incr reg
+          ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+  in
+  let fresh i = P.obj_init ~cfg ~index:indices.(i) in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let locked f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+  in
+  let objs = Array.init s (fun i -> ref (fresh i)) in
+  let listeners = Array.make s None in
+  let actuals = Array.copy endpoints in
+  (try
+     Array.iteri
+       (fun i ep ->
+         let fd, actual = listen_on ep in
+         listeners.(i) <- Some fd;
+         actuals.(i) <- actual)
+       endpoints
+   with e ->
+     Array.iter (function Some fd -> close_quietly fd | None -> ()) listeners;
+     raise e);
+  let alive = Array.make s true in
+  let stop_req = Array.make s None in
+  let connections = Array.make s 0 in
+  let messages = Array.make s 0 in
+  let conns : (Unix.file_descr, gconn) Hashtbl.t = Hashtbl.create 16 in
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_rd;
+  let wake () =
+    try ignore (Unix.write wake_wr (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let loop_alive = ref false in
+  (* Everything below runs in the loop thread with the lock held. *)
+  let close_conn c =
+    Hashtbl.remove conns c.gfd;
+    Codec.Reader.recycle c.greader;
+    Codec.Out.recycle c.gout;
+    close_quietly c.gfd
+  in
+  let append_frame c fr = Codec.encode_frame_into codec c.gout fr in
+  let try_flush c =
+    if Codec.Out.pending c.gout > 0 then (
+      match Codec.flush_nonblock c.gfd c.gout with
+      | `Done -> if c.gclosing then close_conn c
+      | `Blocked -> ()
+      | exception Unix.Unix_error _ -> close_conn c)
+    else if c.gclosing then close_conn c
+  in
+  let deliver c ~src ~wrap m =
+    let i = c.gobj in
+    let obj', reply = P.obj_handle !(objs.(i)) ~src m in
+    objs.(i) := obj';
+    messages.(i) <- messages.(i) + 1;
+    count i "net.server.messages";
+    meter i "delivered" m;
+    match reply with
+    | Some r ->
+        meter i "sent" r;
+        append_frame c (wrap r)
+    | None -> ()
+  in
+  let on_frame c = function
+    | Codec.Hello { proto; sender; obj = dialed } ->
+        let fail msg =
+          append_frame c (Codec.Err msg);
+          c.gclosing <- true
+        in
+        let index = indices.(c.gobj) in
+        if proto <> P.name then
+          fail
+            (Printf.sprintf "server hosts protocol %s, client speaks %s" P.name
+               proto)
+        else if dialed <> 0 && dialed <> index then
+          fail
+            (Printf.sprintf "server hosts object %d, client dialed %d" index
+               dialed)
+        else (
+          match proc_of_string sender with
+          | None -> fail (Printf.sprintf "invalid sender %S" sender)
+          | Some p ->
+              c.gsrc <- Some p;
+              append_frame c (Codec.Hello_ack { proto = P.name; obj = index }))
+    | Codec.Msg m -> (
+        match c.gsrc with
+        | None ->
+            append_frame c (Codec.Err "protocol message before hello");
+            c.gclosing <- true
+        | Some src -> deliver c ~src ~wrap:(fun r -> Codec.Msg r) m)
+    | Codec.Msg_from { sender; msg } -> (
+        match c.gsrc with
+        | None ->
+            append_frame c (Codec.Err "protocol message before hello");
+            c.gclosing <- true
+        | Some _ -> (
+            match proc_of_string sender with
+            | None ->
+                append_frame c
+                  (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                c.gclosing <- true
+            | Some src ->
+                deliver c ~src
+                  ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
+                  msg))
+    | Codec.Hello_ack _ ->
+        append_frame c (Codec.Err "unexpected hello_ack");
+        c.gclosing <- true
+    | Codec.Err _ -> c.gclosing <- true
+  in
+  let handle_readable c =
+    match Codec.recv_into c.gfd c.greader with
+    | 0 -> close_conn c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn c
+    | _ ->
+        let rec drain () =
+          if (not c.gclosing) && Hashtbl.mem conns c.gfd then
+            match Codec.Reader.next codec c.greader with
+            | Ok `Awaiting -> ()
+            | Ok (`Frame f) ->
+                on_frame c f;
+                drain ()
+            | Error e ->
+                count c.gobj "net.server.decode_errors";
+                append_frame c (Codec.Err e);
+                c.gclosing <- true
+        in
+        drain ();
+        if Hashtbl.mem conns c.gfd then try_flush c
+  in
+  let handle_accept i lfd =
+    match Unix.accept lfd with
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+            ),
+            _,
+            _ ) ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> close_quietly fd);
+        set_nodelay fd;
+        connections.(i) <- connections.(i) + 1;
+        count i "net.server.connections";
+        Hashtbl.replace conns fd
+          {
+            gfd = fd;
+            gobj = i;
+            greader = Codec.Reader.create ();
+            gout = Codec.Out.create ();
+            gsrc = None;
+            gclosing = false;
+          }
+  in
+  let process_stop_requests () =
+    Array.iteri
+      (fun i req ->
+        match req with
+        | None -> ()
+        | Some mode ->
+            stop_req.(i) <- None;
+            (match listeners.(i) with
+            | Some fd ->
+                close_quietly fd;
+                listeners.(i) <- None;
+                Endpoint.cleanup actuals.(i)
+            | None -> ());
+            Hashtbl.fold
+              (fun _ c acc -> if c.gobj = i then c :: acc else acc)
+              conns []
+            |> List.iter (fun c ->
+                   (* Graceful lets already-queued replies out if the
+                      socket will take them right now; it never waits on
+                      a stuck peer. *)
+                   (if mode = `Graceful && Codec.Out.pending c.gout > 0 then
+                      try ignore (Codec.flush_nonblock c.gfd c.gout)
+                      with Unix.Unix_error _ -> ());
+                   close_conn c);
+            alive.(i) <- false;
+            Condition.broadcast cond)
+      stop_req
+  in
+  let wake_buf = Bytes.create 64 in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read wake_rd wake_buf 0 64 with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+      | 0 -> ()
+      | _ -> go ()
+    in
+    go ()
+  in
+  let loop () =
+    let rec iter () =
+      let sets =
+        locked (fun () ->
+            process_stop_requests ();
+            if Array.exists Fun.id alive then begin
+              let rds = ref [ wake_rd ] and wrs = ref [] in
+              Array.iter
+                (function Some fd -> rds := fd :: !rds | None -> ())
+                listeners;
+              Hashtbl.iter
+                (fun fd c ->
+                  rds := fd :: !rds;
+                  if Codec.Out.pending c.gout > 0 then wrs := fd :: !wrs)
+                conns;
+              Some (!rds, !wrs)
+            end
+            else begin
+              loop_alive := false;
+              None
+            end)
+      in
+      match sets with
+      | None -> ()
+      | Some (rds, wrs) ->
+          (match Unix.select rds wrs [] 0.5 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+          | rready, wready, _ ->
+              locked (fun () ->
+                  if List.mem wake_rd rready then drain_wake ();
+                  Array.iteri
+                    (fun i l ->
+                      match l with
+                      | Some fd when List.mem fd rready -> handle_accept i fd
+                      | _ -> ())
+                    listeners;
+                  List.iter
+                    (fun fd ->
+                      match Hashtbl.find_opt conns fd with
+                      | Some c -> handle_readable c
+                      | None -> ())
+                    rready;
+                  List.iter
+                    (fun fd ->
+                      match Hashtbl.find_opt conns fd with
+                      | Some c -> try_flush c
+                      | None -> ())
+                    wready));
+          iter ()
+    in
+    iter ()
+  in
+  let request_stop i ~graceful =
+    locked (fun () ->
+        if alive.(i) then begin
+          stop_req.(i) <- Some (if graceful then `Graceful else `Crash);
+          wake ();
+          while alive.(i) do
+            Condition.wait cond mutex
+          done
+        end)
+  in
+  let rec handle_of i =
+    {
+      endpoint = actuals.(i);
+      index = indices.(i);
+      alive_ = (fun () -> locked (fun () -> alive.(i)));
+      stats_ =
+        (fun () ->
+          locked (fun () ->
+              { connections = connections.(i); messages = messages.(i) }));
+      stop_ = (fun ~graceful -> request_stop i ~graceful);
+      restart_ = (fun ~wipe -> restart_obj i ~wipe);
+    }
+  and restart_obj i ~wipe =
+    locked (fun () ->
+        if alive.(i) then invalid_arg "Server.restart: server still alive";
+        if wipe then objs.(i) := fresh i;
+        let fd, actual = listen_on actuals.(i) in
+        listeners.(i) <- Some fd;
+        actuals.(i) <- actual;
+        alive.(i) <- true;
+        if not !loop_alive then begin
+          loop_alive := true;
+          ignore (Thread.create loop ())
+        end
+        else wake ());
+    handle_of i
+  in
+  loop_alive := true;
+  ignore (Thread.create loop ());
+  Array.init s handle_of
+
+(* ===== thread-per-connection server ====================================== *)
+
+let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
   Lazy.force ignore_sigpipe;
   let (Protocols.Packed { proto = (module P); codec }) = protocol in
   let fresh () = P.obj_init ~cfg ~index in
@@ -84,24 +440,42 @@ let start ?metrics ~protocol ~cfg ~index endpoint =
       | None -> ()
       | Some reg -> Obs.Metrics.incr reg name
     in
-    let send_frame fd fr =
-      try Codec.send fd (Codec.encode_frame codec fr)
-      with Unix.Unix_error _ -> ()
-    in
     let handle_conn fd =
       let reader = Codec.Reader.create () in
+      (* Replies accumulate here during one drain and go out in a single
+         write: frames are self-delimiting, so the peer cannot tell — but
+         a pipelined client draining K acks per read round can. *)
+      let out = Codec.Out.create () in
+      let append fr = Codec.encode_frame_into codec out fr in
+      let flush_out () =
+        if Codec.Out.pending out > 0 then
+          try Codec.flush fd out with Unix.Unix_error _ -> Codec.Out.clear out
+      in
       let src = ref None in
+      let deliver ~src:s ~wrap m =
+        let reply =
+          locked (fun () ->
+              let obj', reply = P.obj_handle !obj ~src:s m in
+              obj := obj';
+              incr messages;
+              count "net.server.messages";
+              meter "delivered" m;
+              Option.iter (meter "sent") reply;
+              reply)
+        in
+        match reply with Some r -> append (wrap r) | None -> ()
+      in
       let on_frame = function
         | Codec.Hello { proto; sender; obj = dialed } ->
             if proto <> P.name then begin
-              send_frame fd
+              append
                 (Codec.Err
                    (Printf.sprintf
                       "server hosts protocol %s, client speaks %s" P.name proto));
               `Close
             end
             else if dialed <> 0 && dialed <> index then begin
-              send_frame fd
+              append
                 (Codec.Err
                    (Printf.sprintf "server hosts object %d, client dialed %d"
                       index dialed));
@@ -110,35 +484,38 @@ let start ?metrics ~protocol ~cfg ~index endpoint =
             else (
               match proc_of_string sender with
               | None ->
-                  send_frame fd
-                    (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                  append (Codec.Err (Printf.sprintf "invalid sender %S" sender));
                   `Close
               | Some p ->
                   src := Some p;
-                  send_frame fd (Codec.Hello_ack { proto = P.name; obj = index });
+                  append (Codec.Hello_ack { proto = P.name; obj = index });
                   `Continue)
         | Codec.Msg m -> (
             match !src with
             | None ->
-                send_frame fd (Codec.Err "protocol message before hello");
+                append (Codec.Err "protocol message before hello");
                 `Close
             | Some s ->
-                let reply =
-                  locked (fun () ->
-                      let obj', reply = P.obj_handle !obj ~src:s m in
-                      obj := obj';
-                      incr messages;
-                      count "net.server.messages";
-                      meter "delivered" m;
-                      Option.iter (meter "sent") reply;
-                      reply)
-                in
-                (match reply with
-                | Some r -> send_frame fd (Codec.Msg r)
-                | None -> ());
+                deliver ~src:s ~wrap:(fun r -> Codec.Msg r) m;
                 `Continue)
+        | Codec.Msg_from { sender; msg } -> (
+            match !src with
+            | None ->
+                append (Codec.Err "protocol message before hello");
+                `Close
+            | Some _ -> (
+                match proc_of_string sender with
+                | None ->
+                    append
+                      (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                    `Close
+                | Some s ->
+                    deliver ~src:s
+                      ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
+                      msg;
+                    `Continue))
         | Codec.Hello_ack _ ->
-            send_frame fd (Codec.Err "unexpected hello_ack");
+            append (Codec.Err "unexpected hello_ack");
             `Close
         | Codec.Err _ -> `Close
       in
@@ -151,16 +528,21 @@ let start ?metrics ~protocol ~cfg ~index endpoint =
             (* Strict decoding: a corrupt frame poisons the whole stream;
                report and drop the session. *)
             locked (fun () -> count "net.server.decode_errors");
-            send_frame fd (Codec.Err e);
+            append (Codec.Err e);
             `Close
       in
       let rec loop () =
         match Codec.recv_into fd reader with
         | 0 -> ()
         | exception Unix.Unix_error _ -> ()
-        | _ -> ( match drain () with `Close -> () | `Continue -> loop ())
+        | _ ->
+            let verdict = drain () in
+            flush_out ();
+            (match verdict with `Close -> () | `Continue -> loop ())
       in
       loop ();
+      Codec.Reader.recycle reader;
+      Codec.Out.recycle out;
       locked (fun () -> Hashtbl.remove conns fd);
       close_quietly fd
     in
@@ -176,6 +558,7 @@ let start ?metrics ~protocol ~cfg ~index endpoint =
                 accept_loop ()
             | exception Unix.Unix_error _ -> ()
             | fd, _ ->
+                set_nodelay fd;
                 locked (fun () ->
                     incr connections;
                     count "net.server.connections";
@@ -230,6 +613,24 @@ let start ?metrics ~protocol ~cfg ~index endpoint =
     }
   in
   go (fresh ()) endpoint
+
+let start ?metrics ?(loop = `Threads) ~protocol ~cfg ~index endpoint =
+  match loop with
+  | `Threads -> start_threaded ?metrics ~protocol ~cfg ~index endpoint
+  | `Poll ->
+      let group =
+        start_group
+          ?metrics:(Option.map (fun reg _ -> reg) metrics)
+          ~indices:[| index |] ~protocol ~cfg [| endpoint |]
+      in
+      group.(0)
+
+let loop_of_string = function
+  | "threads" -> Some `Threads
+  | "poll" -> Some `Poll
+  | _ -> None
+
+let loop_to_string = function `Threads -> "threads" | `Poll -> "poll"
 
 let endpoint t = t.endpoint
 

@@ -26,8 +26,19 @@ type stats = {
   messages : int;  (** protocol messages handled *)
 }
 
+type loop = [ `Threads | `Poll ]
+(** Connection-handling strategy: [`Threads] is the thread-per-connection
+    default; [`Poll] multiplexes every connection (and, with
+    {!start_group}, every object) onto one [select]-driven event-loop
+    thread with nonblocking sockets. *)
+
+val loop_of_string : string -> loop option
+
+val loop_to_string : loop -> string
+
 val start :
   ?metrics:Obs.Metrics.t ->
+  ?loop:loop ->
   protocol:Protocols.t ->
   cfg:Quorum.Config.t ->
   index:int ->
@@ -37,7 +48,26 @@ val start :
     an ephemeral port; {!endpoint} reports the actual one.  With
     [metrics], the registry accumulates [net.server.*] counters and
     per-class [wire.*] counters compatible with the simulator's.
+    [loop] (default [`Threads]) picks the connection-handling strategy.
     @raise Unix.Unix_error if the endpoint cannot be bound. *)
+
+val start_group :
+  ?metrics:(int -> Obs.Metrics.t) ->
+  ?indices:int array ->
+  protocol:Protocols.t ->
+  cfg:Quorum.Config.t ->
+  Endpoint.t array ->
+  t array
+(** Host all the base objects of a cluster in {e one} poll-based
+    event-loop thread: element [i] serves object [indices.(i)] (default
+    [i+1]) on [endpoints.(i)].  The wire behaviour is identical to [s]
+    thread-per-connection servers — same [Hello] validation, same
+    replies — so clients cannot tell the modes apart.  Each returned
+    handle stops/crashes/restarts its object independently; the loop
+    thread exits when the last object stops and is respawned by the
+    first {!restart}.  [metrics] maps a 0-based slot to its registry.
+    @raise Unix.Unix_error if an endpoint cannot be bound (all bound
+    listeners are closed). *)
 
 val endpoint : t -> Endpoint.t
 (** The bound address (ephemeral TCP ports resolved). *)

@@ -137,6 +137,8 @@ let latency_bounds =
 let wallclock_bounds =
   [| 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1_000.0; 10_000.0; 100_000.0 |]
 
+let batch_bounds = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;

@@ -85,6 +85,9 @@ val latency_bounds : float array
 val wallclock_bounds : float array
 (** Microseconds of host wall-clock per simulated event. *)
 
+val batch_bounds : float array
+(** Frames coalesced into one socket write ([wire.batch_size]). *)
+
 (** {2 Registry} *)
 
 type t

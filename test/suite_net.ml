@@ -274,6 +274,165 @@ let concurrent_readers_are_safe () =
       Alcotest.(check bool) "concurrent live history is safe" true
         (Histories.Checks.is_safe ~equal:String.equal history))
 
+(* ----- pipelined reads (ISSUE 5) ----------------------------------------- *)
+
+let pipelined_chaos_zero_failures () =
+  (* max_inflight = 16 across a server crash and restart, the crash
+     landing mid-batch from another thread: every op must complete and
+     the recorded history (with its real concurrency) must check out. *)
+  let c =
+    Net.Cluster.start ~metrics:true ~protocol:Net.Protocols.safe ~cfg:cfg4
+      ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "durable")) in
+      let failures = ref 0 in
+      let run n =
+        Net.Cluster.read_pipelined c ~inflight:16 ~ops:n
+        |> Array.iteri (fun k -> function
+             | Ok o ->
+                 if value_of o <> "durable" then begin
+                   incr failures;
+                   Format.eprintf "pipelined read %d returned %s@." k
+                     (value_of o)
+                 end
+             | Error e ->
+                 incr failures;
+                 Format.eprintf "pipelined read %d failed: %s@." k e)
+      in
+      let chaos =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.005;
+            Net.Cluster.crash c 3;
+            Thread.delay 0.05;
+            Net.Cluster.restart c 3)
+          ()
+      in
+      run 600;
+      Thread.join chaos;
+      (* and a batch with the full quorum back *)
+      run 100;
+      Alcotest.(check int) "zero failed pipelined ops" 0 !failures;
+      Alcotest.(check (list int)) "all servers back up" [ 1; 2; 3; 4 ]
+        (Net.Cluster.alive c);
+      let history = Net.Cluster.history c in
+      Alcotest.(check int) "ops recorded" 701 (List.length history);
+      Alcotest.(check bool) "pipelined history safe" true
+        (Histories.Checks.is_safe ~equal:String.equal history);
+      Alcotest.(check bool) "pipelined history regular" true
+        (Histories.Checks.is_regular ~equal:String.equal history);
+      match Net.Cluster.metrics c with
+      | None -> Alcotest.fail "metrics requested but absent"
+      | Some reg ->
+          let table = Stats.Table.to_string (Obs.Metrics.table reg) in
+          List.iter
+            (fun needle ->
+              if not (contains table needle) then
+                Alcotest.failf "metric %s missing from:@.%s" needle table)
+            [ "wire.batch_size"; "wire.flush_us"; "op.read.completed" ])
+
+let pipelined_byzantine_silent () =
+  (* one Byzantine-silent endpoint, 16 ops in flight: the window must
+     not let the mute object starve any of them *)
+  let cfg = Quorum.Config.make_exn ~s:4 ~t:1 ~b:1 in
+  let protocol = Net.Protocols.safe in
+  let servers =
+    List.init 3 (fun i ->
+        Net.Server.start ~protocol ~cfg ~index:(i + 1)
+          (Net.Endpoint.Tcp { host = "127.0.0.1"; port = 0 }))
+  in
+  let silent_ep, silent_cleanup = silent_listener () in
+  Fun.protect
+    ~finally:(fun () ->
+      silent_cleanup ();
+      List.iter Net.Server.stop servers)
+    (fun () ->
+      let endpoints =
+        Array.of_list (List.map Net.Server.endpoint servers @ [ silent_ep ])
+      in
+      let writer = Net.Client.connect ~protocol ~cfg ~role:`Writer endpoints in
+      let mux =
+        Net.Client.Mux.connect ~protocol ~cfg ~readers:16 ~max_inflight:16
+          endpoints
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close writer;
+          Net.Client.Mux.close mux)
+        (fun () ->
+          let _ =
+            ok_exn "write despite silent object"
+              (Net.Client.write writer (Core.Value.v "loud"))
+          in
+          let results = Net.Client.Mux.run_reads mux 200 in
+          let failures = ref 0 in
+          Array.iter
+            (function
+              | Ok o ->
+                  if
+                    (match o.Net.Client.value with
+                    | Some v -> Core.Value.to_string v
+                    | None -> "?")
+                    <> "loud"
+                  then incr failures
+              | Error _ -> incr failures)
+            results;
+          Alcotest.(check int) "zero failed ops despite silent endpoint" 0
+            !failures))
+
+let pipelined_matches_serial () =
+  (* same cluster, same value: the pipelined path must return exactly
+     what the serial client returns, op for op *)
+  let c = Net.Cluster.start ~protocol:Net.Protocols.regular ~cfg:cfg4 ~readers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "same")) in
+      let serial = List.init 20 (fun _ ->
+          value_of (ok_exn "serial read" (Net.Cluster.read c ~reader:1)))
+      in
+      let piped =
+        Net.Cluster.read_pipelined c ~inflight:4 ~ops:20
+        |> Array.to_list
+        |> List.map (fun r -> value_of (ok_exn "pipelined read" r))
+      in
+      Alcotest.(check (list string)) "pipelined values match serial" serial piped)
+
+(* ----- poll event-loop server mode ---------------------------------------- *)
+
+let poll_loop_cluster () =
+  (* all four objects hosted by one select-driven thread; wire behaviour
+     (including crash/restart and pipelining) must be indistinguishable *)
+  let c =
+    Net.Cluster.start ~loop:`Poll ~protocol:Net.Protocols.safe ~cfg:cfg4
+      ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "poll")) in
+      let o = ok_exn "read" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "value over poll loop" "poll" (value_of o);
+      Net.Cluster.crash c 2;
+      Alcotest.(check (list int)) "one down" [ 1; 3; 4 ] (Net.Cluster.alive c);
+      let o = ok_exn "read with s2 down" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "quorum absorbs the crash" "poll" (value_of o);
+      Net.Cluster.restart c 2;
+      Alcotest.(check (list int)) "all back" [ 1; 2; 3; 4 ]
+        (Net.Cluster.alive c);
+      let failures = ref 0 in
+      Net.Cluster.read_pipelined c ~inflight:8 ~ops:200
+      |> Array.iter (function
+           | Ok o -> if value_of o <> "poll" then incr failures
+           | Error _ -> incr failures);
+      Alcotest.(check int) "pipelined over poll loop: zero failures" 0
+        !failures;
+      Alcotest.(check bool) "history safe" true
+        (Histories.Checks.is_safe ~equal:String.equal (Net.Cluster.history c)))
+
 (* ----- TCP transport ----------------------------------------------------- *)
 
 let tcp_transport_works () =
@@ -308,4 +467,11 @@ let suite =
       Alcotest.test_case "concurrent readers over live sockets stay safe" `Quick
         concurrent_readers_are_safe;
       Alcotest.test_case "TCP loopback transport" `Quick tcp_transport_works;
+      Alcotest.test_case "pipelined reads under chaos (inflight=16)" `Slow
+        pipelined_chaos_zero_failures;
+      Alcotest.test_case "pipelined reads with Byzantine-silent endpoint"
+        `Quick pipelined_byzantine_silent;
+      Alcotest.test_case "pipelined results match serial" `Quick
+        pipelined_matches_serial;
+      Alcotest.test_case "poll event-loop server mode" `Quick poll_loop_cluster;
     ] )

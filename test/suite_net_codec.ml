@@ -148,6 +148,9 @@ let frame_equal eq a b =
   | Hello_ack { proto; obj }, Hello_ack { proto = p'; obj = o' } ->
       proto = p' && obj = o'
   | Msg m, Msg m' -> eq m m'
+  | ( Msg_from { sender; msg },
+      Msg_from { sender = s'; msg = m' } ) ->
+      sender = s' && eq msg m'
   | Err e, Err e' -> e = e'
   | _ -> false
 
@@ -165,6 +168,10 @@ let gen_frame =
           (string_size (0 -- 12))
           (0 -- 8);
         map (fun m -> Net.Codec.Msg m) gen_msg;
+        map2
+          (fun sender msg -> Net.Codec.Msg_from { sender; msg })
+          (string_size (0 -- 6))
+          gen_msg;
         map (fun e -> Net.Codec.Err e) (string_size (0 -- 40));
       ])
 
@@ -309,6 +316,90 @@ let reader_survives_garbage =
       in
       drain 64)
 
+(* ----- frame batching (ISSUE 5) ------------------------------------------ *)
+
+(* Frames are length-prefixed and self-delimiting, so appending N frames
+   to one scratch and writing them in a single flush must put exactly
+   the same bytes on the wire as N separate encodes — and a Reader fed
+   the batched bytes must yield the same frames.  This is the whole
+   wire-compatibility argument for batching. *)
+let batched_equals_unbatched =
+  QCheck.Test.make
+    ~name:"batched framing is byte-identical to unbatched and decodes the same"
+    ~count:300
+    QCheck.(list_of_size Gen.(0 -- 8) arb_frame)
+    (fun frames ->
+      let unbatched =
+        String.concat ""
+          (List.map (Net.Codec.encode_frame Net.Codec.messages) frames)
+      in
+      let out = Net.Codec.Out.create () in
+      List.iter (Net.Codec.encode_frame_into Net.Codec.messages out) frames;
+      let batched = Net.Codec.Out.contents out in
+      if not (String.equal batched unbatched) then
+        QCheck.Test.fail_reportf "batched bytes differ (%d vs %d bytes)"
+          (String.length batched) (String.length unbatched)
+      else begin
+        let r = Net.Codec.Reader.create () in
+        feed_string r batched;
+        let rec drain acc =
+          match Net.Codec.Reader.next Net.Codec.messages r with
+          | Ok (`Frame f) -> drain (f :: acc)
+          | Ok `Awaiting -> List.rev acc
+          | Error e -> QCheck.Test.fail_reportf "reader error: %s" e
+        in
+        let got = drain [] in
+        List.length got = List.length frames
+        && List.for_all2 (frame_equal msg_equal) frames got
+        && Net.Codec.Reader.pending r = 0
+      end)
+
+(* The scratch survives clears: reusing one [Out] across batches must
+   not leak bytes between them. *)
+let out_reuse_is_clean =
+  QCheck.Test.make ~name:"Out scratch reuse leaks nothing across clears"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 4) arb_frame) (list_of_size Gen.(1 -- 4) arb_frame))
+    (fun (first, second) ->
+      let out = Net.Codec.Out.create () in
+      List.iter (Net.Codec.encode_frame_into Net.Codec.messages out) first;
+      Net.Codec.Out.clear out;
+      List.iter (Net.Codec.encode_frame_into Net.Codec.messages out) second;
+      String.equal
+        (Net.Codec.Out.contents out)
+        (String.concat ""
+           (List.map (Net.Codec.encode_frame Net.Codec.messages) second)))
+
+let reader_shrinks_after_large_frame () =
+  (* a single huge frame must not pin the reader's peak capacity: once
+     it drains, the buffer drops back to a pool-class size *)
+  let big = Net.Codec.Err (String.make 200_000 'x') in
+  let small = Net.Codec.Err "tiny" in
+  let r = Net.Codec.Reader.create () in
+  let baseline = Net.Codec.Reader.capacity r in
+  feed_string r (Net.Codec.encode_frame Net.Codec.messages big);
+  Alcotest.(check bool) "buffer grew for the large frame" true
+    (Net.Codec.Reader.capacity r > baseline);
+  (match Net.Codec.Reader.next Net.Codec.messages r with
+  | Ok (`Frame (Net.Codec.Err s)) ->
+      Alcotest.(check int) "large frame intact" 200_000 (String.length s)
+  | _ -> Alcotest.fail "large frame did not decode");
+  (* the shrink happens on the next extraction once the buffer is idle *)
+  feed_string r (Net.Codec.encode_frame Net.Codec.messages small);
+  (match Net.Codec.Reader.next Net.Codec.messages r with
+  | Ok (`Frame (Net.Codec.Err s)) -> Alcotest.(check string) "small frame intact" "tiny" s
+  | _ -> Alcotest.fail "small frame did not decode");
+  Alcotest.(check bool)
+    (Printf.sprintf "capacity back to pool class (%d)"
+       (Net.Codec.Reader.capacity r))
+    true
+    (Net.Codec.Reader.capacity r <= 65536);
+  (* and the shrunken reader still works *)
+  feed_string r (Net.Codec.encode_frame Net.Codec.messages small);
+  match Net.Codec.Reader.next Net.Codec.messages r with
+  | Ok (`Frame (Net.Codec.Err s)) -> Alcotest.(check string) "still decodes" "tiny" s
+  | _ -> Alcotest.fail "reader broken after shrink"
+
 (* ----- deterministic edge cases ----------------------------------------- *)
 
 let oversized_rejected () =
@@ -355,6 +446,10 @@ let suite =
       QCheck_alcotest.to_alcotest mutation_decode;
       QCheck_alcotest.to_alcotest reader_reassembles;
       QCheck_alcotest.to_alcotest reader_survives_garbage;
+      QCheck_alcotest.to_alcotest batched_equals_unbatched;
+      QCheck_alcotest.to_alcotest out_reuse_is_clean;
+      Alcotest.test_case "Reader shrinks after a large frame" `Quick
+        reader_shrinks_after_large_frame;
       Alcotest.test_case "oversized length prefix rejected" `Quick oversized_rejected;
       Alcotest.test_case "bad magic rejected" `Quick bad_magic_rejected;
       Alcotest.test_case "future version rejected" `Quick bad_version_rejected;
