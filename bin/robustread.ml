@@ -638,14 +638,47 @@ let chaos_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Do not minimize failure witnesses.")
   in
-  let run protocol t b seeds plans budget no_shrink metrics artifacts jobs =
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("live", `Live) ]) `Sim
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Execution backend: $(b,sim) runs plans in the deterministic \
+             simulator; $(b,live) injects the same plans into a real socket \
+             cluster through per-object fault interposers (crashes become \
+             real process restarts, partitions become dropped frames).")
+  in
+  let tick_arg =
+    Arg.(
+      value
+      & opt int Net.Live.default_opts.tick_us
+      & info [ "tick-us" ] ~docv:"US"
+          ~doc:
+            "Live backend pacing: wall-clock microseconds per virtual plan \
+             tick.")
+  in
+  let run protocol t b seeds plans budget no_shrink backend tick_us metrics
+      artifacts jobs =
     (* Same validator as run/check; the campaign's own configurations are
        per-protocol, with naive-fast deliberately under-provisioned. *)
     let _ = config ~s:None ~t ~b () in
+    let live = backend = `Live in
     let protocols =
       match protocol with
-      | Some p -> [ p ]
-      | None -> Fault.Campaign.all_protocols
+      | Some p ->
+          if live && not (List.mem p Net.Live.supported) then begin
+            Format.eprintf
+              "robustread: protocol %s has no wire codec and cannot run \
+               live@."
+              (Fault.Campaign.protocol_name p);
+            exit 2
+          end;
+          [ p ]
+      | None ->
+          (* The symbolic-only baselines have no wire codec; a live
+             campaign quietly sweeps the protocols that do. *)
+          if live then Net.Live.supported else Fault.Campaign.all_protocols
     in
     List.iter
       (fun p ->
@@ -655,13 +688,22 @@ let chaos_cmd =
              (Fault.Campaign.default_cfg p ~t ~b)))
       protocols;
     let seeds = List.init seeds (fun i -> i + 1) in
+    let campaign_backend =
+      if live then Net.Live.backend ~opts:{ Net.Live.default_opts with tick_us } ()
+      else Fault.Campaign.sim_backend
+    in
+    (* A live run monopolises sockets, threads and the wall clock; domain
+       parallelism would just make runs contend.  Force one job. *)
+    let jobs = if live then Some 1 else jobs in
     Format.printf
-      "chaos campaign: %d protocols x %d seeds x %d plans (t=%d, b=%d, jobs=%d)@."
-      (List.length protocols) (List.length seeds) plans t b
+      "chaos campaign [%s]: %d protocols x %d seeds x %d plans (t=%d, b=%d, \
+       jobs=%d)@."
+      campaign_backend.Fault.Campaign.backend_name (List.length protocols)
+      (List.length seeds) plans t b
       (Option.value jobs ~default:(Exec.Pool.recommended_jobs ()));
     let cells =
-      Fault.Campaign.sweep ?jobs ~budget ~plans_per_seed:plans ~protocols ~t ~b
-        ~seeds ()
+      Fault.Campaign.sweep ?jobs ~backend:campaign_backend ~budget
+        ~plans_per_seed:plans ~protocols ~t ~b ~seeds ()
     in
     print_string (Stats.Table.to_string (Fault.Campaign.matrix_table cells));
     if metrics then begin
@@ -671,18 +713,21 @@ let chaos_cmd =
     (match artifacts with
     | Some dir ->
         write_artifacts ~dir
-          (List.map
-             (fun (c : Fault.Campaign.cell) ->
-               let name = Fault.Campaign.protocol_name c.protocol in
-               ( name ^ ".metrics.jsonl",
-                 Obs.Export.metrics_jsonl
-                   ~labels:
-                     [
-                       ("protocol", name);
-                       ("cfg", Quorum.Config.to_string c.cfg);
-                     ]
-                   c.metrics ))
-             cells)
+          (( "survival.jsonl",
+             Fault.Campaign.matrix_jsonl
+               ~backend:campaign_backend.Fault.Campaign.backend_name cells )
+          :: List.map
+               (fun (c : Fault.Campaign.cell) ->
+                 let name = Fault.Campaign.protocol_name c.protocol in
+                 ( name ^ ".metrics.jsonl",
+                   Obs.Export.metrics_jsonl
+                     ~labels:
+                       [
+                         ("protocol", name);
+                         ("cfg", Quorum.Config.to_string c.cfg);
+                       ]
+                     c.metrics ))
+               cells)
     | None -> ());
     let unexpected = ref false in
     (* Cells that aborted (engine exception rather than a clean verdict)
@@ -714,20 +759,36 @@ let chaos_cmd =
               seed
               (Fault.Plan.to_compact plan);
             if not no_shrink then begin
+              (* Shrinking always runs against the SIMULATOR repro: for a
+                 live-found witness this is the cross-backend bridge —
+                 the (protocol, cfg, seed, plan) coordinates replay
+                 deterministically in sim, so the minimal witness is
+                 stable even though the live run is not. *)
               let repro = Fault.Campaign.violates p ~cfg:c.cfg ~seed in
-              let o = Fault.Shrink.minimize ~repro plan in
-              Format.printf
-                "shrunk %d -> %d actions in %d runs (%d still violating):@.  \
-                 %s@."
-                (Fault.Plan.length plan)
-                (Fault.Plan.length o.plan)
-                o.attempts o.reproductions
-                (Fault.Plan.to_compact o.plan);
-              Format.printf "replay: deterministic for (protocol=%s, %s, seed=%d) — verified %s@."
-                (Fault.Campaign.protocol_name p)
-                (Quorum.Config.to_string c.cfg)
-                seed
-                (if repro o.plan then "OK" else "FAILED")
+              let reproduces = (not live) || repro plan in
+              if live then
+                Format.printf "live-to-sim replay: %s@."
+                  (if reproduces then
+                     "reproduces — shrinking against the simulator"
+                   else
+                     "does NOT reproduce (timing-dependent); keeping the \
+                      live witness unshrunk");
+              if reproduces then begin
+                let o = Fault.Shrink.minimize ~repro plan in
+                Format.printf
+                  "shrunk %d -> %d actions in %d runs (%d still violating):@.  \
+                   %s@."
+                  (Fault.Plan.length plan)
+                  (Fault.Plan.length o.plan)
+                  o.attempts o.reproductions
+                  (Fault.Plan.to_compact o.plan);
+                Format.printf
+                  "replay: deterministic for (protocol=%s, %s, seed=%d) — verified %s@."
+                  (Fault.Campaign.protocol_name p)
+                  (Quorum.Config.to_string c.cfg)
+                  seed
+                  (if repro o.plan then "OK" else "FAILED")
+              end
             end)
       cells;
     if !unexpected then exit 1
@@ -735,7 +796,8 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ protocols_arg $ t_arg $ b_arg $ seeds_arg $ plans_arg
-      $ budget_arg $ no_shrink_arg $ metrics_arg $ artifacts_arg $ jobs_arg)
+      $ budget_arg $ no_shrink_arg $ backend_arg $ tick_arg $ metrics_arg
+      $ artifacts_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -743,8 +805,11 @@ let chaos_cmd =
          "Sweep random within-budget fault plans (crashes, recoveries, \
           partitions, duplication, Byzantine switches) over the protocols, \
           print the survival matrix, and shrink any failure to a minimal \
-          deterministic witness.  Exits 1 if a robust protocol breaks; \
-          naive-fast breaking is the expected Proposition 1 control.")
+          deterministic witness.  With $(b,--backend=live) the same plans \
+          drive a real socket cluster through fault interposers, and any \
+          counterexample is replayed and shrunk in the simulator.  Exits 1 \
+          if a robust protocol breaks; naive-fast breaking is the expected \
+          Proposition 1 control.")
     term
 
 (* ----- live network commands (serve / client / cluster) ------------------- *)
@@ -1158,7 +1223,11 @@ let cluster_cmd =
     end;
     (match crash with
     | Some i when not (List.mem i (Net.Cluster.alive cluster)) ->
-        Net.Cluster.restart cluster i;
+        (match Net.Cluster.restart cluster i with
+        | Ok () -> ()
+        | Error (`Still_alive i) ->
+            record_failure
+              (Printf.sprintf "restart raced: object %d still alive" i));
         Format.printf "  restarted object %d (alive: %s)@." i
           (String.concat ","
              (List.map string_of_int (Net.Cluster.alive cluster)));

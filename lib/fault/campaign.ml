@@ -91,58 +91,81 @@ type verdict = {
   spans : Obs.Span.t list;
 }
 
+(* The campaign workload every backend runs a plan under: a quiet
+   sequential spine (so safety constrains every run) merged with the
+   paper's read-mostly traffic.  Deterministic in (seed, horizon) — the
+   live backend replays the exact same schedule at scaled wall-clock
+   times, which is what makes live histories comparable to simulated
+   ones. *)
+let workload ~seed ~(plan : Plan.t) =
+  let rng = Sim.Prng.create ~seed in
+  Core.Schedule.merge
+    (Workload.Generate.sequential ~writes:4 ~readers:2 ~gap:60)
+    (Workload.Generate.read_mostly ~rng ~writes:0 ~readers:2
+       ~reads_per_reader:4 ~horizon:plan.Plan.horizon)
+
+let workload_readers = 2
+
 let run_generic (type m) (module P : Core.Protocol_intf.S with type msg = m)
     ~(strategy : Plan.byz_kind -> m Core.Byz.factory) ?metrics ~cfg ~seed
     ~max_events (plan : Plan.t) =
   let module Sc = Core.Scenario.Make (P) in
-  let byzantine, rev_chaos =
-    List.fold_left
-      (fun (byz, chaos) action ->
-        match action with
-        | Plan.Byz { obj; kind } -> ((obj, strategy kind) :: byz, chaos)
-        | Plan.Switch { obj; at; kind } ->
-            (byz, Sc.Chaos_switch { obj; at; factory = strategy kind } :: chaos)
-        | Plan.Crash { obj; at } ->
-            (byz, Sc.Chaos_crash { proc = Sim.Proc_id.Obj obj; at } :: chaos)
-        | Plan.Recover { obj; at; wipe } ->
-            (byz, Sc.Chaos_recover { obj; at; wipe } :: chaos)
-        | Plan.Block { src; dst; from_; until } ->
-            ( byz,
-              Sc.Chaos_block
-                {
-                  src = Plan.proc_id src;
-                  dst = Plan.proc_id dst;
-                  from_;
-                  until;
-                }
-              :: chaos )
-        | Plan.Isolate { obj; from_; until } ->
-            (byz, Sc.Chaos_isolate { obj; from_; until } :: chaos)
-        | Plan.Duplicate { src; dst; copies; from_; until } ->
-            ( byz,
-              Sc.Chaos_duplicate
-                {
-                  src = Plan.proc_id src;
-                  dst = Plan.proc_id dst;
-                  copies;
-                  from_;
-                  until;
-                }
-              :: chaos ))
-      ([], []) plan.Plan.actions
-  in
-  let rng = Sim.Prng.create ~seed in
-  let schedule =
-    Core.Schedule.merge
-      (Workload.Generate.sequential ~writes:4 ~readers:2 ~gap:60)
-      (Workload.Generate.read_mostly ~rng ~writes:0 ~readers:2
-         ~reads_per_reader:4 ~horizon:plan.Plan.horizon)
-  in
+  (* The sim injector: plan actions stage into the scenario's fault
+     configuration — initial Byzantine casts plus time-scripted chaos
+     events.  Both lists accumulate by prepending; chaos is re-reversed
+     into action order below (scenario events carry their own [at], the
+     byzantine list is order-insensitive). *)
+  let module Sim_injector = struct
+    type t = {
+      mutable byzantine : (int * m Core.Byz.factory) list;
+      mutable rev_chaos : Sc.chaos_event list;
+    }
+
+    let name = "sim"
+
+    let byzantine t ~obj ~kind =
+      t.byzantine <- (obj, strategy kind) :: t.byzantine
+
+    let switch t ~obj ~at ~kind =
+      t.rev_chaos <-
+        Sc.Chaos_switch { obj; at; factory = strategy kind } :: t.rev_chaos
+
+    let crash t ~obj ~at =
+      t.rev_chaos <-
+        Sc.Chaos_crash { proc = Sim.Proc_id.Obj obj; at } :: t.rev_chaos
+
+    let recover t ~obj ~at ~wipe =
+      t.rev_chaos <- Sc.Chaos_recover { obj; at; wipe } :: t.rev_chaos
+
+    let block t ~src ~dst ~from_ ~until =
+      t.rev_chaos <-
+        Sc.Chaos_block
+          { src = Plan.proc_id src; dst = Plan.proc_id dst; from_; until }
+        :: t.rev_chaos
+
+    let isolate t ~obj ~from_ ~until =
+      t.rev_chaos <- Sc.Chaos_isolate { obj; from_; until } :: t.rev_chaos
+
+    let duplicate t ~src ~dst ~copies ~from_ ~until =
+      t.rev_chaos <-
+        Sc.Chaos_duplicate
+          {
+            src = Plan.proc_id src;
+            dst = Plan.proc_id dst;
+            copies;
+            from_;
+            until;
+          }
+        :: t.rev_chaos
+  end in
+  let ctx = { Sim_injector.byzantine = []; rev_chaos = [] } in
+  Injector.apply (module Sim_injector) ctx plan;
+  let schedule = workload ~seed ~plan in
   let rep =
     Sc.run ~max_events ?metrics ~cfg ~seed
       ~delay:(Sim.Delay.uniform ~lo:1 ~hi:10)
-      ~chaos:(List.rev rev_chaos)
-      ~faults:{ Sc.crashes = []; byzantine }
+      ~chaos:(List.rev ctx.Sim_injector.rev_chaos)
+      ~faults:{ Sc.crashes = []; byzantine = ctx.Sim_injector.byzantine }
       schedule
   in
   let equal = String.equal in
@@ -188,15 +211,49 @@ let run_plan ?(max_events = 2_000_000) ?metrics protocol ~cfg ~seed
         (module Baseline.Naive_fast)
         ~strategy:naive_strategy ?metrics ~cfg ~seed ~max_events plan
 
+(* ----- execution backends ------------------------------------------------ *)
+
+(* A backend is anything that can execute one (seed, plan) and produce a
+   verdict: the simulator above, or a live socket cluster
+   ({!Net.Live.backend}).  First-class records rather than functors so a
+   backend can be picked at runtime from a CLI flag and threaded through
+   the sweeps unchanged. *)
+type backend = {
+  backend_name : string;
+  backend_run :
+    ?metrics:Obs.Metrics.t ->
+    protocol ->
+    cfg:Quorum.Config.t ->
+    seed:int ->
+    Plan.t ->
+    verdict;
+}
+
+let sim_backend =
+  {
+    backend_name = "sim";
+    backend_run =
+      (fun ?metrics protocol ~cfg ~seed plan ->
+        run_plan ?metrics protocol ~cfg ~seed plan);
+  }
+
+let verdict_violates protocol v =
+  v.safety > 0
+  || v.liveness > 0
+  || (claims_regularity protocol && v.regularity > 0)
+
 (* A run breaks a protocol's contract if it violates a property the
    protocol claims: safety and wait-freedom for all, regularity on top
    for the regular-semantics ones.  (naive-fast claims nothing, but the
    campaign holds it to safety to exhibit the Proposition 1 violation.) *)
-let violates ?max_events protocol ~cfg ~seed plan =
-  let v = run_plan ?max_events protocol ~cfg ~seed plan in
-  v.safety > 0
-  || v.liveness > 0
-  || (claims_regularity protocol && v.regularity > 0)
+let violates ?max_events ?(backend = sim_backend) protocol ~cfg ~seed plan =
+  let v =
+    match max_events with
+    | Some max_events when backend == sim_backend ->
+        run_plan ~max_events protocol ~cfg ~seed plan
+    | _ -> backend.backend_run protocol ~cfg ~seed plan
+  in
+  verdict_violates protocol v
 
 (* ----- sweeping seeds x plans x protocols -------------------------------- *)
 
@@ -215,8 +272,15 @@ type cell = {
   metrics : Obs.Metrics.t;
 }
 
-let run_plan_result ?max_events ?metrics protocol ~cfg ~seed plan =
-  match run_plan ?max_events ?metrics protocol ~cfg ~seed plan with
+let run_plan_result ?max_events ?(backend = sim_backend) ?metrics protocol
+    ~cfg ~seed plan =
+  let run () =
+    match max_events with
+    | Some max_events when backend == sim_backend ->
+        run_plan ~max_events ?metrics protocol ~cfg ~seed plan
+    | _ -> backend.backend_run ?metrics protocol ~cfg ~seed plan
+  in
+  match run () with
   | v -> Ok v
   | exception e -> Error { seed; plan; error = Printexc.to_string e }
 
@@ -238,7 +302,8 @@ type seed_tally = {
   u_metrics : Obs.Metrics.t;
 }
 
-let sweep_seed ?max_events ~budget ~plans_per_seed protocol ~cfg ~seed =
+let sweep_seed ?max_events ?backend ~budget ~plans_per_seed protocol ~cfg
+    ~seed =
   let metrics = Obs.Metrics.create () in
   let rng = Sim.Prng.create ~seed in
   let runs = ref 0
@@ -250,7 +315,9 @@ let sweep_seed ?max_events ~budget ~plans_per_seed protocol ~cfg ~seed =
   and errors = ref [] in
   for _ = 1 to plans_per_seed do
     let plan = Plan.gen ~rng ~cfg ~budget in
-    match run_plan_result ?max_events ~metrics protocol ~cfg ~seed plan with
+    match
+      run_plan_result ?max_events ?backend ~metrics protocol ~cfg ~seed plan
+    with
     | Error e ->
         (* A raising cell is a campaign finding, not a sweep abort: the
            structured error surfaces in the matrix alongside the seeds
@@ -316,18 +383,20 @@ let assemble_cell protocol cfg tallies =
     metrics;
   }
 
-let sweep_protocol ?jobs ?max_events ?(budget = Plan.medium)
+let sweep_protocol ?jobs ?max_events ?backend ?(budget = Plan.medium)
     ?(plans_per_seed = 3) protocol ~t ~b ~seeds =
   let cfg = default_cfg protocol ~t ~b in
   let tallies =
     Exec.Pool.map ?jobs
-      (fun seed -> sweep_seed ?max_events ~budget ~plans_per_seed protocol ~cfg ~seed)
+      (fun seed ->
+        sweep_seed ?max_events ?backend ~budget ~plans_per_seed protocol ~cfg
+          ~seed)
       seeds
   in
   assemble_cell protocol cfg tallies
 
-let sweep ?jobs ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
-    ~protocols ~t ~b ~seeds () =
+let sweep ?jobs ?max_events ?backend ?(budget = Plan.medium)
+    ?(plans_per_seed = 3) ~protocols ~t ~b ~seeds () =
   (* Fan the full protocol x seed matrix through one pool so a slow cell
      in one protocol overlaps the others, then regroup per protocol in
      input order. *)
@@ -340,7 +409,7 @@ let sweep ?jobs ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
   let tallies =
     Exec.Pool.map ?jobs
       (fun (p, cfg, seed) ->
-        sweep_seed ?max_events ~budget ~plans_per_seed p ~cfg ~seed)
+        sweep_seed ?max_events ?backend ~budget ~plans_per_seed p ~cfg ~seed)
       tasks
   in
   let nseeds = List.length seeds in
@@ -356,6 +425,17 @@ let sweep ?jobs ?max_events ?(budget = Plan.medium) ?(plans_per_seed = 3)
 
 (* ----- survival matrix --------------------------------------------------- *)
 
+(* Proposition 1 needs a Byzantine object: crash-only campaigns cannot
+   break even the naive fast reader's safety. *)
+let cell_verdict c =
+  let expected_broken = c.protocol = Naive_fast && c.cfg.Quorum.Config.b > 0 in
+  match (c.errors, c.failures, expected_broken) with
+  | _ :: _, _, _ -> "ERROR"
+  | [], [], false -> "survives"
+  | [], [], true -> "UNEXPECTED: survives"
+  | [], _ :: _, true -> "broken (expected)"
+  | [], _ :: _, false -> "BROKEN"
+
 let matrix_table cells =
   let table =
     Stats.Table.create
@@ -367,17 +447,7 @@ let matrix_table cells =
   in
   List.iter
     (fun c ->
-      (* Proposition 1 needs a Byzantine object: crash-only campaigns
-         cannot break even the naive fast reader's safety. *)
-      let expected_broken = c.protocol = Naive_fast && c.cfg.Quorum.Config.b > 0 in
-      let verdict =
-        match (c.errors, c.failures, expected_broken) with
-        | _ :: _, _, _ -> "ERROR"
-        | [], [], false -> "survives"
-        | [], [], true -> "UNEXPECTED: survives"
-        | [], _ :: _, true -> "broken (expected)"
-        | [], _ :: _, false -> "BROKEN"
-      in
+      let verdict = cell_verdict c in
       Stats.Table.add_row table
         [
           protocol_name c.protocol;
@@ -449,3 +519,51 @@ let metrics_table cells =
         ])
     cells;
   table
+
+(* ----- machine-readable matrix ------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One JSON object per cell, one line per object — the schema is shared
+   by both backends (that is the point: a sim matrix and a live matrix
+   of the same campaign diff cleanly).  Witness plans are embedded in
+   their compact one-line rendering, the same form the CLI prints. *)
+let matrix_jsonl ?(backend = "sim") cells =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      Printf.bprintf buf
+        "{\"backend\":\"%s\",\"protocol\":\"%s\",\"s\":%d,\"t\":%d,\"b\":%d,\
+         \"runs\":%d,\"safety_ok\":%d,\"regularity_ok\":%d,\"liveness_ok\":%d,\
+         \"incomplete\":%d,\"errors\":%d,\"verdict\":\"%s\",\"witnesses\":["
+        (json_escape backend)
+        (json_escape (protocol_name c.protocol))
+        c.cfg.Quorum.Config.s c.cfg.Quorum.Config.t c.cfg.Quorum.Config.b
+        c.runs (c.runs - c.safety_runs) (c.runs - c.regularity_runs)
+        (c.runs - c.liveness_runs)
+        c.incomplete_runs
+        (List.length c.errors)
+        (json_escape (cell_verdict c));
+      List.iteri
+        (fun i (seed, plan) ->
+          Printf.bprintf buf "%s{\"seed\":%d,\"plan\":\"%s\"}"
+            (if i = 0 then "" else ",")
+            seed
+            (json_escape (Plan.to_compact plan)))
+        c.failures;
+      Buffer.add_string buf "]}\n")
+    cells;
+  Buffer.contents buf

@@ -42,6 +42,17 @@ type verdict = {
   spans : Obs.Span.t list;  (** per-operation spans, invocation order *)
 }
 
+val workload : seed:int -> plan:Plan.t -> Core.Schedule.t
+(** The campaign workload a plan is judged under: a sequential spine
+    merged with seeded read-mostly traffic over the plan's horizon.
+    Deterministic in [(seed, plan.horizon)] — every backend runs this
+    exact schedule, which is what makes a live history comparable to
+    the simulated replay of the same (seed, plan). *)
+
+val workload_readers : int
+(** Number of reader processes {!workload} schedules (the live backend
+    sizes its cluster from this). *)
+
 val run_plan :
   ?max_events:int ->
   ?metrics:Obs.Metrics.t ->
@@ -50,16 +61,48 @@ val run_plan :
   seed:int ->
   Plan.t ->
   verdict
-(** Execute one (seed, plan) against [protocol] at [cfg] and check the
-    history.  Deterministic in [(protocol, cfg, seed, plan)].  With
-    [metrics], the run's observations accumulate into the registry
-    (pass the same registry to many runs to aggregate a cell). *)
+(** Execute one (seed, plan) against [protocol] at [cfg] {e in the
+    simulator} and check the history.  Deterministic in
+    [(protocol, cfg, seed, plan)].  With [metrics], the run's
+    observations accumulate into the registry (pass the same registry
+    to many runs to aggregate a cell). *)
+
+type backend = {
+  backend_name : string;  (** ["sim"], ["live"], … — labels exports *)
+  backend_run :
+    ?metrics:Obs.Metrics.t ->
+    protocol ->
+    cfg:Quorum.Config.t ->
+    seed:int ->
+    Plan.t ->
+    verdict;
+}
+(** An execution backend: anything that can run one (seed, plan) via
+    {!Injector.apply} and produce a {!verdict} from the checkers.  The
+    simulator is {!sim_backend}; [Net.Live.backend] drives a real
+    socket cluster.  The same {!Plan.t} value runs unchanged on any
+    backend — sweeps, matrices and the shrinker are parameterized over
+    this record. *)
+
+val sim_backend : backend
+(** The default: {!run_plan} at its default event bound. *)
+
+val verdict_violates : protocol -> verdict -> bool
+(** Did this verdict break the protocol's contract (safety or
+    wait-freedom always; regularity additionally when
+    {!claims_regularity})? *)
 
 val violates :
-  ?max_events:int -> protocol -> cfg:Quorum.Config.t -> seed:int -> Plan.t -> bool
-(** The shrinker's repro predicate: did the run break the protocol's
-    contract (safety or wait-freedom always; regularity additionally
-    when {!claims_regularity})? *)
+  ?max_events:int ->
+  ?backend:backend ->
+  protocol ->
+  cfg:Quorum.Config.t ->
+  seed:int ->
+  Plan.t ->
+  bool
+(** The shrinker's repro predicate: {!verdict_violates} of one run on
+    [backend] (default {!sim_backend}; [max_events] applies to the sim
+    backend only). *)
 
 (** {2 Sweeps} *)
 
@@ -90,18 +133,21 @@ type cell = {
 
 val run_plan_result :
   ?max_events:int ->
+  ?backend:backend ->
   ?metrics:Obs.Metrics.t ->
   protocol ->
   cfg:Quorum.Config.t ->
   seed:int ->
   Plan.t ->
   (verdict, cell_error) result
-(** {!run_plan} with the sweep's error containment: a raising run
-    becomes a structured [Error] instead of propagating. *)
+(** One run on [backend] (default {!sim_backend}) with the sweep's
+    error containment: a raising run becomes a structured [Error]
+    instead of propagating. *)
 
 val sweep_protocol :
   ?jobs:int ->
   ?max_events:int ->
+  ?backend:backend ->
   ?budget:Plan.budget ->
   ?plans_per_seed:int ->
   protocol ->
@@ -123,6 +169,7 @@ val sweep_protocol :
 val sweep :
   ?jobs:int ->
   ?max_events:int ->
+  ?backend:backend ->
   ?budget:Plan.budget ->
   ?plans_per_seed:int ->
   protocols:protocol list ->
@@ -133,7 +180,10 @@ val sweep :
   cell list
 (** Sweep the whole protocol x seed matrix through one domain pool (a
     slow cell in one protocol overlaps work from the others); results
-    are deterministic in the inputs and independent of [jobs]. *)
+    are deterministic in the inputs and independent of [jobs].  With a
+    non-sim [backend], run with [jobs:1]: a live backend owns real
+    sockets and one wall clock, so parallel cells would contend for
+    both. *)
 
 val matrix_table : cell list -> Stats.Table.t
 (** The survival matrix: one row per protocol with per-property
@@ -145,3 +195,13 @@ val metrics_table : cell list -> Stats.Table.t
     round-count distributions (e.g. ["2:64"] — the paper's 2-round
     claim made visible per cell), open operations, delivered messages
     and queue-depth p99. *)
+
+val cell_verdict : cell -> string
+(** ["survives"], ["violates"], or ["errors"] — the summary judgement
+    both the table and the JSONL matrix print for a cell. *)
+
+val matrix_jsonl : ?backend:string -> cell list -> string
+(** The survival matrix as JSON Lines, one object per cell, in the
+    {e same schema for every backend} (tagged with [backend], default
+    ["sim"]): survival counts per property, the verdict, and each
+    failure witness as its (seed, compact plan) reproduction. *)

@@ -1,0 +1,41 @@
+module type S = sig
+  type t
+
+  val name : string
+
+  val byzantine : t -> obj:int -> kind:Plan.byz_kind -> unit
+
+  val switch : t -> obj:int -> at:int -> kind:Plan.byz_kind -> unit
+
+  val crash : t -> obj:int -> at:int -> unit
+
+  val recover : t -> obj:int -> at:int -> wipe:bool -> unit
+
+  val block :
+    t -> src:Plan.proc -> dst:Plan.proc -> from_:int -> until:int -> unit
+
+  val isolate : t -> obj:int -> from_:int -> until:int -> unit
+
+  val duplicate :
+    t ->
+    src:Plan.proc ->
+    dst:Plan.proc ->
+    copies:int ->
+    from_:int ->
+    until:int ->
+    unit
+end
+
+let apply (type a) (module I : S with type t = a) (ctx : a) (plan : Plan.t) =
+  List.iter
+    (function
+      | Plan.Byz { obj; kind } -> I.byzantine ctx ~obj ~kind
+      | Plan.Switch { obj; at; kind } -> I.switch ctx ~obj ~at ~kind
+      | Plan.Crash { obj; at } -> I.crash ctx ~obj ~at
+      | Plan.Recover { obj; at; wipe } -> I.recover ctx ~obj ~at ~wipe
+      | Plan.Block { src; dst; from_; until } ->
+          I.block ctx ~src ~dst ~from_ ~until
+      | Plan.Isolate { obj; from_; until } -> I.isolate ctx ~obj ~from_ ~until
+      | Plan.Duplicate { src; dst; copies; from_; until } ->
+          I.duplicate ctx ~src ~dst ~copies ~from_ ~until)
+    plan.Plan.actions

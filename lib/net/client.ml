@@ -135,6 +135,10 @@ let try_connect ?count ~codec ~proto_name ~proc c =
   | exception Unix.Unix_error (err, _, _) ->
       let now = Unix.gettimeofday () in
       penalize c ~now;
+      (* Chaos runs assert on reconnect behaviour: every failed attempt
+         counts in the registry even when the stderr warning above is
+         rate-limited away. *)
+      (match count with None -> () | Some f -> f "op.reconnects");
       warn_reconnect c ~now
         (Printf.sprintf "reconnect failed: %s" (Unix.error_message err))
 

@@ -18,7 +18,8 @@ type mux_state = {
 
 type t = {
   cfg : Quorum.Config.t;
-  endpoints : Endpoint.t array;
+  endpoints : Endpoint.t array;  (* what clients dial: proxies if interposed *)
+  chaos_ : Chaos.t array;  (* per-object interposers; empty when direct *)
   mutable servers : Server.t array;
   server_registries : Obs.Metrics.t option array;
   writer : client_slot;
@@ -53,7 +54,7 @@ let fresh_tmpdir () =
   go !tmp_counter
 
 let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
-    ~protocol ~cfg ~readers () =
+    ?(interpose = false) ~protocol ~cfg ~readers () =
   let s = cfg.Quorum.Config.s in
   let tmpdir, endpoints =
     match transport with
@@ -87,9 +88,28 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
           ~protocol ~cfg endpoints
   in
   (* Ephemeral TCP ports are only known after bind. *)
-  let endpoints = Array.map Server.endpoint servers in
+  let server_endpoints = Array.map Server.endpoint servers in
   let t0 = Unix.gettimeofday () in
   let now_us () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  (* With interposition, every client dials a per-object chaos proxy
+     relaying to the real server; the server endpoint stays stable
+     across crash/restart, so a proxy never needs re-targeting. *)
+  let chaos_ =
+    if not interpose then [||]
+    else
+      Array.init s (fun i ->
+          let listen =
+            match (transport, tmpdir) with
+            | `Unix, Some dir ->
+                Endpoint.Unix_sock
+                  (Filename.concat dir (Printf.sprintf "c%d.sock" (i + 1)))
+            | _ -> Endpoint.Tcp { host = "127.0.0.1"; port = 0 }
+          in
+          Chaos.start ~now_us ~listen ~target:server_endpoints.(i) ())
+  in
+  let endpoints =
+    if interpose then Array.map Chaos.endpoint chaos_ else server_endpoints
+  in
   let slot role =
     let registry = registry () in
     {
@@ -103,6 +123,7 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
   {
     cfg;
     endpoints;
+    chaos_;
     servers;
     server_registries;
     writer = slot `Writer;
@@ -250,9 +271,26 @@ let crash t i =
   check_index t i;
   Server.crash t.servers.(i - 1)
 
+(* A restart that races a still-running server is a campaign finding,
+   not a programming error: surface it structurally so a fault driver
+   can skip or retry instead of unwinding mid-sweep. *)
 let restart ?wipe t i =
   check_index t i;
-  t.servers.(i - 1) <- Server.restart ?wipe t.servers.(i - 1)
+  if Server.is_alive t.servers.(i - 1) then Error (`Still_alive i)
+  else begin
+    t.servers.(i - 1) <- Server.restart ?wipe t.servers.(i - 1);
+    Ok ()
+  end
+
+let restart_exn ?wipe t i =
+  match restart ?wipe t i with
+  | Ok () -> ()
+  | Error (`Still_alive i) ->
+      invalid_arg (Printf.sprintf "Cluster.restart: server %d still alive" i)
+
+let chaos t = t.chaos_
+
+let now_us t = t.now_us ()
 
 let alive t =
   Array.to_list t.servers
@@ -297,6 +335,7 @@ let stop t =
       Client.Mux.close m.m_mux;
       t.mux <- None
   | None -> ());
+  Array.iter Chaos.stop t.chaos_;
   Array.iter (fun s -> if Server.alive s then Server.stop s) t.servers;
   match t.tmpdir with
   | None -> ()

@@ -28,6 +28,7 @@ val start :
   ?opts:Client.opts ->
   ?transport:[ `Unix | `Tcp ] ->
   ?loop:Server.loop ->
+  ?interpose:bool ->
   protocol:Protocols.t ->
   cfg:Quorum.Config.t ->
   readers:int ->
@@ -36,7 +37,10 @@ val start :
 (** Spin up [cfg.s] servers and [readers] reader clients (plus the
     writer).  [transport] defaults to [`Unix].  [loop] (default
     [`Threads]) picks the server side: [`Poll] hosts all [cfg.s] objects
-    in one {!Server.start_group} event-loop thread.  With [metrics:true]
+    in one {!Server.start_group} event-loop thread.  With
+    [interpose:true], a {!Chaos} proxy fronts every server and clients
+    dial the proxies — {!chaos} exposes them for rule injection; with no
+    rules set the interposers are transparent.  With [metrics:true]
     every component keeps a private registry; {!metrics} merges them. *)
 
 val write : t -> Core.Value.t -> (Client.outcome, string) result
@@ -60,14 +64,30 @@ val read_pipelined :
 val crash : t -> int -> unit
 (** Hard-kill server for object [i] (1-based); idempotent while down. *)
 
-val restart : ?wipe:bool -> t -> int -> unit
+val restart : ?wipe:bool -> t -> int -> (unit, [ `Still_alive of int ]) result
 (** Bring object [i] back on the same endpoint ([wipe] discards its
-    state).  @raise Invalid_argument if it is still alive. *)
+    state).  Restarting a server that is still up is a structured
+    [Error] — fault drivers mid-campaign handle it, they do not
+    unwind. *)
+
+val restart_exn : ?wipe:bool -> t -> int -> unit
+(** {!restart}, raising [Invalid_argument] on [`Still_alive] — for
+    call sites that treat it as a bug. *)
 
 val alive : t -> int list
 (** Object indices whose server is up. *)
 
+val chaos : t -> Chaos.t array
+(** The per-object interposers ([chaos t].(i-1) fronts object [i]);
+    [[||]] unless started with [interpose:true]. *)
+
+val now_us : t -> int
+(** The cluster's shared microsecond clock (the one histories, spans
+    and {!Chaos} rule windows are stamped against). *)
+
 val endpoints : t -> Endpoint.t array
+(** What clients dial: the interposers' endpoints when interposed,
+    otherwise the servers'. *)
 
 val cfg : t -> Quorum.Config.t
 

@@ -624,6 +624,54 @@ let decode_payload c s =
   decode_payload_dec c
     { src = Bytes.unsafe_of_string s; pos = 0; limit = String.length s }
 
+(* ----- protocol-independent peeking ------------------------------------- *)
+
+(* The chaos interposer relays frames it cannot (and must not) decode:
+   it only ever looks at the fixed header and, for sender attribution,
+   the leading string fields of [Hello]/[Msg_from] — both of which sit
+   before any protocol-specific bytes. *)
+
+let header_bytes = 4
+
+let peek_dec s =
+  let d = { src = Bytes.unsafe_of_string s; pos = 0; limit = String.length s } in
+  match
+    if get_u8 d <> Char.code magic1 || get_u8 d <> Char.code magic2 then None
+    else if get_u8 d <> version then None
+    else Some (get_u8 d, d)
+  with
+  | res -> res
+  | exception Fail _ -> None
+
+let peek_kind s =
+  match peek_dec s with
+  | None -> None
+  | Some (k, _) ->
+      Some
+        (if k = kind_hello then `Hello
+         else if k = kind_hello_ack then `Hello_ack
+         else if k = kind_msg then `Msg
+         else if k = kind_msg_from then `Msg_from
+         else if k = kind_err then `Err
+         else `Unknown k)
+
+let peek_sender s =
+  match peek_dec s with
+  | None -> None
+  | Some (k, d) ->
+      if k = kind_hello then (
+        match
+          let _proto = get_string d in
+          get_string d
+        with
+        | sender -> Some sender
+        | exception Fail _ -> None)
+      else if k = kind_msg_from then (
+        match get_string d with
+        | sender -> Some sender
+        | exception Fail _ -> None)
+      else None
+
 (* ----- incremental reader ----------------------------------------------- *)
 
 module Reader = struct

@@ -638,6 +638,8 @@ let index t = t.index
 
 let alive t = t.alive_ ()
 
+let is_alive = alive
+
 let stats t = t.stats_ ()
 
 let stop t = t.stop_ ~graceful:true

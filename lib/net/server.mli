@@ -76,6 +76,9 @@ val index : t -> int
 
 val alive : t -> bool
 
+val is_alive : t -> bool
+(** Alias of {!alive} — the guard to check before {!restart}. *)
+
 val stats : t -> stats
 
 val stop : t -> unit

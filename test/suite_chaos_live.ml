@@ -1,0 +1,449 @@
+(* Cross-backend chaos: the same Fault.Plan values driving the simulator
+   and a live socket cluster (ISSUE 6).
+
+   The acceptance bar: one plan value runs unchanged on both backends
+   and yields survival matrices in the same schema, and a counterexample
+   found against real sockets replays deterministically in the simulator
+   — the shrunk witness is byte-identical across two replays.  Plus the
+   Cluster.crash/restart edge cases: double-crash, restart-while-alive
+   as a structured error, wiped restarts observably losing state, a
+   crash inside an inflight=16 pipelined window, and beyond-t crashes
+   timing out (with op.reconnects counted) then recovering. *)
+
+let cfg4 = Quorum.Config.make_exn ~s:4 ~t:1 ~b:0
+
+let ok_exn what = function
+  | Ok o -> o
+  | Error e -> Alcotest.failf "%s failed: %s" what e
+
+let value_of (o : Net.Client.outcome) =
+  match o.value with
+  | Some v -> Core.Value.to_string v
+  | None -> "<none>"
+
+(* Fast live opts for tests: tiny ticks, still patient enough that
+   within-budget plans never time operations out. *)
+let fast_live =
+  {
+    Net.Live.default_opts with
+    tick_us = 200;
+    client = { Net.Client.deadline = 0.2; retries = 5; backoff = 0.02 };
+  }
+
+(* Impatient opts for runs that are SUPPOSED to time out. *)
+let impatient =
+  {
+    Net.Live.default_opts with
+    tick_us = 100;
+    client = { Net.Client.deadline = 0.05; retries = 1; backoff = 0.01 };
+  }
+
+(* ----- injector dispatch ------------------------------------------------- *)
+
+let injector_dispatch_is_total () =
+  (* Every Plan.action constructor must reach exactly one S method. *)
+  let module Rec = struct
+    type t = (string, int) Hashtbl.t
+
+    let name = "recording"
+
+    let hit t k = Hashtbl.replace t k (1 + Option.value ~default:0 (Hashtbl.find_opt t k))
+
+    let byzantine t ~obj:_ ~kind:_ = hit t "byz"
+
+    let switch t ~obj:_ ~at:_ ~kind:_ = hit t "switch"
+
+    let crash t ~obj:_ ~at:_ = hit t "crash"
+
+    let recover t ~obj:_ ~at:_ ~wipe:_ = hit t "recover"
+
+    let block t ~src:_ ~dst:_ ~from_:_ ~until:_ = hit t "block"
+
+    let isolate t ~obj:_ ~from_:_ ~until:_ = hit t "isolate"
+
+    let duplicate t ~src:_ ~dst:_ ~copies:_ ~from_:_ ~until:_ = hit t "dup"
+  end in
+  let plan =
+    {
+      Fault.Plan.horizon = 100;
+      actions =
+        [
+          Byz { obj = 1; kind = Fault.Plan.Mute };
+          Switch { obj = 2; at = 10; kind = Fault.Plan.Garbage };
+          Crash { obj = 3; at = 20 };
+          Recover { obj = 3; at = 40; wipe = true };
+          Block { src = Fault.Plan.W; dst = Fault.Plan.O 1; from_ = 5; until = 9 };
+          Isolate { obj = 2; from_ = 50; until = 60 };
+          Duplicate
+            {
+              src = Fault.Plan.O 1;
+              dst = Fault.Plan.R 1;
+              copies = 2;
+              from_ = 1;
+              until = 99;
+            };
+        ];
+    }
+  in
+  let seen = Hashtbl.create 8 in
+  Fault.Injector.apply (module Rec) seen plan;
+  List.iter
+    (fun k ->
+      Alcotest.(check int) (k ^ " dispatched once") 1
+        (Option.value ~default:0 (Hashtbl.find_opt seen k)))
+    [ "byz"; "switch"; "crash"; "recover"; "block"; "isolate"; "dup" ]
+
+(* ----- codec peeking ----------------------------------------------------- *)
+
+let codec_peek_helpers () =
+  let payload frame =
+    let s = Net.Codec.encode_frame Net.Codec.messages frame in
+    String.sub s 4 (String.length s - 4)
+  in
+  let hello =
+    payload (Net.Codec.Hello { proto = "core"; sender = "r7"; obj = 3 })
+  in
+  Alcotest.(check bool) "hello kind" true (Net.Codec.peek_kind hello = Some `Hello);
+  Alcotest.(check (option string)) "hello sender" (Some "r7")
+    (Net.Codec.peek_sender hello);
+  let ack = payload (Net.Codec.Hello_ack { proto = "core"; obj = 3 }) in
+  Alcotest.(check bool) "ack kind" true (Net.Codec.peek_kind ack = Some `Hello_ack);
+  Alcotest.(check (option string)) "ack has no sender" None
+    (Net.Codec.peek_sender ack);
+  Alcotest.(check (option string)) "garbage is rejected" None
+    (Net.Codec.peek_sender "\x00\x01\x02")
+
+(* ----- Cluster.crash/restart edge cases ---------------------------------- *)
+
+let restart_alive_is_structured_error () =
+  let c = Net.Cluster.start ~protocol:Net.Protocols.safe ~cfg:cfg4 ~readers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      (match Net.Cluster.restart c 2 with
+      | Error (`Still_alive 2) -> ()
+      | Ok () -> Alcotest.fail "restart of a live server must not succeed"
+      | Error (`Still_alive i) -> Alcotest.failf "wrong index %d" i);
+      (match Net.Cluster.restart_exn c 2 with
+      | () -> Alcotest.fail "restart_exn of a live server must raise"
+      | exception Invalid_argument _ -> ());
+      Net.Cluster.crash c 2;
+      match Net.Cluster.restart c 2 with
+      | Ok () -> ()
+      | Error (`Still_alive _) -> Alcotest.fail "restart after crash must succeed")
+
+let double_crash_is_idempotent () =
+  let c = Net.Cluster.start ~protocol:Net.Protocols.safe ~cfg:cfg4 ~readers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "d1")) in
+      Net.Cluster.crash c 4;
+      Net.Cluster.crash c 4;
+      (* idempotent, and the quorum still answers *)
+      let o = ok_exn "read with double-crashed minority" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "value" "d1" (value_of o);
+      ok_exn "restart after double crash"
+        (Result.map_error
+           (fun (`Still_alive i) -> Printf.sprintf "still alive %d" i)
+           (Net.Cluster.restart c 4)))
+
+let wiped_restart_loses_state () =
+  (* A single-object system (s = 1, t = b = 0) makes persistence
+     directly observable: no quorum hides the wiped replica. *)
+  let cfg1 = Quorum.Config.make_exn ~s:1 ~t:0 ~b:0 in
+  let c = Net.Cluster.start ~protocol:Net.Protocols.safe ~cfg:cfg1 ~readers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write v1" (Net.Cluster.write c (Core.Value.v "v1")) in
+      let o = ok_exn "read v1" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "before crash" "v1" (value_of o);
+      Net.Cluster.crash c 1;
+      ok_exn "wiped restart"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart ~wipe:true c 1));
+      let o = ok_exn "read after wipe" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check bool) "wiped replica forgot v1" false (value_of o = "v1");
+      let _ = ok_exn "write v2" (Net.Cluster.write c (Core.Value.v "v2")) in
+      Net.Cluster.crash c 1;
+      ok_exn "persisted restart"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart c 1));
+      let o = ok_exn "read after persisted restart" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "persisted replica kept v2" "v2" (value_of o))
+
+let crash_mid_pipelined_window () =
+  let c =
+    Net.Cluster.start
+      ~opts:{ Net.Client.deadline = 0.5; retries = 8; backoff = 0.01 }
+      ~protocol:Net.Protocols.safe ~cfg:cfg4 ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "p1")) in
+      (* Kill a server while the 16-wide window is in flight; t = 1, so
+         every op must still complete. *)
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.02;
+            Net.Cluster.crash c 3)
+          ()
+      in
+      let results = Net.Cluster.read_pipelined c ~inflight:16 ~ops:200 in
+      Thread.join killer;
+      let failures =
+        Array.to_list results
+        |> List.filter_map (function Ok _ -> None | Error e -> Some e)
+      in
+      Alcotest.(check (list string)) "no failed ops across the crash" [] failures;
+      ok_exn "restart after window"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart c 3));
+      let equal = String.equal in
+      Alcotest.(check int) "live history stays safe" 0
+        (List.length (Histories.Checks.check_safety ~equal (Net.Cluster.history c))))
+
+let beyond_t_crashes_timeout_then_recover () =
+  let c =
+    Net.Cluster.start ~metrics:true
+      ~opts:{ Net.Client.deadline = 0.05; retries = 1; backoff = 0.01 }
+      ~protocol:Net.Protocols.safe ~cfg:cfg4 ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "b1")) in
+      (* Two simultaneous crashes at t = 1: the quorum S - t = 3 cannot
+         assemble, so the read must time out rather than hang or lie. *)
+      Net.Cluster.crash c 1;
+      Net.Cluster.crash c 2;
+      (match Net.Cluster.read c ~reader:1 with
+      | Ok o -> Alcotest.failf "read succeeded beyond t: %s" (value_of o)
+      | Error _ -> ());
+      (* The failed attempts surfaced as a counter, not only stderr. *)
+      (match Net.Cluster.metrics c with
+      | None -> Alcotest.fail "metrics registry missing"
+      | Some m ->
+          Alcotest.(check bool) "op.reconnects counted" true
+            (Obs.Metrics.counter_value m "op.reconnects" > 0));
+      ok_exn "restart 1"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart c 1));
+      ok_exn "restart 2"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart c 2));
+      (* The parked operation resumes and completes once the quorum is
+         back. *)
+      let o = ok_exn "read after recovery" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "recovered value" "b1" (value_of o))
+
+(* ----- interposer -------------------------------------------------------- *)
+
+let interposer_is_transparent_without_rules () =
+  let c =
+    Net.Cluster.start ~interpose:true ~protocol:Net.Protocols.safe ~cfg:cfg4
+      ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write via proxies" (Net.Cluster.write c (Core.Value.v "x1")) in
+      let o = ok_exn "read via proxies" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "value through interposers" "x1" (value_of o);
+      let forwarded =
+        Array.fold_left
+          (fun acc p -> acc + (Net.Chaos.stats p).Net.Chaos.forwarded)
+          0 (Net.Cluster.chaos c)
+      in
+      Alcotest.(check bool) "frames relayed" true (forwarded > 0))
+
+let interposer_drop_rule_blocks_and_clears () =
+  let c =
+    Net.Cluster.start ~interpose:true
+      ~opts:{ Net.Client.deadline = 0.05; retries = 1; backoff = 0.01 }
+      ~protocol:Net.Protocols.safe ~cfg:cfg4 ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let block_all =
+        {
+          Net.Chaos.dir = Net.Chaos.To_server;
+          sender = None;
+          from_us = 0;
+          until_us = max_int;
+          act = Net.Chaos.Drop;
+        }
+      in
+      Array.iter
+        (fun p -> Net.Chaos.set_rules p [ block_all ])
+        (Net.Cluster.chaos c);
+      (match Net.Cluster.write c (Core.Value.v "w1") with
+      | Ok _ -> Alcotest.fail "write through a total partition succeeded"
+      | Error _ -> ());
+      Array.iter (fun p -> Net.Chaos.set_rules p []) (Net.Cluster.chaos c);
+      (* A timed-out write is parked, not aborted (the paper's automata
+         have no abort): the next write invocation resumes and completes
+         the parked w1 — only the one after that writes w2. *)
+      let _ = ok_exn "parked write completes after heal" (Net.Cluster.write c (Core.Value.v "w2")) in
+      let o = ok_exn "read after partition heals" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "parked w1 landed" "w1" (value_of o);
+      let _ = ok_exn "fresh write after heal" (Net.Cluster.write c (Core.Value.v "w2")) in
+      let o = ok_exn "read fresh value" (Net.Cluster.read c ~reader:1) in
+      Alcotest.(check string) "healed value" "w2" (value_of o);
+      let dropped =
+        Array.fold_left
+          (fun acc p -> acc + (Net.Chaos.stats p).Net.Chaos.dropped)
+          0 (Net.Cluster.chaos c)
+      in
+      Alcotest.(check bool) "partition dropped frames" true (dropped > 0))
+
+(* ----- the same plan on both backends ------------------------------------ *)
+
+let same_plan_runs_on_both_backends () =
+  let plan =
+    {
+      Fault.Plan.horizon = 120;
+      actions =
+        [
+          Crash { obj = 1; at = 10 };
+          Recover { obj = 1; at = 60; wipe = false };
+        ];
+    }
+  in
+  let cfg = Fault.Campaign.default_cfg Fault.Campaign.Safe ~t:1 ~b:1 in
+  Alcotest.(check bool) "plan within budget" true
+    (Fault.Plan.within_budget ~cfg plan);
+  let sim =
+    match
+      Fault.Campaign.run_plan_result Fault.Campaign.Safe ~cfg ~seed:42 plan
+    with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "sim run errored: %s" e.Fault.Campaign.error
+  in
+  let live =
+    match
+      Fault.Campaign.run_plan_result
+        ~backend:(Net.Live.backend ~opts:fast_live ())
+        Fault.Campaign.Safe ~cfg ~seed:42 plan
+    with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "live run errored: %s" e.Fault.Campaign.error
+  in
+  (* A within-budget crash/recover plan must be survived on BOTH
+     backends — and judged by the same checkers. *)
+  Alcotest.(check bool) "sim survives" false
+    (Fault.Campaign.verdict_violates Fault.Campaign.Safe sim);
+  Alcotest.(check bool) "live survives" false
+    (Fault.Campaign.verdict_violates Fault.Campaign.Safe live);
+  Alcotest.(check int) "live completed everything" live.Fault.Campaign.total
+    live.Fault.Campaign.completed
+
+(* Extract the key names of a one-line JSON object, in order. *)
+let json_keys line =
+  let keys = ref [] in
+  let n = String.length line in
+  let rec scan i =
+    if i >= n then ()
+    else if line.[i] = '"' then (
+      match String.index_from_opt line (i + 1) '"' with
+      | None -> ()
+      | Some j ->
+          if j + 1 < n && line.[j + 1] = ':' then
+            keys := String.sub line (i + 1) (j - i - 1) :: !keys;
+          (* skip past any value string contents *)
+          scan (j + 1))
+    else scan (i + 1)
+  in
+  scan 0;
+  List.rev !keys
+
+let matrices_share_a_schema () =
+  let seeds = [ 7 ] in
+  let sim_cell =
+    Fault.Campaign.sweep_protocol ~jobs:1 ~budget:Fault.Plan.small
+      ~plans_per_seed:1 Fault.Campaign.Safe ~t:1 ~b:1 ~seeds
+  in
+  let live_cell =
+    Fault.Campaign.sweep_protocol ~jobs:1
+      ~backend:(Net.Live.backend ~opts:fast_live ())
+      ~budget:Fault.Plan.small ~plans_per_seed:1 Fault.Campaign.Safe ~t:1 ~b:1
+      ~seeds
+  in
+  (* Same campaign coordinates -> Plan.gen draws the SAME plan for both
+     backends; the matrices must come out in the same schema. *)
+  let sim_line = Fault.Campaign.matrix_jsonl ~backend:"sim" [ sim_cell ] in
+  let live_line = Fault.Campaign.matrix_jsonl ~backend:"live" [ live_cell ] in
+  Alcotest.(check (list string)) "identical JSONL schema"
+    (json_keys sim_line) (json_keys live_line);
+  Alcotest.(check string) "sim cell survives" "survives"
+    (Fault.Campaign.cell_verdict sim_cell);
+  Alcotest.(check string) "live cell survives" "survives"
+    (Fault.Campaign.cell_verdict live_cell)
+
+(* ----- live counterexample -> deterministic sim witness ------------------ *)
+
+let live_witness_replays_deterministically () =
+  (* Two crashes at t = 1 and nobody recovers: beyond budget, so the
+     live run MUST lose wait-freedom — the counterexample we then hand
+     to the simulator. *)
+  let cfg = Quorum.Config.optimal ~t:1 ~b:0 in
+  let plan =
+    {
+      Fault.Plan.horizon = 60;
+      actions = [ Crash { obj = 1; at = 0 }; Crash { obj = 2; at = 0 } ];
+    }
+  in
+  Alcotest.(check bool) "plan is beyond budget" false
+    (Fault.Plan.within_budget ~cfg plan);
+  let w = Net.Live.capture ~opts:impatient Fault.Campaign.Safe ~cfg ~seed:11 plan in
+  Alcotest.(check bool) "live run violates wait-freedom" true
+    (w.Net.Live.w_live.Net.Live.verdict.Fault.Campaign.liveness > 0);
+  Alcotest.(check bool) "observed fault timeline recorded" true
+    (List.exists
+       (fun (_, e) -> e = "crash s1")
+       w.Net.Live.w_live.Net.Live.timeline);
+  (* The bridge: the simulator reproduces the violation from the same
+     coordinates... *)
+  Alcotest.(check bool) "sim replay reproduces" true (Net.Live.replay_reproduces w);
+  let v1 = Net.Live.replay_sim w and v2 = Net.Live.replay_sim w in
+  Alcotest.(check bool) "sim replays are identical" true (v1 = v2);
+  (* ...and two independent shrink runs land on the byte-identical
+     minimal witness. *)
+  let s1 = Net.Live.replay_shrunk w and s2 = Net.Live.replay_shrunk w in
+  Alcotest.(check string) "byte-identical shrunk witness"
+    (Fault.Plan.to_compact s1.Fault.Shrink.plan)
+    (Fault.Plan.to_compact s2.Fault.Shrink.plan);
+  Alcotest.(check int) "same shrink trajectory" s1.Fault.Shrink.attempts
+    s2.Fault.Shrink.attempts;
+  (* The minimal witness still needs both crashes: either alone is
+     within budget and survivable. *)
+  Alcotest.(check int) "1-minimal witness keeps both crashes" 2
+    (Fault.Plan.length s1.Fault.Shrink.plan)
+
+let suite =
+  ( "chaos-live",
+    [
+      Alcotest.test_case "injector dispatch covers every action" `Quick
+        injector_dispatch_is_total;
+      Alcotest.test_case "codec frame peeking is protocol-independent" `Quick
+        codec_peek_helpers;
+      Alcotest.test_case "restart of a live server is a structured error"
+        `Quick restart_alive_is_structured_error;
+      Alcotest.test_case "double crash is idempotent" `Quick
+        double_crash_is_idempotent;
+      Alcotest.test_case "wiped restart loses state, persisted keeps it"
+        `Quick wiped_restart_loses_state;
+      Alcotest.test_case "crash inside an inflight=16 pipelined window" `Slow
+        crash_mid_pipelined_window;
+      Alcotest.test_case "beyond-t crashes time out, count reconnects, recover"
+        `Quick beyond_t_crashes_timeout_then_recover;
+      Alcotest.test_case "interposer is transparent without rules" `Quick
+        interposer_is_transparent_without_rules;
+      Alcotest.test_case "interposer drop rule partitions and heals" `Quick
+        interposer_drop_rule_blocks_and_clears;
+      Alcotest.test_case "one plan value runs on both backends" `Slow
+        same_plan_runs_on_both_backends;
+      Alcotest.test_case "sim and live matrices share a schema" `Slow
+        matrices_share_a_schema;
+      Alcotest.test_case "live counterexample replays deterministically in sim"
+        `Slow live_witness_replays_deterministically;
+    ] )

@@ -64,7 +64,7 @@ let acceptance_1000_reads () =
       let failures = ref 0 in
       for k = 1 to 1000 do
         if k = 250 then Net.Cluster.crash c 3;
-        if k = 750 then Net.Cluster.restart c 3;
+        if k = 750 then Net.Cluster.restart_exn c 3;
         match Net.Cluster.read c ~reader:1 with
         | Ok o ->
             if value_of o <> "durable" then begin
@@ -130,7 +130,7 @@ let wiped_restart_is_tolerated () =
     (fun () ->
       let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "keep")) in
       Net.Cluster.crash c 2;
-      Net.Cluster.restart ~wipe:true c 2;
+      Net.Cluster.restart_exn ~wipe:true c 2;
       let o = ok_exn "read after wiped restart" (Net.Cluster.read c ~reader:1) in
       Alcotest.(check string) "value survives the wipe" "keep" (value_of o))
 
@@ -230,8 +230,8 @@ let too_many_failures_times_out () =
           Alcotest.(check bool) "error mentions the timeout" true
             (contains e "timed out");
           (* the cluster recovers once the objects come back *)
-          Net.Cluster.restart c 1;
-          Net.Cluster.restart c 2;
+          Net.Cluster.restart_exn c 1;
+          Net.Cluster.restart_exn c 2;
           let o = ok_exn "read after recovery" (Net.Cluster.read c ~reader:1) in
           Alcotest.(check string) "resumed op still returns the value" "v"
             (value_of o))
@@ -308,7 +308,7 @@ let pipelined_chaos_zero_failures () =
             Thread.delay 0.005;
             Net.Cluster.crash c 3;
             Thread.delay 0.05;
-            Net.Cluster.restart c 3)
+            Net.Cluster.restart_exn c 3)
           ()
       in
       run 600;
@@ -420,7 +420,7 @@ let poll_loop_cluster () =
       Alcotest.(check (list int)) "one down" [ 1; 3; 4 ] (Net.Cluster.alive c);
       let o = ok_exn "read with s2 down" (Net.Cluster.read c ~reader:1) in
       Alcotest.(check string) "quorum absorbs the crash" "poll" (value_of o);
-      Net.Cluster.restart c 2;
+      Net.Cluster.restart_exn c 2;
       Alcotest.(check (list int)) "all back" [ 1; 2; 3; 4 ]
         (Net.Cluster.alive c);
       let failures = ref 0 in

@@ -35,4 +35,5 @@ let () =
       Suite_parallel.suite;
       Suite_net_codec.suite;
       Suite_net.suite;
+      Suite_chaos_live.suite;
     ]
