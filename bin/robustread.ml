@@ -36,12 +36,19 @@ let jobs_arg =
            cores).  Results are byte-identical whatever $(docv) is; $(b,1) \
            forces the serial path.")
 
+(* The §5.1 cached/suffix variant for the sim-side commands; the two
+   readers match the default workloads (reads from r1 and r2). *)
+module Proto_gc2 = Core.Proto_regular_gc.Make (struct
+  let readers = 2
+end)
+
 let protocol_arg =
   let protocols =
     [
       ("safe", `Safe);
       ("regular", `Regular);
       ("regular-opt", `Regular_opt);
+      ("regular-gc", `Regular_gc);
       ("abd", `Abd);
       ("abd-atomic", `Abd_atomic);
       ("nonmod", `Nonmod);
@@ -54,8 +61,9 @@ let protocol_arg =
     & opt (enum protocols) `Safe
     & info [ "protocol"; "p" ] ~docv:"PROTO"
         ~doc:
-          "Protocol: $(b,safe), $(b,regular), $(b,regular-opt), $(b,abd), \
-           $(b,abd-atomic), $(b,nonmod), $(b,auth) or $(b,naive-fast).")
+          "Protocol: $(b,safe), $(b,regular), $(b,regular-opt), \
+           $(b,regular-gc), $(b,abd), $(b,abd-atomic), $(b,nonmod), \
+           $(b,auth) or $(b,naive-fast).")
 
 let attack_arg =
   let attacks =
@@ -279,6 +287,7 @@ let dispatch protocol attack { go } =
   | `Regular -> go (module Core.Proto_regular.Plain) (regular_attack attack)
   | `Regular_opt ->
       go (module Core.Proto_regular.Optimized) (regular_attack attack)
+  | `Regular_gc -> go (module Proto_gc2) (regular_attack attack)
   | `Abd ->
       go
         (module Baseline.Abd.Regular)
@@ -464,6 +473,7 @@ let lower_bound_cmd =
     | `Safe -> analyse (module Core.Proto_safe)
     | `Regular -> analyse (module Core.Proto_regular.Plain)
     | `Regular_opt -> analyse (module Core.Proto_regular.Optimized)
+    | `Regular_gc -> analyse (module Proto_gc2)
     | `Abd -> analyse (module Baseline.Abd.Regular)
     | `Abd_atomic -> analyse (module Baseline.Abd.Atomic)
     | `Nonmod -> analyse (module Baseline.Nonmod)
@@ -516,6 +526,7 @@ let check_cmd =
     | `Safe -> check (module Core.Proto_safe)
     | `Regular -> check (module Core.Proto_regular.Plain)
     | `Regular_opt -> check (module Core.Proto_regular.Optimized)
+    | `Regular_gc -> check (module Proto_gc2)
     | `Abd -> check (module Baseline.Abd.Regular)
     | `Abd_atomic -> check (module Baseline.Abd.Atomic)
     | `Nonmod -> check (module Baseline.Nonmod)
@@ -565,6 +576,7 @@ let walks_cmd =
     | `Safe -> sample (module Core.Proto_safe)
     | `Regular -> sample (module Core.Proto_regular.Plain)
     | `Regular_opt -> sample (module Core.Proto_regular.Optimized)
+    | `Regular_gc -> sample (module Proto_gc2)
     | `Abd -> sample (module Baseline.Abd.Regular)
     | `Abd_atomic -> sample (module Baseline.Abd.Atomic)
     | `Nonmod -> sample (module Baseline.Nonmod)
@@ -836,7 +848,7 @@ let net_protocol_arg =
     & info [ "protocol"; "p" ] ~docv:"PROTO"
         ~doc:
           "Protocol to serve: $(b,safe), $(b,regular), $(b,regular-opt), \
-           $(b,abd) or $(b,abd-atomic).")
+           $(b,regular-gc), $(b,abd) or $(b,abd-atomic).")
 
 let endpoint_conv =
   Arg.conv
@@ -1120,12 +1132,32 @@ let cluster_cmd =
              readers x reads).  0, the default, runs one serial client per \
              reader.")
   in
+  let fast_reads_arg =
+    Arg.(
+      value & flag
+      & info [ "fast-reads" ]
+          ~doc:
+            "Run the §5.1 cached/suffix protocol ($(b,regular-gc) sized to \
+             the actual reader count): readers cache the last returned \
+             timestamp, objects ship history suffixes, and reads return \
+             after round 1 whenever the candidate set already decides — \
+             which the lower bound permits only at S >= 2t+2b+1; below it \
+             every read falls back to the full two rounds.  Overrides \
+             $(b,--protocol).")
+  in
   let run protocol t b s readers writes reads transport crash inflight loop
-      copts jobs metrics artifacts =
+      fast_reads copts jobs metrics artifacts =
     if inflight < 0 then begin
       Format.eprintf "robustread: --inflight %d must be >= 0@." inflight;
       exit 2
     end;
+    let protocol =
+      if fast_reads then
+        (* The mux allocates fresh reader ids past [readers]; unknown ids
+           only make server-side pruning more conservative, never unsafe. *)
+        Net.Protocols.regular_gc ~readers:(max 1 readers)
+      else protocol
+    in
     let cfg = config ~s ~t ~b () in
     (match crash with
     | Some i when i < 1 || i > cfg.Quorum.Config.s ->
@@ -1265,7 +1297,8 @@ let cluster_cmd =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
       $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ inflight_arg
-      $ loop_arg $ client_opts_args $ jobs_arg $ metrics_arg $ artifacts_arg)
+      $ loop_arg $ fast_reads_arg $ client_opts_args $ jobs_arg $ metrics_arg
+      $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "cluster"

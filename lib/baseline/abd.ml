@@ -168,6 +168,9 @@ module Common = struct
   let reader_init = reader_init
 
   let reader_start = reader_start
+
+  (* No client-side cached state to resync after a reconnect. *)
+  let reader_on_reconnect r = r
 end
 
 module Regular = struct

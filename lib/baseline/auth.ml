@@ -137,3 +137,6 @@ let byz_replay_stale : msg Byz.factory =
             [ (src, Read_ack { rid; sv = initial_sv }) ]
         | Some m -> [ (src, m) ])
   }
+
+(* No client-side cached state to resync after a reconnect. *)
+let reader_on_reconnect r = r

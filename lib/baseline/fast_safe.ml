@@ -122,3 +122,6 @@ let byz_forge_high ~value ~ts_boost =
 
 let byz_endorse_forgery ~value ~ts =
   wrap_read_ack (fun ~honest:_ -> (ts, Value.v value))
+
+(* No client-side cached state to resync after a reconnect. *)
+let reader_on_reconnect r = r

@@ -117,3 +117,6 @@ let byz_simulate_write ~value ~ts =
   wrap_read_ack (fun ~honest:_ -> (ts, Value.v value))
 
 let byz_replay_initial = wrap_read_ack (fun ~honest:_ -> (0, Value.bottom))
+
+(* No client-side cached state to resync after a reconnect. *)
+let reader_on_reconnect r = r

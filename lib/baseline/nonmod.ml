@@ -254,3 +254,6 @@ let byz_stale : msg Byz.factory =
             [ (src, Read_ack { rid; phase; pw = Tsval.init; w = Tsval.init }) ]
         | Some m -> [ (src, m) ])
   }
+
+(* No client-side cached state to resync after a reconnect. *)
+let reader_on_reconnect r = r

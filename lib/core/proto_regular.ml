@@ -41,9 +41,12 @@ end) : Protocol_intf.S with type msg = Messages.t = struct
 
   type reader = Regular_reader.t
 
-  let reader_init ~cfg ~j = Regular_reader.init ~cfg ~j ~cached:Variant.cached
+  let reader_init ~cfg ~j =
+    Regular_reader.init ~cfg ~j ~cached:Variant.cached ()
 
   let reader_start = Regular_reader.start_read
+
+  let reader_on_reconnect = Regular_reader.on_reconnect
 
   let reader_on_msg r ~obj msg =
     let r, events = Regular_reader.on_message r ~obj msg in

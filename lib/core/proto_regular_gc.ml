@@ -35,9 +35,17 @@ end) : Protocol_intf.S with type msg = Messages.t = struct
 
   type reader = Regular_reader.t
 
-  let reader_init ~cfg ~j = Regular_reader.init ~cfg ~j ~cached:true
+  (* The one-round decision is admissible only at S >= 2t+2b+1
+     (Proposition 1); below the bound the reader always runs both
+     rounds, so a gated configuration can never report a 1-round read. *)
+  let reader_init ~cfg ~j =
+    Regular_reader.init
+      ~fast:(Quorum.Config.fast_read_admissible cfg)
+      ~cfg ~j ~cached:true ()
 
   let reader_start = Regular_reader.start_read
+
+  let reader_on_reconnect = Regular_reader.on_reconnect
 
   let reader_on_msg r ~obj msg =
     let r, events = Regular_reader.on_message r ~obj msg in

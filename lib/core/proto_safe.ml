@@ -49,3 +49,6 @@ let reader_on_msg r ~obj msg =
       events
   in
   (r, events)
+
+(* No client-side cached state to resync after a reconnect. *)
+let reader_on_reconnect r = r

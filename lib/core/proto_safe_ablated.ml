@@ -57,6 +57,9 @@ end) : Protocol_intf.S with type msg = Messages.t = struct
         events
     in
     (r, events)
+
+  (* No client-side cached state to resync after a reconnect. *)
+  let reader_on_reconnect r = r
 end
 
 module No_conflict_detection = Make (struct

@@ -56,4 +56,13 @@ module type S = sig
 
   val reader_on_msg :
     reader -> obj:int -> msg -> reader * msg Events.client_event list
+
+  val reader_on_reconnect : reader -> reader
+  (** Transport hook: a connection to a base object was re-established
+      (client reconnect or server restart).  Protocols that keep
+      client-side cached state derived from object replies (the §5.1
+      timestamp cache of regular-gc) resync it here; pure protocols
+      return the reader unchanged.  The simulator never calls this —
+      its channels do not fail — but the network client calls it on
+      every successful re-dial. *)
 end

@@ -13,6 +13,8 @@ type t = {
   tsr' : int;
   cached : bool;
   cache : Tsval.t;
+  fast : bool;
+  stale : bool;
   phase : phase;
 }
 
@@ -20,8 +22,9 @@ type event =
   | Broadcast of Messages.t
   | Return of { value : Value.t; rounds : int }
 
-let init ~cfg ~j ~cached =
-  { cfg; j; tsr' = 0; cached; cache = Tsval.init; phase = Idle }
+let init ?(fast = true) ~cfg ~j ~cached () =
+  { cfg; j; tsr' = 0; cached; cache = Tsval.init; fast; stale = false;
+    phase = Idle }
 
 let reader_index t = t.j
 
@@ -39,10 +42,29 @@ let safe_threshold t = t.cfg.Quorum.Config.b + 1
 
 let from_ts t = if t.cached then t.cache.Tsval.ts else 0
 
+(* Transport hook: a connection to a base object was re-established
+   (reconnect, or server restart).  The object behind it may have been
+   wiped, so the suffix it would ship for our cached timestamp can no
+   longer be trusted to carry every entry we pruned client-side.  Reset
+   the cache so the next read asks for the full history (from_ts = 0).
+   Mid-operation we only mark the cache stale: the in-flight read still
+   needs [t.cache] for the §5.1 empty-candidate fallback, and dropping it
+   now would return ⊥ for a value that was legitimately read — the flag
+   is consumed by the next [start_read] instead. *)
+let on_reconnect t =
+  if not t.cached then t
+  else
+    match t.phase with
+    | Idle -> { t with cache = Tsval.init; stale = false }
+    | Round1 _ | Round2 _ -> { t with stale = true }
+
 let start_read t =
   match t.phase with
   | Round1 _ | Round2 _ -> Error "read already in progress"
   | Idle ->
+      let t =
+        if t.stale then { t with cache = Tsval.init; stale = false } else t
+      in
       let tsr' = t.tsr' + 1 in
       let data =
         {
@@ -190,7 +212,10 @@ let on_message t ~obj msg =
         let tsr' = t.tsr' + 1 in
         let read2 = Messages.Read2 { tsr = tsr'; from_ts = from_ts t } in
         let t = { t with tsr'; phase = Round2 data } in
-        match try_decide t data with
+        (* The opportunistic one-round decision exists only above the
+           S >= 2t+2b+1 lower bound; with [fast = false] the evidence is
+           kept but the decision waits for round-2 acks. *)
+        match (if t.fast then try_decide t data else None) with
         | Some (t, decision) ->
             ({ t with phase = Idle }, [ Broadcast read2; decision ])
         | None -> (t, [ Broadcast read2 ])

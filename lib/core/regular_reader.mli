@@ -20,7 +20,22 @@ type event =
   | Broadcast of Messages.t
   | Return of { value : Value.t; rounds : int }
 
-val init : cfg:Quorum.Config.t -> j:int -> cached:bool -> t
+val init : ?fast:bool -> cfg:Quorum.Config.t -> j:int -> cached:bool -> unit -> t
+(** [fast] (default [true]) enables the opportunistic one-round decision
+    at round-1 completion.  Pass
+    [~fast:(Quorum.Config.fast_read_admissible cfg)] to gate it on the
+    paper's lower bound: below [S = 2t + 2b + 1] every read then takes
+    the full two rounds, which is exactly what Proposition 1 proves
+    unavoidable. *)
+
+val on_reconnect : t -> t
+(** Transport hook: the connection to a base object was re-established
+    (client reconnect or server restart), so suffix replies computed
+    against the cached timestamp can no longer be trusted.  Clears the
+    timestamp cache when idle; during an in-flight read it marks the
+    cache stale instead (the fallback of the current read still needs
+    it) and the next {!start_read} clears it.  No-op when
+    [cached = false]. *)
 
 val reader_index : t -> int
 

@@ -34,6 +34,7 @@ type conn = {
   reader : Codec.Reader.t;  (* reused (reset) across reconnects *)
   out : Codec.Out.t;  (* per-connection encode scratch / outbound batch *)
   mutable frames_out : int;  (* frames appended since the last flush *)
+  mutable ever : bool;  (* connected at least once: re-dials are reconnects *)
   mutable fails : int;
   mutable next_attempt : float;
   mutable warned_at : float;
@@ -48,6 +49,7 @@ let mk_conn i ep =
     reader = Codec.Reader.create ();
     out = Codec.Out.create ();
     frames_out = 0;
+    ever = false;
     fails = 0;
     next_attempt = 0.;
     warned_at = neg_infinity;
@@ -118,14 +120,21 @@ let drop_conn ?count c =
       (match count with None -> () | Some f -> f "net.client.disconnects")
 
 (* Connect and send the session [Hello]; failures are penalized and
-   (rate-limitedly) reported. *)
-let try_connect ?count ~codec ~proto_name ~proc c =
+   (rate-limitedly) reported.  [on_reconnect] fires when the endpoint
+   had been connected before — the server behind it may have restarted
+   (possibly wiped), so protocols with client-side cached state must
+   resync (see {!Core.Protocol_intf.S.reader_on_reconnect}). *)
+let try_connect ?count ?on_reconnect ~codec ~proto_name ~proc c =
   match connect_fd c.ep with
   | fd -> (
       Codec.Reader.reset c.reader;
       c.fails <- 0;
       c.fd <- Some fd;
+      let reconnected = c.ever in
+      c.ever <- true;
       (match count with None -> () | Some f -> f "net.client.connects");
+      (if reconnected then
+         match on_reconnect with None -> () | Some f -> f ());
       try
         Codec.encode_frame_into codec c.out
           (Codec.Hello { proto = proto_name; sender = proc; obj = c.index });
@@ -215,7 +224,14 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
         c.frames_out <- c.frames_out + 1;
         flush_conn ?metrics ~count c
   in
-  let try_connect c = try_connect ~count ~codec ~proto_name:P.name ~proc c in
+  (* Set by the reader role below once its machine ref exists; writers
+     keep the no-op (the writer automaton caches nothing). *)
+  let resync = ref (fun () -> ()) in
+  let try_connect c =
+    try_connect ~count ~codec ~proto_name:P.name ~proc
+      ~on_reconnect:(fun () -> !resync ())
+      c
+  in
   let ensure_conns () =
     Array.iter
       (fun c -> if c.fd = None && now_f () >= c.next_attempt then try_connect c)
@@ -326,7 +342,20 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
                     ~bounds:Obs.Metrics.count_bounds span.Obs.Span.replies;
                   Obs.Metrics.observe_int reg (k ^ ".contacted")
                     ~bounds:Obs.Metrics.count_bounds
-                    (List.length (Obs.Span.contacted span)));
+                    (List.length (Obs.Span.contacted span));
+                  (* Distinguish the one-round fast path from the
+                     two-round fallback in traces.  [rounds] is what the
+                     automaton REPORTED at decision time — span.rounds
+                     counts initiated rounds and is 2 even for a fast
+                     read, because the fast path still broadcasts Read2
+                     (Fig. 6: the round-2 write-back keeps object state
+                     and GC floors advancing). *)
+                  match kind with
+                  | Obs.Span.Read _ ->
+                      Obs.Metrics.incr reg
+                        (if rounds <= 1 then "op.fast_reads"
+                         else "op.fallback_rounds")
+                  | Obs.Span.Write -> ());
               Ok
                 {
                   value;
@@ -400,6 +429,10 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
         (write, fun () -> invalid_arg "Client.read: this client is the writer")
     | `Reader j ->
         let rd = ref (P.reader_init ~cfg ~j) in
+        resync :=
+          (fun () ->
+            count "op.cache_resyncs";
+            rd := P.reader_on_reconnect !rd);
         let pending = ref None in
         let read () =
           run_op
@@ -568,11 +601,23 @@ module Mux = struct
     let flush_all () =
       Array.iter (fun c -> flush_conn ?metrics ~count c) conns
     in
+    (* Any re-established connection resyncs EVERY reader machine: the
+       server behind it may have restarted wiped, so no machine's cached
+       timestamp may be trusted for suffix requests any more.  Idle
+       machines clear immediately; in-flight ones defer to their next
+       start (see Regular_reader.on_reconnect). *)
+    let resync_slots () =
+      count "op.cache_resyncs";
+      Array.iter
+        (fun sl -> sl.machine <- P.reader_on_reconnect sl.machine)
+        slots
+    in
     let ensure_conns now =
       Array.iter
         (fun c ->
           if c.fd = None && now >= c.next_attempt then
-            try_connect ~count ~codec ~proto_name:P.name ~proc:session_proc c)
+            try_connect ~count ~codec ~proto_name:P.name ~proc:session_proc
+              ~on_reconnect:resync_slots c)
         conns
     in
     let connected () =
@@ -601,7 +646,10 @@ module Mux = struct
       end
       else -1
     in
-    let op_metrics span now =
+    (* [rounds] is the automaton-reported count (outcome.rounds), not
+       span.rounds: the fast path still broadcasts Read2, so the span
+       records 2 initiated rounds even for a 1-round decision. *)
+    let op_metrics span ~rounds now =
       match metrics with
       | None -> ()
       | Some reg ->
@@ -615,7 +663,9 @@ module Mux = struct
             ~bounds:Obs.Metrics.count_bounds span.Obs.Span.replies;
           Obs.Metrics.observe_int reg "op.read.contacted"
             ~bounds:Obs.Metrics.count_bounds
-            (List.length (Obs.Span.contacted span))
+            (List.length (Obs.Span.contacted span));
+          Obs.Metrics.incr reg
+            (if rounds <= 1 then "op.fast_reads" else "op.fallback_rounds")
     in
     let run ?on_event n =
       if n < 0 then invalid_arg "Mux.run_reads: negative op count";
@@ -652,7 +702,7 @@ module Mux = struct
                     let now = now_us () in
                     Obs.Span.finish a.aspan ~now ~rounds
                       ~result:(Core.Value.to_string value) ~trace_pos:0 ();
-                    op_metrics a.aspan now;
+                    op_metrics a.aspan ~rounds now;
                     let out =
                       {
                         value = Some value;
@@ -667,7 +717,7 @@ module Mux = struct
                     let now = now_us () in
                     Obs.Span.finish p.pspan ~now ~rounds
                       ~result:(Core.Value.to_string value) ~trace_pos:0 ();
-                    op_metrics p.pspan now;
+                    op_metrics p.pspan ~rounds now;
                     sl.st <-
                       Sdone
                         {

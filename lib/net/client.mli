@@ -23,7 +23,18 @@
       (microsecond timestamps, round transitions, contacted objects)
       and, with [metrics], populates the same [op.*] / [wire.*] metric
       families as the simulator, so live runs export through the
-      existing JSONL exporters unchanged. *)
+      existing JSONL exporters unchanged.  Completed reads additionally
+      bump [op.fast_reads] (reported rounds <= 1: the §5.1 one-round
+      fast path) or [op.fallback_rounds] (>= 2 rounds), so traces
+      distinguish the paths without parsing spans;
+    - {b cache resync} — re-establishing a connection that was up before
+      means the server behind it may have restarted, possibly wiped.
+      The client then passes every reader machine through
+      {!Core.Protocol_intf.S.reader_on_reconnect} (counted as
+      [op.cache_resyncs]): regular-gc clears its §5.1 timestamp cache so
+      the next read requests the full history instead of trusting a
+      suffix the wiped object can no longer serve; stateless protocols
+      are untouched. *)
 
 type opts = {
   deadline : float;  (** seconds a round may wait before a retransmit *)

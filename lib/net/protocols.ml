@@ -16,11 +16,17 @@ let regular_opt =
   Packed
     { proto = (module Core.Proto_regular.Optimized); codec = Codec.messages }
 
+let regular_gc ~readers =
+  let module Gc = Core.Proto_regular_gc.Make (struct
+    let readers = readers
+  end) in
+  Packed { proto = (module Gc); codec = Codec.messages }
+
 let abd = Packed { proto = (module Baseline.Abd.Regular); codec = Codec.abd }
 
 let abd_atomic =
   Packed { proto = (module Baseline.Abd.Atomic); codec = Codec.abd }
 
-let all = [ safe; regular; regular_opt; abd; abd_atomic ]
+let all = [ safe; regular; regular_opt; regular_gc ~readers:2; abd; abd_atomic ]
 
 let of_string s = List.find_opt (fun p -> name p = s) all

@@ -24,6 +24,18 @@ val regular : t
 
 val regular_opt : t
 
+val regular_gc : readers:int -> t
+(** The §5.1 cached/suffix variant ({!Core.Proto_regular_gc}) on the
+    wire: readers send [Read1/Read2 { from_ts }] with their cached
+    timestamp, objects answer with the history {e suffix} past it and
+    garbage-collect entries below every reader's floor.  [readers] sizes
+    the server-side floor set: pass the real reader count so pruning can
+    engage (it only starts once every floor is known; unknown readers
+    keep it conservative, never unsafe).  The one-round fast path is
+    gated inside the protocol on [Quorum.Config.fast_read_admissible] —
+    below [S = 2t+2b+1] every read runs both rounds.  The codec already
+    frames [from_ts] and suffix histories (wire version unchanged). *)
+
 val abd : t
 
 val abd_atomic : t
@@ -31,4 +43,7 @@ val abd_atomic : t
 val all : t list
 
 val of_string : string -> t option
-(** Lookup by {!name}. *)
+(** Lookup by {!name}.  ["regular-gc"] resolves to
+    [regular_gc ~readers:2] — fine for serving (floor pruning merely
+    stays conservative if more readers appear); the cluster CLI rebuilds
+    the pack with the real reader count. *)

@@ -203,6 +203,98 @@ let crash_mid_pipelined_window () =
       Alcotest.(check int) "live history stays safe" 0
         (List.length (Histories.Checks.check_safety ~equal (Net.Cluster.history c))))
 
+(* ----- fast reads under chaos (ISSUE 7) ---------------------------------- *)
+
+let cfg_gc_slow = Quorum.Config.optimal ~t:1 ~b:1 (* S = 2t+b+1 = 4 *)
+
+let cfg_gc_fast = Quorum.Config.make_exn ~s:5 ~t:1 ~b:1 (* S = 2t+2b+1 *)
+
+(* Crash a base object while an inflight=16 window of fast reads is
+   running at S = 2t+2b+1: the opportunistic round-1 decision must
+   degrade (2 rounds at worst, the Fig. 6 fallback), never fail an op
+   and never surface a value that violates safety or regularity. *)
+let crash_mid_fast_read_window () =
+  let c =
+    Net.Cluster.start
+      ~opts:{ Net.Client.deadline = 0.5; retries = 8; backoff = 0.01 }
+      ~protocol:(Net.Protocols.regular_gc ~readers:1)
+      ~cfg:cfg_gc_fast ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "f1")) in
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.02;
+            Net.Cluster.crash c 3)
+          ()
+      in
+      let results = Net.Cluster.read_pipelined c ~inflight:16 ~ops:200 in
+      Thread.join killer;
+      let outcomes =
+        Array.to_list results
+        |> List.map (function
+             | Ok o -> o
+             | Error e -> Alcotest.failf "fast read failed across crash: %s" e)
+      in
+      List.iter
+        (fun (o : Net.Client.outcome) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reported rounds in {1,2} (got %d)" o.rounds)
+            true
+            (o.rounds = 1 || o.rounds = 2))
+        outcomes;
+      ok_exn "restart after window"
+        (Result.map_error (fun _ -> "still alive") (Net.Cluster.restart c 3));
+      let equal = String.equal in
+      let h = Net.Cluster.history c in
+      Alcotest.(check bool) "history safe across the crash" true
+        (Histories.Checks.is_safe ~equal h);
+      Alcotest.(check bool) "history regular across the crash" true
+        (Histories.Checks.is_regular ~equal h))
+
+(* Below the Proposition 1 bound (S = 2t+b+1 < 2t+2b+1) the gate must
+   stay shut no matter what faults do: a 1-round read reported here
+   would be a regularity hazard the checker cannot even see.  Crash and
+   recover an object mid-window and require every read to report
+   exactly 2 rounds. *)
+let below_bound_never_one_round () =
+  let c =
+    Net.Cluster.start
+      ~opts:{ Net.Client.deadline = 0.5; retries = 8; backoff = 0.01 }
+      ~protocol:(Net.Protocols.regular_gc ~readers:1)
+      ~cfg:cfg_gc_slow ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ = ok_exn "write" (Net.Cluster.write c (Core.Value.v "s1")) in
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.02;
+            Net.Cluster.crash c 2;
+            Thread.delay 0.05;
+            Net.Cluster.restart_exn c 2)
+          ()
+      in
+      let results = Net.Cluster.read_pipelined c ~inflight:16 ~ops:200 in
+      Thread.join killer;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e -> Alcotest.failf "read %d failed: %s" i e
+          | Ok (o : Net.Client.outcome) ->
+              Alcotest.(check int)
+                (Printf.sprintf "read %d reports exactly 2 rounds" i)
+                2 o.rounds)
+        results;
+      let equal = String.equal in
+      Alcotest.(check bool) "history regular below the bound" true
+        (Histories.Checks.is_regular ~equal (Net.Cluster.history c)))
+
 let beyond_t_crashes_timeout_then_recover () =
   let c =
     Net.Cluster.start ~metrics:true
@@ -434,6 +526,10 @@ let suite =
         `Quick wiped_restart_loses_state;
       Alcotest.test_case "crash inside an inflight=16 pipelined window" `Slow
         crash_mid_pipelined_window;
+      Alcotest.test_case "crash mid fast-read window falls back cleanly" `Slow
+        crash_mid_fast_read_window;
+      Alcotest.test_case "below 2t+2b+1 no read ever reports one round" `Slow
+        below_bound_never_one_round;
       Alcotest.test_case "beyond-t crashes time out, count reconnects, recover"
         `Quick beyond_t_crashes_timeout_then_recover;
       Alcotest.test_case "interposer is transparent without rules" `Quick

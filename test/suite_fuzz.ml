@@ -157,7 +157,7 @@ let fuzz_regular_reader =
   QCheck.Test.make ~name:"regular reader survives arbitrary acks" ~count:300
     arb_feed
     (fun feed ->
-      let r = Regular_reader.init ~cfg ~j:1 ~cached:true in
+      let r = Regular_reader.init ~cfg ~j:1 ~cached:true () in
       let r =
         match Regular_reader.start_read r with Ok (r, _) -> r | Error _ -> r
       in

@@ -97,7 +97,7 @@ let history_with entries =
     History_store.init entries
 
 let start_reader ?(cached = false) () =
-  let r = Regular_reader.init ~cfg ~j:1 ~cached in
+  let r = Regular_reader.init ~cfg ~j:1 ~cached () in
   match Regular_reader.start_read r with
   | Ok (r, Messages.Read1 { tsr; from_ts }) -> (r, tsr, from_ts)
   | _ -> Alcotest.fail "expected READ1"

@@ -36,4 +36,5 @@ let () =
       Suite_net_codec.suite;
       Suite_net.suite;
       Suite_chaos_live.suite;
+      Suite_fast_read.suite;
     ]
