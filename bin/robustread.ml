@@ -895,6 +895,16 @@ let loop_arg =
            connection) or $(b,poll) (a single event-loop domain — with \
            'cluster', all S base objects share it).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the poll event-loop group: base object $(i,i) \
+           and every connection accepted for it are owned by domain \
+           ($(i,i)-1) mod $(docv), so all automaton steps stay domain-local \
+           (clamped to 1..S; only meaningful with $(b,--loop poll)).")
+
 let live_artifacts ~metrics ~artifacts ~spans registry =
   match artifacts with
   | None -> ()
@@ -1146,7 +1156,7 @@ let cluster_cmd =
              $(b,--protocol).")
   in
   let run protocol t b s readers writes reads transport crash inflight loop
-      fast_reads copts jobs metrics artifacts =
+      domains fast_reads copts jobs metrics artifacts =
     if inflight < 0 then begin
       Format.eprintf "robustread: --inflight %d must be >= 0@." inflight;
       exit 2
@@ -1169,15 +1179,18 @@ let cluster_cmd =
         exit 2
     | _ -> ());
     let cluster =
-      Net.Cluster.start ~metrics ~opts:copts ~transport ~loop ~protocol ~cfg
-        ~readers ()
+      Net.Cluster.start ~metrics ~opts:copts ~transport ~loop ~domains
+        ~protocol ~cfg ~readers ()
     in
     Format.printf "cluster of %a (%s) over %s sockets (%s loop): %d writes, \
                    %d readers x %d reads%s%s@."
       Quorum.Config.pp cfg
       (Net.Protocols.name protocol)
       (match transport with `Unix -> "unix" | `Tcp -> "tcp")
-      (match loop with `Threads -> "threads" | `Poll -> "poll")
+      (match loop with
+      | `Threads -> "threads"
+      | `Poll when domains > 1 -> Printf.sprintf "poll x%d domains" domains
+      | `Poll -> "poll")
       writes readers reads
       (if inflight > 0 then Printf.sprintf " (pipelined, window %d)" inflight
        else "")
@@ -1271,6 +1284,13 @@ let cluster_cmd =
     let history = Net.Cluster.history cluster in
     let equal = String.equal in
     let safety = Histories.Checks.check_safety ~equal history in
+    let partition = Net.Cluster.partition_violations cluster in
+    if partition > 0 then
+      record_failure
+        (Printf.sprintf
+           "domain-partition violations: %d (an object was stepped outside \
+            its owning domain)"
+           partition);
     let spans = Net.Cluster.spans cluster in
     let completed = List.length (List.filter Obs.Span.completed spans) in
     Format.printf "%d operations (%d spans completed); safety: %s@."
@@ -1297,8 +1317,8 @@ let cluster_cmd =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
       $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ inflight_arg
-      $ loop_arg $ fast_reads_arg $ client_opts_args $ jobs_arg $ metrics_arg
-      $ artifacts_arg)
+      $ loop_arg $ domains_arg $ fast_reads_arg $ client_opts_args $ jobs_arg
+      $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -1307,6 +1327,280 @@ let cluster_cmd =
           one process), run a read/write workload over real sockets — \
           optionally crashing and restarting a server mid-run — then check \
           the recorded history and export spans/metrics.")
+    term
+
+(* ----- load: multi-process saturation driver ----------------------------- *)
+
+(* The saturation workload needs more client-side parallelism than one
+   process can generate (a mux is one thread; the GC and the select loop
+   cap it).  'load' hosts the sharded server group and forks K worker
+   processes of this same binary ('load-worker', hidden), each driving
+   its own pipelined mux with a disjoint reader-id range; workers export
+   their op.* registries as JSONL and the parent merges them with the
+   per-object server registries into one report. *)
+
+let first_reader_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "first-reader" ] ~docv:"J"
+        ~doc:"First reader id of this worker's range (ids J..J+W-1).")
+
+let ops_per_proc_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "ops"; "n" ] ~docv:"N" ~doc:"READ operations per worker process.")
+
+let load_inflight_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "inflight" ] ~docv:"W"
+        ~doc:"In-flight operation window (= reader slots) per worker process.")
+
+let load_worker_cmd =
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt_all endpoint_conv []
+      & info [ "endpoint"; "e" ] ~docv:"EP"
+          ~doc:"Base-object endpoints, in object order; repeat S times.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write this worker's metrics registry as JSONL to $(docv).")
+  in
+  let run protocol t b s endpoints inflight ops first_reader metrics_out copts
+      =
+    let cfg = config ~s ~t ~b () in
+    if List.length endpoints <> cfg.Quorum.Config.s then begin
+      Format.eprintf
+        "robustread: %d endpoints given but the configuration has S = %d \
+         objects@."
+        (List.length endpoints) cfg.Quorum.Config.s;
+      exit 2
+    end;
+    if inflight < 1 || ops < 0 || first_reader < 1 then begin
+      Format.eprintf "robustread: bad --inflight/--ops/--first-reader@.";
+      exit 2
+    end;
+    let registry = Obs.Metrics.create () in
+    let mux =
+      Net.Client.Mux.connect ~metrics:registry ~opts:copts
+        ~max_inflight:inflight ~first_reader ~protocol ~cfg ~readers:inflight
+        (Array.of_list endpoints)
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Net.Client.Mux.run_reads mux ops in
+    let wall = Unix.gettimeofday () -. t0 in
+    Net.Client.Mux.close mux;
+    let failures =
+      Array.fold_left
+        (fun n -> function Ok _ -> n | Error _ -> n + 1)
+        0 outcomes
+    in
+    (match metrics_out with
+    | Some path ->
+        Obs.Export.write_file ~path
+          (Obs.Export.metrics_jsonl
+             ~labels:[ ("proc_first_reader", string_of_int first_reader) ]
+             registry)
+    | None -> ());
+    Format.printf "load-worker r%d..r%d: %d ops in %.3fs (%.0f ops/s), %d \
+                   failed@."
+      first_reader
+      (first_reader + inflight - 1)
+      ops wall
+      (if wall > 0.0 then float_of_int ops /. wall else 0.0)
+      failures;
+    if failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ endpoints_arg
+      $ load_inflight_arg $ ops_per_proc_arg $ first_reader_arg
+      $ metrics_out_arg $ client_opts_args)
+  in
+  Cmd.v
+    (Cmd.info "load-worker" ~docs:Manpage.s_none
+       ~doc:
+         "(internal) One load-generator process: a pipelined mux with a \
+          disjoint reader-id range, spawned by 'robustread load'.")
+    term
+
+let load_cmd =
+  let procs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "procs"; "k" ] ~docv:"K"
+          ~doc:"Client worker processes to fork (disjoint reader-id ranges).")
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt (enum [ ("unix", `Unix); ("tcp", `Tcp) ]) `Unix
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:"Socket flavour: $(b,unix) (default) or $(b,tcp) loopback.")
+  in
+  let run protocol t b s domains procs inflight ops transport copts metrics
+      artifacts =
+    if procs < 1 || inflight < 1 || ops < 1 then begin
+      Format.eprintf "robustread: --procs, --inflight and --ops must be >= 1@.";
+      exit 2
+    end;
+    let cfg = config ~s ~t ~b () in
+    let s = cfg.Quorum.Config.s in
+    (* Private scratch dir for sockets and per-worker metric files. *)
+    let dir =
+      let path = Filename.temp_file "robustread-load" "" in
+      Unix.unlink path;
+      Unix.mkdir path 0o700;
+      path
+    in
+    let endpoints =
+      match transport with
+      | `Unix ->
+          Array.init s (fun i ->
+              Net.Endpoint.Unix_sock
+                (Filename.concat dir (Printf.sprintf "obj%d.sock" (i + 1))))
+      | `Tcp ->
+          Array.init s (fun _ ->
+              Net.Endpoint.Tcp { host = "127.0.0.1"; port = 0 })
+    in
+    let registries = Array.init s (fun _ -> Obs.Metrics.create ()) in
+    let servers =
+      Net.Server.start_group
+        ~metrics:(fun i -> registries.(i))
+        ~domains ~protocol ~cfg endpoints
+    in
+    let actual = Array.map Net.Server.endpoint servers in
+    (* Seed one write so every READ returns a real value. *)
+    let writer =
+      Net.Client.connect ~opts:copts ~protocol ~cfg ~role:`Writer actual
+    in
+    (match Net.Client.write writer (Core.Value.v "v1") with
+    | Ok _ -> ()
+    | Error e ->
+        Format.eprintf "robustread: seed write failed: %s@." e;
+        Net.Client.close writer;
+        Array.iter Net.Server.stop servers;
+        exit 1);
+    Net.Client.close writer;
+    Format.printf
+      "load: %a (%s) over %s sockets, %d worker domain(s); %d proc(s) x \
+       window %d x %d ops@."
+      Quorum.Config.pp cfg
+      (Net.Protocols.name protocol)
+      (match transport with `Unix -> "unix" | `Tcp -> "tcp")
+      (max 1 (min domains s))
+      procs inflight ops;
+    Format.print_flush ();
+    let metric_file k = Filename.concat dir (Printf.sprintf "proc%d.jsonl" k) in
+    let ep_args =
+      List.concat_map
+        (fun ep -> [ "-e"; Net.Endpoint.to_string ep ])
+        (Array.to_list actual)
+    in
+    let t0 = Unix.gettimeofday () in
+    let pids =
+      List.init procs (fun k ->
+          let k = k + 1 in
+          let argv =
+            [
+              Sys.executable_name; "load-worker";
+              "-p"; Net.Protocols.name protocol;
+              "-t"; string_of_int cfg.Quorum.Config.t;
+              "-b"; string_of_int cfg.Quorum.Config.b;
+              "-s"; string_of_int s;
+              "--inflight"; string_of_int inflight;
+              "--ops"; string_of_int ops;
+              "--first-reader"; string_of_int (1 + ((k - 1) * inflight));
+              "--metrics-out"; metric_file k;
+              "--deadline"; Printf.sprintf "%g" copts.Net.Client.deadline;
+              "--retries"; string_of_int copts.Net.Client.retries;
+              "--backoff"; Printf.sprintf "%g" copts.Net.Client.backoff;
+            ]
+            @ ep_args
+          in
+          Unix.create_process Sys.executable_name (Array.of_list argv)
+            Unix.stdin Unix.stdout Unix.stderr)
+    in
+    let failed = ref 0 in
+    List.iter
+      (fun pid ->
+        match snd (Unix.waitpid [] pid) with
+        | Unix.WEXITED 0 -> ()
+        | _ -> incr failed)
+      pids;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.iter Net.Server.stop servers;
+    let partition = Net.Server.partition_violations servers.(0) in
+    (* Merge per-object server registries and per-process client JSONL
+       exports into one registry: counters add, histograms merge. *)
+    let merged = Obs.Metrics.create () in
+    Array.iter (fun reg -> Obs.Metrics.merge_into ~dst:merged reg) registries;
+    for k = 1 to procs do
+      let path = metric_file k in
+      if Sys.file_exists path then begin
+        (match
+           Obs.Export.metrics_of_jsonl ~into:merged
+             (Obs.Export.read_file path)
+         with
+        | Ok _ -> ()
+        | Error e ->
+            incr failed;
+            Format.eprintf "robustread: bad metrics from worker %d: %s@." k e);
+        Sys.remove path
+      end
+      else begin
+        incr failed;
+        Format.eprintf "robustread: worker %d left no metrics file@." k
+      end
+    done;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    let total = procs * ops in
+    Format.printf
+      "total: %d ops in %.3fs = %.0f ops/s (%d proc(s)); reads completed: %d; \
+       partition violations: %d@."
+      total wall
+      (if wall > 0.0 then float_of_int total /. wall else 0.0)
+      procs
+      (Obs.Metrics.counter_value merged "op.read.completed")
+      partition;
+    if metrics then
+      Format.printf "--- merged metrics ---@.%s"
+        (Stats.Table.to_string (Obs.Metrics.table merged));
+    (match artifacts with
+    | None -> ()
+    | Some dir ->
+        write_artifacts ~dir
+          [ ("metrics.jsonl", Obs.Export.metrics_jsonl merged) ]);
+    if partition > 0 then begin
+      Format.eprintf
+        "robustread: %d domain-partition violations (an object was stepped \
+         outside its owning domain)@."
+        partition;
+      exit 1
+    end;
+    if !failed > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ domains_arg
+      $ procs_arg $ load_inflight_arg $ ops_per_proc_arg $ transport_arg
+      $ client_opts_args $ metrics_arg $ artifacts_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Saturate a sharded poll server group: host all S objects across \
+          --domains worker domains in this process, fork --procs client \
+          processes each driving a pipelined read mux with a disjoint \
+          reader-id range, then merge every registry (per-object server \
+          metrics + per-process JSONL exports) into one ops/s and wire.* \
+          report.  Exits nonzero on any worker failure or domain-partition \
+          violation.")
     term
 
 (* ----- main ------------------------------------------------------------------ *)
@@ -1330,6 +1624,8 @@ let () =
         serve_cmd;
         client_cmd;
         cluster_cmd;
+        load_cmd;
+        load_worker_cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -1,0 +1,23 @@
+(* Treiber-stack MPSC queue: producers CAS-cons onto an atomic list
+   head, the consumer exchanges the whole head for [] and reverses it,
+   restoring per-producer FIFO order.  Push and drain are both
+   lock-free and allocation is one cons cell per element, so the
+   cross-domain handoff path stays off every mutex in the server. *)
+
+type 'a t = { head : 'a list Atomic.t }
+
+let create () = { head = Atomic.make [] }
+
+let push t x =
+  let rec loop () =
+    let old = Atomic.get t.head in
+    if not (Atomic.compare_and_set t.head old (x :: old)) then loop ()
+  in
+  loop ()
+
+let drain t =
+  match Atomic.get t.head with
+  | [] -> []
+  | _ -> List.rev (Atomic.exchange t.head [])
+
+let is_empty t = Atomic.get t.head == []

@@ -1,0 +1,27 @@
+(** Lock-free multi-producer single-consumer handoff queue.
+
+    The acceptor domain pushes accepted connections (or any message)
+    from any domain; the owning worker domain drains them in batches.
+    Built on the same atomic-CAS idiom as {!Pool}'s work-stealing
+    cursor: a Treiber stack whose consumer exchanges the whole head and
+    reverses it, which preserves FIFO order per producer.
+
+    Progress: [push] is lock-free (a CAS loop that only retries when
+    another producer landed first); [drain] is wait-free apart from one
+    atomic exchange.  Memory ordering: everything the producer wrote
+    before [push] is visible to the consumer after [drain] returns the
+    element (the atomics are sequentially consistent). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Safe from any domain, any number of producers. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return all pending elements, oldest first per producer.
+    Must be called from a single consumer domain at a time. *)
+
+val is_empty : 'a t -> bool
+(** Snapshot; racy by nature, exact once producers have quiesced. *)

@@ -54,7 +54,7 @@ let fresh_tmpdir () =
   go !tmp_counter
 
 let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
-    ?(interpose = false) ~protocol ~cfg ~readers () =
+    ?(domains = 1) ?(interpose = false) ~protocol ~cfg ~readers () =
   let s = cfg.Quorum.Config.s in
   let tmpdir, endpoints =
     match transport with
@@ -79,13 +79,14 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
               ?metrics:server_registries.(i)
               ~protocol ~cfg ~index:(i + 1) endpoints.(i))
     | `Poll ->
-        (* All S objects in one event-loop domain. *)
+        (* All S objects sharded across [domains] event-loop domains
+           (one domain when unspecified). *)
         Server.start_group
           ?metrics:
             (if metrics then
                Some (fun i -> Option.get server_registries.(i))
              else None)
-          ~protocol ~cfg endpoints
+          ~domains ~protocol ~cfg endpoints
   in
   (* Ephemeral TCP ports are only known after bind. *)
   let server_endpoints = Array.map Server.endpoint servers in
@@ -287,6 +288,13 @@ let restart_exn ?wipe t i =
   | Ok () -> ()
   | Error (`Still_alive i) ->
       invalid_arg (Printf.sprintf "Cluster.restart: server %d still alive" i)
+
+let partition_violations t =
+  (* Group-wide counter for the poll group (every handle reports the
+     same one); always 0 per handle for thread servers. *)
+  Array.fold_left
+    (fun acc s -> max acc (Server.partition_violations s))
+    0 t.servers
 
 let chaos t = t.chaos_
 

@@ -28,6 +28,7 @@ val start :
   ?opts:Client.opts ->
   ?transport:[ `Unix | `Tcp ] ->
   ?loop:Server.loop ->
+  ?domains:int ->
   ?interpose:bool ->
   protocol:Protocols.t ->
   cfg:Quorum.Config.t ->
@@ -37,7 +38,8 @@ val start :
 (** Spin up [cfg.s] servers and [readers] reader clients (plus the
     writer).  [transport] defaults to [`Unix].  [loop] (default
     [`Threads]) picks the server side: [`Poll] hosts all [cfg.s] objects
-    in one {!Server.start_group} event-loop thread.  With
+    in a {!Server.start_group} event-loop group, sharded across
+    [domains] worker domains (default 1; ignored for [`Threads]).  With
     [interpose:true], a {!Chaos} proxy fronts every server and clients
     dial the proxies — {!chaos} exposes them for rule injection; with no
     rules set the interposers are transparent.  With [metrics:true]
@@ -76,6 +78,10 @@ val restart_exn : ?wipe:bool -> t -> int -> unit
 
 val alive : t -> int list
 (** Object indices whose server is up. *)
+
+val partition_violations : t -> int
+(** {!Server.partition_violations} over the cluster's servers: nonzero
+    iff some base object was stepped outside its owning domain. *)
 
 val chaos : t -> Chaos.t array
 (** The per-object interposers ([chaos t].(i-1) fronts object [i]);

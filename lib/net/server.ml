@@ -9,6 +9,7 @@ type t = {
   stats_ : unit -> stats;
   stop_ : graceful:bool -> unit;
   restart_ : wipe:bool -> t;
+  violations_ : unit -> int;
 }
 
 (* A peer vanishing mid-write must surface as EPIPE, not kill the
@@ -76,11 +77,14 @@ let listen_on endpoint =
   in
   (fd, actual)
 
-(* ===== poll event loop =================================================== *)
+(* ===== sharded poll event loop =========================================== *)
 
 (* One connection in a poll group: nonblocking fd, its own incremental
    Reader and outbound scratch.  [gclosing] marks a session that ends
-   once its pending bytes flush (terminal [Err], received [Err]). *)
+   once its pending bytes flush (terminal [Err], received [Err],
+   graceful stop).  [gpaused] is backpressure: the write queue crossed
+   the high watermark, so the owner stops reading this socket — the
+   peer's window blocks instead of any frame being dropped. *)
 type gconn = {
   gfd : Unix.file_descr;
   gobj : int;  (* slot in the group's arrays, 0-based *)
@@ -88,15 +92,36 @@ type gconn = {
   gout : Codec.Out.t;
   mutable gsrc : Sim.Proc_id.t option;
   mutable gclosing : bool;
+  mutable gframes : int;  (* frames queued since the last completed flush *)
+  mutable gpaused : bool;
+  mutable gpause_at : float;
 }
 
-(* All base objects of a cluster in ONE event-loop thread: nonblocking
-   accepts/reads/writes multiplexed by [select], state machines stepped
-   inline (no per-object lock needed — the loop is the only toucher).
+(* What the acceptor hands a worker: a fresh connection for a slot the
+   worker owns, or an order to drain and release a slot. *)
+type wcmd =
+  | Wadd of { afd : Unix.file_descr; aslot : int }
+  | Wdrain of { dslot : int; dgraceful : bool }
+
+(* All base objects of a cluster sharded across [domains] event-loop
+   worker domains plus one acceptor domain.  The acceptor owns only the
+   listening sockets; every accepted fd is pushed over a lock-free
+   handoff queue to the worker that owns the dialed object
+   ([owner.(slot) = slot mod domains]), and from then on registration,
+   read, decode, automaton step, encode and flush for that connection
+   are all domain-local.  No automaton is ever stepped from two
+   domains: the dispatch table is fixed at start, a per-slot stepper
+   check asserts it at runtime, and [partition_violations] exposes the
+   count.
+
+   Control plane (stop/restart/alive/handle wiring) goes through one
+   mutex + condvar; the data plane never touches it except one cheap
+   check per accepted connection and one per idle worker iteration.
    Each returned handle keeps the thread-server semantics: independent
-   stop/crash/restart per object; the loop thread exits when the last
-   object stops and is respawned by the first restart. *)
-let start_group ?metrics ?indices ~protocol ~cfg endpoints =
+   stop/crash/restart per object; domains exit when their work is gone
+   and are respawned by the first restart. *)
+let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
+    ?(drain_timeout = 5.0) ~protocol ~cfg endpoints =
   Lazy.force ignore_sigpipe;
   let (Protocols.Packed { proto = (module P); codec }) = protocol in
   let s = Array.length endpoints in
@@ -109,17 +134,11 @@ let start_group ?metrics ?indices ~protocol ~cfg endpoints =
           invalid_arg "Server.start_group: indices/endpoints length mismatch";
         a
   in
+  let nd = max 1 (min domains s) in
+  let queue_hi = max 4096 queue_hi in
+  let queue_lo = max 1 (queue_hi / 4) in
+  let owner = Array.init s (fun i -> i mod nd) in
   let reg_for i = match metrics with None -> None | Some f -> Some (f i) in
-  let count i name =
-    match reg_for i with None -> () | Some reg -> Obs.Metrics.incr reg name
-  in
-  let meter i stage m =
-    match reg_for i with
-    | None -> ()
-    | Some reg ->
-        Obs.Metrics.incr reg
-          ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
-  in
   let fresh i = P.obj_init ~cfg ~index:indices.(i) in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -134,6 +153,7 @@ let start_group ?metrics ?indices ~protocol ~cfg endpoints =
      Array.iteri
        (fun i ep ->
          let fd, actual = listen_on ep in
+         Unix.set_nonblock fd;
          listeners.(i) <- Some fd;
          actuals.(i) <- actual)
        endpoints
@@ -142,114 +162,46 @@ let start_group ?metrics ?indices ~protocol ~cfg endpoints =
      raise e);
   let alive = Array.make s true in
   let stop_req = Array.make s None in
-  let connections = Array.make s 0 in
-  let messages = Array.make s 0 in
-  let conns : (Unix.file_descr, gconn) Hashtbl.t = Hashtbl.create 16 in
-  let wake_rd, wake_wr = Unix.pipe () in
-  Unix.set_nonblock wake_rd;
-  let wake () =
-    try ignore (Unix.write wake_wr (Bytes.make 1 'x') 0 1)
+  (* Stats and the partition check are atomics so handles and workers
+     never contend on the mutex for them. *)
+  let conn_counts = Array.init s (fun _ -> Atomic.make 0) in
+  let msg_counts = Array.init s (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let steppers = Array.init s (fun _ -> Atomic.make (-1)) in
+  let queues = Array.init nd (fun _ -> Exec.Handoff.create ()) in
+  let pipe_pair () =
+    let rd, wr = Unix.pipe () in
+    Unix.set_nonblock rd;
+    (rd, wr)
+  in
+  let acc_wake_rd, acc_wake_wr = pipe_pair () in
+  let worker_wakes = Array.init nd (fun _ -> pipe_pair ()) in
+  let poke wr =
+    try ignore (Unix.write wr (Bytes.make 1 'x') 0 1)
     with Unix.Unix_error _ -> ()
   in
-  let loop_alive = ref false in
-  (* Everything below runs in the loop thread with the lock held. *)
-  let close_conn c =
-    Hashtbl.remove conns c.gfd;
-    Codec.Reader.recycle c.greader;
-    Codec.Out.recycle c.gout;
-    close_quietly c.gfd
+  let wake_acceptor () = poke acc_wake_wr in
+  let wake_worker d = poke (snd worker_wakes.(d)) in
+  let drain_wake rd buf =
+    let rec go () =
+      match Unix.read rd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+      | 0 -> ()
+      | _ -> go ()
+    in
+    go ()
   in
-  let append_frame c fr = Codec.encode_frame_into codec c.gout fr in
-  let try_flush c =
-    if Codec.Out.pending c.gout > 0 then (
-      match Codec.flush_nonblock c.gfd c.gout with
-      | `Done -> if c.gclosing then close_conn c
-      | `Blocked -> ()
-      | exception Unix.Unix_error _ -> close_conn c)
-    else if c.gclosing then close_conn c
-  in
-  let deliver c ~src ~wrap m =
-    let i = c.gobj in
-    let obj', reply = P.obj_handle !(objs.(i)) ~src m in
-    objs.(i) := obj';
-    messages.(i) <- messages.(i) + 1;
-    count i "net.server.messages";
-    meter i "delivered" m;
-    match reply with
-    | Some r ->
-        meter i "sent" r;
-        append_frame c (wrap r)
-    | None -> ()
-  in
-  let on_frame c = function
-    | Codec.Hello { proto; sender; obj = dialed } ->
-        let fail msg =
-          append_frame c (Codec.Err msg);
-          c.gclosing <- true
-        in
-        let index = indices.(c.gobj) in
-        if proto <> P.name then
-          fail
-            (Printf.sprintf "server hosts protocol %s, client speaks %s" P.name
-               proto)
-        else if dialed <> 0 && dialed <> index then
-          fail
-            (Printf.sprintf "server hosts object %d, client dialed %d" index
-               dialed)
-        else (
-          match proc_of_string sender with
-          | None -> fail (Printf.sprintf "invalid sender %S" sender)
-          | Some p ->
-              c.gsrc <- Some p;
-              append_frame c (Codec.Hello_ack { proto = P.name; obj = index }))
-    | Codec.Msg m -> (
-        match c.gsrc with
-        | None ->
-            append_frame c (Codec.Err "protocol message before hello");
-            c.gclosing <- true
-        | Some src -> deliver c ~src ~wrap:(fun r -> Codec.Msg r) m)
-    | Codec.Msg_from { sender; msg } -> (
-        match c.gsrc with
-        | None ->
-            append_frame c (Codec.Err "protocol message before hello");
-            c.gclosing <- true
-        | Some _ -> (
-            match proc_of_string sender with
-            | None ->
-                append_frame c
-                  (Codec.Err (Printf.sprintf "invalid sender %S" sender));
-                c.gclosing <- true
-            | Some src ->
-                deliver c ~src
-                  ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
-                  msg))
-    | Codec.Hello_ack _ ->
-        append_frame c (Codec.Err "unexpected hello_ack");
-        c.gclosing <- true
-    | Codec.Err _ -> c.gclosing <- true
-  in
-  let handle_readable c =
-    match Codec.recv_into c.gfd c.greader with
-    | 0 -> close_conn c
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn c
-    | _ ->
-        let rec drain () =
-          if (not c.gclosing) && Hashtbl.mem conns c.gfd then
-            match Codec.Reader.next codec c.greader with
-            | Ok `Awaiting -> ()
-            | Ok (`Frame f) ->
-                on_frame c f;
-                drain ()
-            | Error e ->
-                count c.gobj "net.server.decode_errors";
-                append_frame c (Codec.Err e);
-                c.gclosing <- true
-        in
-        drain ();
-        if Hashtbl.mem conns c.gfd then try_flush c
-  in
-  let handle_accept i lfd =
+  let acceptor_running = ref false in
+  let worker_running = Array.make nd false in
+  let spawned : unit Domain.t list ref = ref [] in
+  (* -- acceptor domain --------------------------------------------------- *)
+  (* Owns the listeners and nothing else: stop requests close the
+     listener here (nobody else selects on it) and turn into a [Wdrain]
+     for the owning worker; accepted fds are configured and handed off
+     without ever touching a registry or an automaton. *)
+  let accept_one i lfd =
     match Unix.accept lfd with
     | exception
         Unix.Unix_error
@@ -259,123 +211,423 @@ let start_group ?metrics ?indices ~protocol ~cfg endpoints =
             _ ) ->
         ()
     | exception Unix.Unix_error _ -> ()
-    | fd, _ ->
-        (try Unix.set_nonblock fd with Unix.Unix_error _ -> close_quietly fd);
-        set_nodelay fd;
-        connections.(i) <- connections.(i) + 1;
-        count i "net.server.connections";
-        Hashtbl.replace conns fd
-          {
-            gfd = fd;
-            gobj = i;
-            greader = Codec.Reader.create ();
-            gout = Codec.Out.create ();
-            gsrc = None;
-            gclosing = false;
-          }
+    | fd, _ -> (
+        match Unix.set_nonblock fd with
+        | exception Unix.Unix_error _ -> close_quietly fd
+        | () ->
+            set_nodelay fd;
+            Exec.Handoff.push queues.(owner.(i)) (Wadd { afd = fd; aslot = i });
+            wake_worker owner.(i))
   in
-  let process_stop_requests () =
-    Array.iteri
-      (fun i req ->
-        match req with
-        | None -> ()
-        | Some mode ->
-            stop_req.(i) <- None;
-            (match listeners.(i) with
-            | Some fd ->
-                close_quietly fd;
-                listeners.(i) <- None;
-                Endpoint.cleanup actuals.(i)
-            | None -> ());
-            Hashtbl.fold
-              (fun _ c acc -> if c.gobj = i then c :: acc else acc)
-              conns []
-            |> List.iter (fun c ->
-                   (* Graceful lets already-queued replies out if the
-                      socket will take them right now; it never waits on
-                      a stuck peer. *)
-                   (if mode = `Graceful && Codec.Out.pending c.gout > 0 then
-                      try ignore (Codec.flush_nonblock c.gfd c.gout)
-                      with Unix.Unix_error _ -> ());
-                   close_conn c);
-            alive.(i) <- false;
-            Condition.broadcast cond)
-      stop_req
-  in
-  let wake_buf = Bytes.create 64 in
-  let drain_wake () =
-    let rec go () =
-      match Unix.read wake_rd wake_buf 0 64 with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          ()
-      | exception Unix.Unix_error _ -> ()
-      | 0 -> ()
-      | _ -> go ()
-    in
-    go ()
-  in
-  let loop () =
+  let acceptor () =
+    let wake_buf = Bytes.create 64 in
     let rec iter () =
       let sets =
         locked (fun () ->
-            process_stop_requests ();
-            if Array.exists Fun.id alive then begin
-              let rds = ref [ wake_rd ] and wrs = ref [] in
+            Array.iteri
+              (fun i req ->
+                match req with
+                | None -> ()
+                | Some mode ->
+                    stop_req.(i) <- None;
+                    (match listeners.(i) with
+                    | Some fd ->
+                        close_quietly fd;
+                        listeners.(i) <- None;
+                        Endpoint.cleanup actuals.(i)
+                    | None -> ());
+                    Exec.Handoff.push
+                      queues.(owner.(i))
+                      (Wdrain { dslot = i; dgraceful = (mode = `Graceful) });
+                    wake_worker owner.(i))
+              stop_req;
+            if Array.exists Option.is_some listeners then begin
+              let rds = ref [ acc_wake_rd ] in
               Array.iter
                 (function Some fd -> rds := fd :: !rds | None -> ())
                 listeners;
-              Hashtbl.iter
-                (fun fd c ->
-                  rds := fd :: !rds;
-                  if Codec.Out.pending c.gout > 0 then wrs := fd :: !wrs)
-                conns;
-              Some (!rds, !wrs)
+              Some !rds
             end
             else begin
-              loop_alive := false;
+              acceptor_running := false;
               None
             end)
       in
       match sets with
       | None -> ()
-      | Some (rds, wrs) ->
-          (match Unix.select rds wrs [] 0.5 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
-          | rready, wready, _ ->
+      | Some rds ->
+          (match Unix.select rds [] [] 0.5 with
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+          | rready, _, _ ->
+              if List.mem acc_wake_rd rready then
+                drain_wake acc_wake_rd wake_buf;
               locked (fun () ->
-                  if List.mem wake_rd rready then drain_wake ();
                   Array.iteri
                     (fun i l ->
                       match l with
-                      | Some fd when List.mem fd rready -> handle_accept i fd
+                      | Some fd when List.mem fd rready -> accept_one i fd
                       | _ -> ())
-                    listeners;
-                  List.iter
-                    (fun fd ->
-                      match Hashtbl.find_opt conns fd with
-                      | Some c -> handle_readable c
-                      | None -> ())
-                    rready;
-                  List.iter
-                    (fun fd ->
-                      match Hashtbl.find_opt conns fd with
-                      | Some c -> try_flush c
-                      | None -> ())
-                    wready));
+                    listeners));
           iter ()
     in
     iter ()
   in
+  (* -- worker domains ----------------------------------------------------- *)
+  let worker d () =
+    let q = queues.(d) in
+    let wake_rd = fst worker_wakes.(d) in
+    let wake_buf = Bytes.create 64 in
+    let discard = Bytes.create 4096 in
+    (* Domain-local: only this worker ever touches these, or any
+       registry/automaton of a slot it owns. *)
+    let conns : (Unix.file_descr, gconn) Hashtbl.t = Hashtbl.create 16 in
+    let draining : (int, float) Hashtbl.t = Hashtbl.create 4 in
+    let resumed : gconn list ref = ref [] in
+    let count i name =
+      match reg_for i with None -> () | Some reg -> Obs.Metrics.incr reg name
+    in
+    let meter i stage m =
+      match reg_for i with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg
+            ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+    in
+    let observe i name bounds v =
+      match reg_for i with
+      | None -> ()
+      | Some reg -> Obs.Metrics.observe_int reg name ~bounds v
+    in
+    let slot_has_conns i =
+      Hashtbl.fold (fun _ c acc -> acc || c.gobj = i) conns false
+    in
+    let finish_slot i =
+      Hashtbl.remove draining i;
+      Atomic.set steppers.(i) (-1);
+      locked (fun () ->
+          alive.(i) <- false;
+          Condition.broadcast cond)
+    in
+    let close_conn c =
+      Hashtbl.remove conns c.gfd;
+      Codec.Reader.recycle c.greader;
+      Codec.Out.recycle c.gout;
+      close_quietly c.gfd;
+      if Hashtbl.mem draining c.gobj && not (slot_has_conns c.gobj) then
+        finish_slot c.gobj
+    in
+    let unpause c =
+      if c.gpaused && Codec.Out.pending c.gout <= queue_lo then begin
+        c.gpaused <- false;
+        let stalled_us =
+          int_of_float ((Unix.gettimeofday () -. c.gpause_at) *. 1e6)
+        in
+        observe c.gobj "wire.backpressure_stalls" Obs.Metrics.wallclock_bounds
+          (max 0 stalled_us);
+        resumed := c :: !resumed
+      end
+    in
+    let append_frame c fr =
+      Codec.encode_frame_into codec c.gout fr;
+      c.gframes <- c.gframes + 1;
+      if (not c.gpaused) && Codec.Out.pending c.gout > queue_hi then begin
+        c.gpaused <- true;
+        c.gpause_at <- Unix.gettimeofday ()
+      end
+    in
+    let try_flush c =
+      if Codec.Out.pending c.gout > 0 then begin
+        observe c.gobj "wire.queue_depth" Obs.Metrics.depth_bounds c.gframes;
+        match Codec.flush_nonblock c.gfd c.gout with
+        | `Done ->
+            observe c.gobj "wire.batch_size" Obs.Metrics.batch_bounds c.gframes;
+            c.gframes <- 0;
+            unpause c;
+            if c.gclosing then close_conn c
+        | `Blocked -> unpause c
+        | exception Unix.Unix_error _ -> close_conn c
+      end
+      else if c.gclosing then close_conn c
+    in
+    let deliver c ~src ~wrap m =
+      let i = c.gobj in
+      (* Partition-safety check: the routing table must have sent this
+         connection to the slot's owner, and only one domain id may ever
+         claim a live slot. *)
+      if owner.(i) <> d then Atomic.incr violations;
+      let me = (Domain.self () :> int) in
+      let st = steppers.(i) in
+      (match Atomic.get st with
+      | -1 ->
+          if
+            (not (Atomic.compare_and_set st (-1) me)) && Atomic.get st <> me
+          then Atomic.incr violations
+      | id when id = me -> ()
+      | _ -> Atomic.incr violations);
+      let obj', reply = P.obj_handle !(objs.(i)) ~src m in
+      objs.(i) := obj';
+      Atomic.incr msg_counts.(i);
+      count i "net.server.messages";
+      meter i "delivered" m;
+      match reply with
+      | Some r ->
+          meter i "sent" r;
+          append_frame c (wrap r)
+      | None -> ()
+    in
+    let on_frame c = function
+      | Codec.Hello { proto; sender; obj = dialed } ->
+          let fail msg =
+            append_frame c (Codec.Err msg);
+            c.gclosing <- true
+          in
+          let index = indices.(c.gobj) in
+          if proto <> P.name then
+            fail
+              (Printf.sprintf "server hosts protocol %s, client speaks %s"
+                 P.name proto)
+          else if dialed <> 0 && dialed <> index then
+            fail
+              (Printf.sprintf "server hosts object %d, client dialed %d" index
+                 dialed)
+          else (
+            match proc_of_string sender with
+            | None -> fail (Printf.sprintf "invalid sender %S" sender)
+            | Some p ->
+                c.gsrc <- Some p;
+                append_frame c (Codec.Hello_ack { proto = P.name; obj = index }))
+      | Codec.Msg m -> (
+          match c.gsrc with
+          | None ->
+              append_frame c (Codec.Err "protocol message before hello");
+              c.gclosing <- true
+          | Some src -> deliver c ~src ~wrap:(fun r -> Codec.Msg r) m)
+      | Codec.Msg_from { sender; msg } -> (
+          match c.gsrc with
+          | None ->
+              append_frame c (Codec.Err "protocol message before hello");
+              c.gclosing <- true
+          | Some _ -> (
+              match proc_of_string sender with
+              | None ->
+                  append_frame c
+                    (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                  c.gclosing <- true
+              | Some src ->
+                  deliver c ~src
+                    ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
+                    msg))
+      | Codec.Hello_ack _ ->
+          append_frame c (Codec.Err "unexpected hello_ack");
+          c.gclosing <- true
+      | Codec.Err _ -> c.gclosing <- true
+    in
+    (* Decode and step every complete frame already buffered; stops
+       early when backpressure pauses the connection (the rest of the
+       buffer waits for the resume). *)
+    let process_frames c =
+      let rec go () =
+        if (not c.gclosing) && (not c.gpaused) && Hashtbl.mem conns c.gfd then
+          match Codec.Reader.next codec c.greader with
+          | Ok `Awaiting -> ()
+          | Ok (`Frame f) ->
+              on_frame c f;
+              go ()
+          | Error e ->
+              count c.gobj "net.server.decode_errors";
+              append_frame c (Codec.Err e);
+              c.gclosing <- true
+      in
+      go ();
+      if Hashtbl.mem conns c.gfd then try_flush c
+    in
+    let handle_readable c =
+      if c.gclosing then begin
+        (* Session is ending: discard input, but keep watching for the
+           peer's EOF so half-closed sockets do not linger. *)
+        match Unix.read c.gfd discard 0 (Bytes.length discard) with
+        | 0 -> close_conn c
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> close_conn c
+        | _ -> ()
+      end
+      else
+        match Codec.recv_into c.gfd c.greader with
+        | 0 -> close_conn c
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error _ -> close_conn c
+        | _ -> process_frames c
+    in
+    let process_queue () =
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | Wadd { afd; aslot } ->
+              if locked (fun () -> alive.(aslot)) then begin
+                Atomic.incr conn_counts.(aslot);
+                count aslot "net.server.connections";
+                Hashtbl.replace conns afd
+                  {
+                    gfd = afd;
+                    gobj = aslot;
+                    greader = Codec.Reader.create ();
+                    gout = Codec.Out.create ();
+                    gsrc = None;
+                    gclosing = false;
+                    gframes = 0;
+                    gpaused = false;
+                    gpause_at = 0.;
+                  }
+              end
+              else close_quietly afd
+          | Wdrain { dslot; dgraceful } ->
+              let mine =
+                Hashtbl.fold
+                  (fun _ c acc -> if c.gobj = dslot then c :: acc else acc)
+                  conns []
+              in
+              if dgraceful then begin
+                (* Stop reading, but drain every queued reply before the
+                   socket closes: in-flight batches must reach the peer
+                   complete, never truncated mid-frame. *)
+                List.iter
+                  (fun c ->
+                    c.gclosing <- true;
+                    if Codec.Out.pending c.gout = 0 then close_conn c)
+                  mine;
+                if slot_has_conns dslot then
+                  Hashtbl.replace draining dslot
+                    (Unix.gettimeofday () +. drain_timeout)
+                else finish_slot dslot
+              end
+              else begin
+                List.iter close_conn mine;
+                finish_slot dslot
+              end)
+        (Exec.Handoff.drain q)
+    in
+    let enforce_deadlines () =
+      if Hashtbl.length draining > 0 then begin
+        let now = Unix.gettimeofday () in
+        let expired =
+          Hashtbl.fold
+            (fun i deadline acc -> if now >= deadline then i :: acc else acc)
+            draining []
+        in
+        List.iter
+          (fun i ->
+            let mine =
+              Hashtbl.fold
+                (fun _ c acc -> if c.gobj = i then c :: acc else acc)
+                conns []
+            in
+            if mine = [] then finish_slot i else List.iter close_conn mine)
+          expired
+      end
+    in
+    let should_exit () =
+      Hashtbl.length conns = 0
+      && Hashtbl.length draining = 0
+      && Exec.Handoff.is_empty q
+      && locked (fun () ->
+             let dead = ref true in
+             for i = 0 to s - 1 do
+               if owner.(i) = d && alive.(i) then dead := false
+             done;
+             (* Pushes happen under the mutex (acceptor) — with every
+                owned slot dead no new command can appear, so the empty
+                queue re-check makes the exit race-free. *)
+             if !dead && Exec.Handoff.is_empty q then begin
+               worker_running.(d) <- false;
+               true
+             end
+             else false)
+    in
+    let rec iter () =
+      process_queue ();
+      enforce_deadlines ();
+      if not (should_exit ()) then begin
+        let rds = ref [ wake_rd ] and wrs = ref [] in
+        Hashtbl.iter
+          (fun fd c ->
+            if not c.gpaused then rds := fd :: !rds;
+            if Codec.Out.pending c.gout > 0 then wrs := fd :: !wrs)
+          conns;
+        let timeout = if Hashtbl.length draining > 0 then 0.05 else 0.5 in
+        (match Unix.select !rds !wrs [] timeout with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+        | rready, wready, _ ->
+            List.iter
+              (fun fd ->
+                if fd = wake_rd then drain_wake wake_rd wake_buf
+                else
+                  match Hashtbl.find_opt conns fd with
+                  | Some c -> handle_readable c
+                  | None -> ())
+              rready;
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt conns fd with
+                | Some c -> try_flush c
+                | None -> ())
+              wready;
+            (* Connections whose backpressure lifted during the flushes
+               may have whole frames buffered; pump them now — no new
+               readable event will come while we are their only
+               reader. *)
+            let rec pump () =
+              match !resumed with
+              | [] -> ()
+              | cs ->
+                  resumed := [];
+                  List.iter
+                    (fun c ->
+                      if Hashtbl.mem conns c.gfd then process_frames c)
+                    cs;
+                  pump ()
+            in
+            pump ());
+        iter ()
+      end
+    in
+    iter ()
+  in
+  (* -- control plane ------------------------------------------------------ *)
   let request_stop i ~graceful =
     locked (fun () ->
         if alive.(i) then begin
-          stop_req.(i) <- Some (if graceful then `Graceful else `Crash);
-          wake ();
+          (* The listener is still open iff the acceptor has not yet
+             processed a request for this slot; the acceptor is alive as
+             long as any listener is open. *)
+          if stop_req.(i) = None && listeners.(i) <> None then begin
+            stop_req.(i) <- Some (if graceful then `Graceful else `Crash);
+            wake_acceptor ()
+          end;
           while alive.(i) do
             Condition.wait cond mutex
           done
         end)
+  in
+  let reap () =
+    let to_join =
+      locked (fun () ->
+          if not (Array.exists Fun.id alive) then begin
+            wake_acceptor ();
+            for d = 0 to nd - 1 do
+              wake_worker d
+            done;
+            let l = !spawned in
+            spawned := [];
+            l
+          end
+          else [])
+    in
+    List.iter Domain.join to_join
   in
   let rec handle_of i =
     {
@@ -384,28 +636,41 @@ let start_group ?metrics ?indices ~protocol ~cfg endpoints =
       alive_ = (fun () -> locked (fun () -> alive.(i)));
       stats_ =
         (fun () ->
-          locked (fun () ->
-              { connections = connections.(i); messages = messages.(i) }));
-      stop_ = (fun ~graceful -> request_stop i ~graceful);
+          {
+            connections = Atomic.get conn_counts.(i);
+            messages = Atomic.get msg_counts.(i);
+          });
+      stop_ =
+        (fun ~graceful ->
+          request_stop i ~graceful;
+          reap ());
       restart_ = (fun ~wipe -> restart_obj i ~wipe);
+      violations_ = (fun () -> Atomic.get violations);
     }
   and restart_obj i ~wipe =
     locked (fun () ->
         if alive.(i) then invalid_arg "Server.restart: server still alive";
         if wipe then objs.(i) := fresh i;
         let fd, actual = listen_on actuals.(i) in
+        Unix.set_nonblock fd;
         listeners.(i) <- Some fd;
         actuals.(i) <- actual;
         alive.(i) <- true;
-        if not !loop_alive then begin
-          loop_alive := true;
-          ignore (Thread.create loop ())
+        if not worker_running.(owner.(i)) then begin
+          worker_running.(owner.(i)) <- true;
+          spawned := Domain.spawn (worker owner.(i)) :: !spawned
+        end;
+        if not !acceptor_running then begin
+          acceptor_running := true;
+          spawned := Domain.spawn acceptor :: !spawned
         end
-        else wake ());
+        else wake_acceptor ());
     handle_of i
   in
-  loop_alive := true;
-  ignore (Thread.create loop ());
+  acceptor_running := true;
+  Array.fill worker_running 0 nd true;
+  spawned := List.init nd (fun d -> Domain.spawn (worker d));
+  spawned := Domain.spawn acceptor :: !spawned;
   Array.init s handle_of
 
 (* ===== thread-per-connection server ====================================== *)
@@ -610,6 +875,7 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
           if not (locked (fun () -> !stopping)) then
             invalid_arg "Server.restart: server still alive";
           go (if wipe then fresh () else !obj) endpoint);
+      violations_ = (fun () -> 0);
     }
   in
   go (fresh ()) endpoint
@@ -647,3 +913,5 @@ let stop t = t.stop_ ~graceful:true
 let crash t = t.stop_ ~graceful:false
 
 let restart ?(wipe = false) t = t.restart_ ~wipe
+
+let partition_violations t = t.violations_ ()

@@ -54,18 +54,40 @@ val start :
 val start_group :
   ?metrics:(int -> Obs.Metrics.t) ->
   ?indices:int array ->
+  ?domains:int ->
+  ?queue_hi:int ->
+  ?drain_timeout:float ->
   protocol:Protocols.t ->
   cfg:Quorum.Config.t ->
   Endpoint.t array ->
   t array
-(** Host all the base objects of a cluster in {e one} poll-based
-    event-loop thread: element [i] serves object [indices.(i)] (default
-    [i+1]) on [endpoints.(i)].  The wire behaviour is identical to [s]
+(** Host all the base objects of a cluster sharded across [domains]
+    poll-based event-loop worker domains (default 1) plus one acceptor
+    domain: element [i] serves object [indices.(i)] (default [i+1]) on
+    [endpoints.(i)], owned by worker [i mod domains].  The acceptor
+    hands each accepted connection to the owning worker over a
+    lock-free queue; from then on read, decode, automaton step, encode
+    and flush are all domain-local, so no automaton is ever stepped by
+    two domains ({!partition_violations} counts runtime assertions of
+    that invariant).  The wire behaviour is identical to [s]
     thread-per-connection servers — same [Hello] validation, same
-    replies — so clients cannot tell the modes apart.  Each returned
-    handle stops/crashes/restarts its object independently; the loop
-    thread exits when the last object stops and is respawned by the
-    first {!restart}.  [metrics] maps a 0-based slot to its registry.
+    replies — so clients cannot tell the modes apart.
+
+    Write queues are bounded: when a connection's pending bytes exceed
+    [queue_hi] (default 256 KiB, floor 4 KiB) the server stops reading
+    that socket until the queue drains below a quarter of the
+    watermark — the peer's window blocks, no frame is ever dropped —
+    surfaced per slot as [wire.queue_depth] / [wire.backpressure_stalls]
+    histograms (plus server-side [wire.batch_size]).
+
+    Each returned handle stops/crashes/restarts its object
+    independently.  A graceful {!stop} drains queued replies for up to
+    [drain_timeout] seconds (default 5) before closing, so batched
+    frames are never truncated mid-frame; {!crash} closes immediately.
+    Domains exit once every slot they serve has stopped and are
+    respawned by the first {!restart}.  [metrics] maps a 0-based slot
+    to its registry; a slot's registry is only ever touched by its
+    owning worker domain.
     @raise Unix.Unix_error if an endpoint cannot be bound (all bound
     listeners are closed). *)
 
@@ -91,3 +113,9 @@ val restart : ?wipe:bool -> t -> t
 (** Restart a stopped/crashed server on the same endpoint.  [wipe]
     (default [false]) discards the persisted object state.
     @raise Invalid_argument if the server is still alive. *)
+
+val partition_violations : t -> int
+(** Number of times a base object of this handle's group was stepped
+    outside its owning domain (shared across the whole {!start_group}
+    group; always 0 for [`Threads] servers, and 0 unless the sharded
+    dispatch invariant is broken — any nonzero value is a bug). *)

@@ -19,6 +19,14 @@ module Json : sig
 
   val to_string : t -> string
 
+  val of_string : string -> (t, string) result
+  (** Parse one JSON value (the subset {!to_string} emits, with
+      arbitrary whitespace).  Integer-looking numbers come back as
+      [Int], everything else as [Float]. *)
+
+  val member : string -> t -> t option
+  (** Field lookup; [None] on non-objects and absent keys. *)
+
   val of_option : ('a -> t) -> 'a option -> t
 end
 
@@ -35,5 +43,18 @@ val histogram_json : Metrics.Histogram.t -> Json.t
 val metrics_jsonl : ?labels:(string * string) list -> Metrics.t -> string
 (** One line per metric, counters then gauges then histograms, each
     group sorted by name; [labels] are prepended to every line. *)
+
+val metrics_of_jsonl :
+  ?into:Metrics.t -> string -> (Metrics.t, string) result
+(** Inverse of {!metrics_jsonl}: fold every line into [into] (a fresh
+    registry by default) — counters add, gauges keep the max,
+    histograms rebuild from their buckets and merge.  Labels and
+    unknown fields are ignored; blank lines are skipped.  Feeding
+    several exports into one [into] registry is exactly
+    {!Metrics.merge_into} across processes.  Errors name the first
+    offending line. *)
+
+val read_file : string -> string
+(** The whole file as a string (binary mode). *)
 
 val write_file : path:string -> string -> unit

@@ -90,6 +90,28 @@ module Histogram = struct
     && a.total = b.total
     && Array.for_all2 Int.equal a.counts b.counts
 
+  (* Rebuild a histogram from exported state (the JSONL round-trip for
+     cross-process merging).  The total is recomputed from the bucket
+     counts, so a tampered count/total mismatch cannot arise. *)
+  let restore ~bounds ~counts ~sum ~minv ~maxv =
+    let t = create ~bounds in
+    if Array.length counts <> Array.length t.counts then
+      invalid_arg "Histogram.restore: counts length mismatch";
+    let total = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c < 0 then invalid_arg "Histogram.restore: negative count";
+        t.counts.(i) <- c;
+        total := !total + c)
+      counts;
+    t.total <- !total;
+    if !total > 0 then begin
+      t.sum <- sum;
+      t.minv <- minv;
+      t.maxv <- maxv
+    end;
+    t
+
   (* Nearest-rank quantile at bucket resolution: the upper bound of the
      bucket holding the rank-th smallest observation (the observed max
      for the overflow bucket, whose upper bound is infinite). *)
@@ -216,19 +238,19 @@ let gauges t = sorted_bindings t.gauges ( ! )
 
 let histograms t = sorted_bindings t.histograms Fun.id
 
+let add_histogram t name h =
+  match Hashtbl.find_opt t.histograms name with
+  | None ->
+      (* fresh copy so the source stays independent *)
+      Hashtbl.replace t.histograms name
+        (Histogram.merge h (Histogram.create ~bounds:h.Histogram.bounds))
+  | Some existing ->
+      Hashtbl.replace t.histograms name (Histogram.merge existing h)
+
 let merge_into ~dst src =
   List.iter (fun (name, v) -> add dst name v) (counters src);
   List.iter (fun (name, v) -> max_gauge dst name v) (gauges src);
-  List.iter
-    (fun (name, h) ->
-      match Hashtbl.find_opt dst.histograms name with
-      | None ->
-          (* fresh copy so the source stays independent *)
-          Hashtbl.replace dst.histograms name
-            (Histogram.merge h (Histogram.create ~bounds:h.Histogram.bounds))
-      | Some existing ->
-          Hashtbl.replace dst.histograms name (Histogram.merge existing h))
-    (histograms src)
+  List.iter (fun (name, h) -> add_histogram dst name h) (histograms src)
 
 let table t =
   let tbl =

@@ -56,6 +56,20 @@ module Histogram : sig
   val equal : t -> t -> bool
   (** Same bounds and same per-bucket counts. *)
 
+  val restore :
+    bounds:float array ->
+    counts:int array ->
+    sum:float ->
+    minv:float ->
+    maxv:float ->
+    t
+  (** Rebuild a histogram from exported state ([counts] includes the
+      trailing overflow bucket); the inverse of an export, used to merge
+      registries across processes.  The total is recomputed from
+      [counts]; [sum]/[minv]/[maxv] are ignored when the counts are all
+      zero.  @raise Invalid_argument on bad bounds, a length mismatch
+      or a negative count. *)
+
   val quantile : t -> float -> float
   (** Nearest-rank quantile at bucket resolution: the inclusive upper
       bound of the bucket containing the rank-th smallest observation
@@ -133,6 +147,11 @@ val observe : t -> string -> bounds:float array -> float -> unit
 val observe_int : t -> string -> bounds:float array -> int -> unit
 
 val find_histogram : t -> string -> Histogram.t option
+
+val add_histogram : t -> string -> Histogram.t -> unit
+(** Merge [h] into the registry's histogram of that name (a fresh copy
+    when absent, so the argument stays independent).
+    @raise Invalid_argument if an existing histogram's bounds differ. *)
 
 val counters : t -> (string * int) list
 (** Sorted by name, as are {!gauges} and {!histograms}. *)

@@ -37,4 +37,5 @@ let () =
       Suite_net.suite;
       Suite_chaos_live.suite;
       Suite_fast_read.suite;
+      Suite_scaleout.suite;
     ]
