@@ -29,6 +29,7 @@ let experiments =
     ("e16", Exp_e16.run);
     ("e17", Exp_e17.run);
     ("e18", Exp_e18.run);
+    ("e19", Exp_e19.run);
   ]
 
 let run_tables = function
@@ -39,7 +40,7 @@ let run_tables = function
           match List.assoc_opt (String.lowercase_ascii n) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %S (expected e1..e18)\n" n;
+              Printf.eprintf "unknown experiment %S (expected e1..e19)\n" n;
               exit 2)
         names
 
@@ -65,5 +66,5 @@ let () =
       Micro.run ()
   | cmd :: _ ->
       Printf.eprintf
-        "usage: main.exe [--jobs N] [tables [e1..e18] | micro] (got %S)\n" cmd;
+        "usage: main.exe [--jobs N] [tables [e1..e19] | micro] (got %S)\n" cmd;
       exit 2

@@ -1100,6 +1100,36 @@ let client_cmd =
           and metrics export exactly like the simulator's.")
     term
 
+(* ----- keyspace flags (shared by cluster / load) -------------------------- *)
+
+let keys_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "keys" ] ~docv:"K"
+        ~doc:
+          "Serve a keyspace of $(docv) independent registers (key ids \
+           0..K-1, placed over the S servers by the deterministic shard \
+           map) instead of the single register.  0, the default, keeps the \
+           single-register path.")
+
+let zipf_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "zipf" ] ~docv:"THETA"
+        ~doc:
+          "Zipfian key-popularity skew in [0,1): key 0 is the hottest and \
+           rank r falls off as 1/(r+1)^$(docv).  0 (default) draws keys \
+           uniformly; YCSB's hot-spot regime is 0.99.  Only meaningful \
+           with --keys.")
+
+let write_ratio_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "write-ratio" ] ~docv:"F"
+        ~doc:
+          "Fraction of keyspace operations that are writes (default 0.05). \
+           Only meaningful with --keys.")
+
 let cluster_cmd =
   let readers_arg =
     Arg.(
@@ -1156,7 +1186,8 @@ let cluster_cmd =
              $(b,--protocol).")
   in
   let run protocol t b s readers writes reads transport crash inflight loop
-      domains fast_reads copts jobs metrics artifacts =
+      domains fast_reads keys zipf write_ratio seed copts jobs metrics
+      artifacts =
     if inflight < 0 then begin
       Format.eprintf "robustread: --inflight %d must be >= 0@." inflight;
       exit 2
@@ -1205,6 +1236,79 @@ let cluster_cmd =
       Format.eprintf "%s@." msg;
       Mutex.unlock fail_mutex
     in
+    if keys > 0 then begin
+      (* Keyspace mode: one keyed client drives a zipfian read/write mix
+         over [keys] registers; the single-register phases (and --crash)
+         don't apply.  Histories are recorded per sampled key — each key
+         is its own register, so the single-register checker runs per
+         key. *)
+      let map =
+        Shard.Map.make_exn ~keys ~fleet:cfg.Quorum.Config.s ~cfg ()
+      in
+      let gen =
+        Workload.Keyspace.make_exn ~skew:zipf ~write_ratio ~keys ~seed ()
+      in
+      let n = writes + (readers * reads) in
+      let ops =
+        Array.map
+          (function
+            | Workload.Keyspace.Read { key } -> Net.Client.Keyed.Read { key }
+            | Workload.Keyspace.Write { key; value } ->
+                Net.Client.Keyed.Write { key; value })
+          (Workload.Keyspace.ops gen n)
+      in
+      let window = if inflight > 0 then inflight else 16 in
+      (* Zipf puts the traffic on low key ids, so sampling a prefix of
+         the id space checks the keys that actually saw concurrency. *)
+      let sample k = k < 256 in
+      Format.printf
+        "keyspace: %s; %d ops (zipf %.2f, write ratio %.2f, window %d)@."
+        (Shard.Map.to_string map) n zipf write_ratio window;
+      Array.iteri
+        (fun i -> function
+          | Ok _ -> ()
+          | Error e ->
+              record_failure (Printf.sprintf "keyed op #%d FAILED: %s" (i + 1) e))
+        (Net.Cluster.run_keyed ~inflight:window ~sample cluster ~map ops);
+      let checked = Net.Cluster.keyed_histories cluster in
+      let bad =
+        List.fold_left
+          (fun acc (key, h) ->
+            let vs = Histories.Checks.check_safety ~equal:String.equal h in
+            List.iter
+              (fun v ->
+                Format.printf "  key %d violation: %a@." key
+                  (Histories.Checks.pp_violation
+                     ~pp_value:Format.pp_print_string)
+                  v)
+              vs;
+            acc + List.length vs)
+          0 checked
+      in
+      let partition = Net.Cluster.partition_violations cluster in
+      if partition > 0 then
+        record_failure
+          (Printf.sprintf
+             "domain-partition violations: %d (an object was stepped outside \
+              its owning domain)"
+             partition);
+      Format.printf
+        "%d keys touched, %d sampled histories checked; safety: %s@."
+        (Net.Cluster.keys_touched cluster)
+        (List.length checked)
+        (if bad = 0 then "OK" else Printf.sprintf "%d VIOLATIONS" bad);
+      let registry = Net.Cluster.metrics cluster in
+      (match registry with
+      | Some reg ->
+          Format.printf "--- metrics ---@.%s"
+            (Stats.Table.to_string (Obs.Metrics.table reg))
+      | None -> ());
+      live_artifacts ~metrics ~artifacts ~spans:(Net.Cluster.spans cluster)
+        registry;
+      Net.Cluster.stop cluster;
+      if !failures > 0 || bad > 0 then exit 1
+    end
+    else begin
     (* Writer runs in this thread; each reader client gets its own (the
        harness locks the shared history recorder).  --jobs 1 forces the
        fully sequential path. *)
@@ -1312,12 +1416,14 @@ let cluster_cmd =
     live_artifacts ~metrics ~artifacts ~spans registry;
     Net.Cluster.stop cluster;
     if !failures > 0 || safety <> [] then exit 1
+    end
   in
   let term =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
       $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ inflight_arg
-      $ loop_arg $ domains_arg $ fast_reads_arg $ client_opts_args $ jobs_arg
+      $ loop_arg $ domains_arg $ fast_reads_arg $ keys_arg $ zipf_arg
+      $ write_ratio_arg $ seed_arg $ client_opts_args $ jobs_arg
       $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
@@ -1371,8 +1477,20 @@ let load_worker_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write this worker's metrics registry as JSONL to $(docv).")
   in
-  let run protocol t b s endpoints inflight ops first_reader metrics_out copts
-      =
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"Total worker processes (for keyspace write partitioning).")
+  in
+  let worker_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "worker" ] ~docv:"I"
+          ~doc:"This worker's 0-based index among --workers.")
+  in
+  let run protocol t b s endpoints inflight ops first_reader keys zipf
+      write_ratio seed workers worker metrics_out copts =
     let cfg = config ~s ~t ~b () in
     if List.length endpoints <> cfg.Quorum.Config.s then begin
       Format.eprintf
@@ -1385,21 +1503,68 @@ let load_worker_cmd =
       Format.eprintf "robustread: bad --inflight/--ops/--first-reader@.";
       exit 2
     end;
+    if workers < 1 || worker < 0 || worker >= workers then begin
+      Format.eprintf "robustread: bad --workers/--worker@.";
+      exit 2
+    end;
     let registry = Obs.Metrics.create () in
-    let mux =
-      Net.Client.Mux.connect ~metrics:registry ~opts:copts
-        ~max_inflight:inflight ~first_reader ~protocol ~cfg ~readers:inflight
-        (Array.of_list endpoints)
-    in
+    let endpoints = Array.of_list endpoints in
     let t0 = Unix.gettimeofday () in
-    let outcomes = Net.Client.Mux.run_reads mux ops in
+    let outcomes =
+      if keys > 0 then begin
+        (* Keyspace mode: a keyed client over the fleet, reading and
+           writing a zipfian mix.  The registers are SWMR, so write
+           ownership is partitioned across workers with the placement
+           mixer: this worker only writes keys where
+           mix(key) mod workers = worker; other write draws become
+           reads (the key-popularity marginal is unchanged). *)
+        let map =
+          Shard.Map.make_exn ~keys ~fleet:cfg.Quorum.Config.s ~cfg ()
+        in
+        let gen =
+          Workload.Keyspace.make_exn ~skew:zipf ~write_ratio
+            ~write_filter:(fun k -> Shard.Map.mix k mod workers = worker)
+            ~keys ~seed:(seed + worker) ()
+        in
+        let kops =
+          Array.map
+            (function
+              | Workload.Keyspace.Read { key } -> Net.Client.Keyed.Read { key }
+              | Workload.Keyspace.Write { key; value } ->
+                  Net.Client.Keyed.Write { key; value })
+            (Workload.Keyspace.ops gen ops)
+        in
+        let keyed =
+          Net.Client.Keyed.connect ~metrics:registry ~opts:copts
+            ~max_inflight:inflight ~reader:first_reader ~protocol ~map
+            endpoints
+        in
+        let outcomes = Net.Client.Keyed.run_ops keyed kops in
+        Net.Client.Keyed.close keyed;
+        outcomes
+      end
+      else begin
+        let mux =
+          Net.Client.Mux.connect ~metrics:registry ~opts:copts
+            ~max_inflight:inflight ~first_reader ~protocol ~cfg
+            ~readers:inflight endpoints
+        in
+        let outcomes = Net.Client.Mux.run_reads mux ops in
+        Net.Client.Mux.close mux;
+        outcomes
+      end
+    in
     let wall = Unix.gettimeofday () -. t0 in
-    Net.Client.Mux.close mux;
     let failures =
       Array.fold_left
         (fun n -> function Ok _ -> n | Error _ -> n + 1)
         0 outcomes
     in
+    let ops_per_s = if wall > 0.0 then float_of_int ops /. wall else 0.0 in
+    (* Per-worker throughput as a gauge: the parent reads each worker's
+       file separately to report the max/min spread before merging
+       (merged gauges keep only the max). *)
+    Obs.Metrics.set_gauge registry "load.worker.ops_per_s" ops_per_s;
     (match metrics_out with
     | Some path ->
         Obs.Export.write_file ~path
@@ -1411,15 +1576,14 @@ let load_worker_cmd =
                    failed@."
       first_reader
       (first_reader + inflight - 1)
-      ops wall
-      (if wall > 0.0 then float_of_int ops /. wall else 0.0)
-      failures;
+      ops wall ops_per_s failures;
     if failures > 0 then exit 1
   in
   let term =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ endpoints_arg
-      $ load_inflight_arg $ ops_per_proc_arg $ first_reader_arg
+      $ load_inflight_arg $ ops_per_proc_arg $ first_reader_arg $ keys_arg
+      $ zipf_arg $ write_ratio_arg $ seed_arg $ workers_arg $ worker_arg
       $ metrics_out_arg $ client_opts_args)
   in
   Cmd.v
@@ -1443,8 +1607,8 @@ let load_cmd =
       & info [ "transport" ] ~docv:"KIND"
           ~doc:"Socket flavour: $(b,unix) (default) or $(b,tcp) loopback.")
   in
-  let run protocol t b s domains procs inflight ops transport copts metrics
-      artifacts =
+  let run protocol t b s domains procs inflight ops transport keys zipf
+      write_ratio seed copts metrics artifacts =
     if procs < 1 || inflight < 1 || ops < 1 then begin
       Format.eprintf "robustread: --procs, --inflight and --ops must be >= 1@.";
       exit 2
@@ -1475,26 +1639,34 @@ let load_cmd =
         ~domains ~protocol ~cfg endpoints
     in
     let actual = Array.map Net.Server.endpoint servers in
-    (* Seed one write so every READ returns a real value. *)
-    let writer =
-      Net.Client.connect ~opts:copts ~protocol ~cfg ~role:`Writer actual
-    in
-    (match Net.Client.write writer (Core.Value.v "v1") with
-    | Ok _ -> ()
-    | Error e ->
-        Format.eprintf "robustread: seed write failed: %s@." e;
-        Net.Client.close writer;
-        Array.iter Net.Server.stop servers;
-        exit 1);
-    Net.Client.close writer;
+    (* Seed one write so every READ returns a real value.  In keyspace
+       mode the workers own the writes (partitioned per key — the
+       parent writing key 0 here would be a second writer on it). *)
+    if keys = 0 then begin
+      let writer =
+        Net.Client.connect ~opts:copts ~protocol ~cfg ~role:`Writer actual
+      in
+      (match Net.Client.write writer (Core.Value.v "v1") with
+      | Ok _ -> ()
+      | Error e ->
+          Format.eprintf "robustread: seed write failed: %s@." e;
+          Net.Client.close writer;
+          Array.iter Net.Server.stop servers;
+          exit 1);
+      Net.Client.close writer
+    end;
     Format.printf
       "load: %a (%s) over %s sockets, %d worker domain(s); %d proc(s) x \
-       window %d x %d ops@."
+       window %d x %d ops%s@."
       Quorum.Config.pp cfg
       (Net.Protocols.name protocol)
       (match transport with `Unix -> "unix" | `Tcp -> "tcp")
       (max 1 (min domains s))
-      procs inflight ops;
+      procs inflight ops
+      (if keys > 0 then
+         Printf.sprintf "; keyspace of %d keys (zipf %.2f, write ratio %.2f)"
+           keys zipf write_ratio
+       else "");
     Format.print_flush ();
     let metric_file k = Filename.concat dir (Printf.sprintf "proc%d.jsonl" k) in
     let ep_args =
@@ -1516,6 +1688,12 @@ let load_cmd =
               "--inflight"; string_of_int inflight;
               "--ops"; string_of_int ops;
               "--first-reader"; string_of_int (1 + ((k - 1) * inflight));
+              "--keys"; string_of_int keys;
+              "--zipf"; Printf.sprintf "%g" zipf;
+              "--write-ratio"; Printf.sprintf "%g" write_ratio;
+              "--seed"; string_of_int seed;
+              "--workers"; string_of_int procs;
+              "--worker"; string_of_int (k - 1);
               "--metrics-out"; metric_file k;
               "--deadline"; Printf.sprintf "%g" copts.Net.Client.deadline;
               "--retries"; string_of_int copts.Net.Client.retries;
@@ -1540,14 +1718,22 @@ let load_cmd =
        exports into one registry: counters add, histograms merge. *)
     let merged = Obs.Metrics.create () in
     Array.iter (fun reg -> Obs.Metrics.merge_into ~dst:merged reg) registries;
+    (* Each worker file is parsed into its own registry first: merged
+       gauges keep only the max, and the per-worker ops/s spread needs
+       every worker's value. *)
+    let worker_rates = ref [] in
     for k = 1 to procs do
       let path = metric_file k in
       if Sys.file_exists path then begin
+        let fresh = Obs.Metrics.create () in
         (match
-           Obs.Export.metrics_of_jsonl ~into:merged
-             (Obs.Export.read_file path)
+           Obs.Export.metrics_of_jsonl ~into:fresh (Obs.Export.read_file path)
          with
-        | Ok _ -> ()
+        | Ok _ ->
+            (match Obs.Metrics.gauge_value fresh "load.worker.ops_per_s" with
+            | Some r when r > 0.0 -> worker_rates := (k, r) :: !worker_rates
+            | _ -> ());
+            Obs.Metrics.merge_into ~dst:merged fresh
         | Error e ->
             incr failed;
             Format.eprintf "robustread: bad metrics from worker %d: %s@." k e);
@@ -1568,6 +1754,17 @@ let load_cmd =
       procs
       (Obs.Metrics.counter_value merged "op.read.completed")
       partition;
+    (* Per-worker fairness: a spread ratio near 1 means no worker was
+       starved by the shared server group. *)
+    (match !worker_rates with
+    | [] -> ()
+    | rates ->
+        let rs = List.map snd rates in
+        let rmin = List.fold_left Float.min (List.hd rs) (List.tl rs) in
+        let rmax = List.fold_left Float.max (List.hd rs) (List.tl rs) in
+        Format.printf
+          "per-worker ops/s: min %.0f, max %.0f, spread ratio %.2f@." rmin rmax
+          (if rmin > 0.0 then rmax /. rmin else Float.infinity));
     if metrics then
       Format.printf "--- merged metrics ---@.%s"
         (Stats.Table.to_string (Obs.Metrics.table merged));
@@ -1589,7 +1786,8 @@ let load_cmd =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ domains_arg
       $ procs_arg $ load_inflight_arg $ ops_per_proc_arg $ transport_arg
-      $ client_opts_args $ metrics_arg $ artifacts_arg)
+      $ keys_arg $ zipf_arg $ write_ratio_arg $ seed_arg $ client_opts_args
+      $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "load"

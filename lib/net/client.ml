@@ -151,6 +151,17 @@ let try_connect ?count ?on_reconnect ~codec ~proto_name ~proc c =
       warn_reconnect c ~now
         (Printf.sprintf "reconnect failed: %s" (Unix.error_message err))
 
+(* Per-frame wire cost, observed at append time on the encode scratch:
+   the length delta IS the frame's full wire size (length prefix
+   included), so key tagging's extra varint shows up here as +1–2
+   bytes. *)
+let observe_frame_bytes metrics n =
+  match metrics with
+  | None -> ()
+  | Some reg ->
+      Obs.Metrics.observe_int reg "wire.bytes_per_frame"
+        ~bounds:Obs.Metrics.bytes_bounds n
+
 (* Flush a connection's outbound batch: one [write] for however many
    frames accumulated since the last flush, recording the batch size
    and flush latency. *)
@@ -220,7 +231,9 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
     | None -> ()
     | Some _ ->
         meter "sent" m;
+        let before = Codec.Out.length c.out in
         Codec.encode_frame_into codec c.out (Codec.Msg m);
+        observe_frame_bytes metrics (Codec.Out.length c.out - before);
         c.frames_out <- c.frames_out + 1;
         flush_conn ?metrics ~count c
   in
@@ -280,6 +293,8 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
           | Codec.Hello _ -> drop c
           | Codec.Msg_from { sender; msg = _ } when sender <> proc ->
               () (* demuxed reply for someone else: stale, ignore *)
+          | Codec.Msg_key _ ->
+              () (* keyed reply: the serial client never tags keys *)
           | Codec.Msg m | Codec.Msg_from { msg = m; _ } ->
               meter "delivered" m;
               Obs.Span.contact span ~obj:c.index;
@@ -592,7 +607,9 @@ module Mux = struct
       | None -> ()
       | Some _ ->
           meter "sent" m;
+          let before = Codec.Out.length c.out in
           Codec.encode_frame_into codec c.out (Codec.Msg_from { sender; msg = m });
+          observe_frame_bytes metrics (Codec.Out.length c.out - before);
           c.frames_out <- c.frames_out + 1
     in
     let broadcast_slot sl m =
@@ -761,6 +778,8 @@ module Mux = struct
             match slot_of_sender sender with
             | -1 -> () (* reply for a reader of a previous mux: stale *)
             | idx -> deliver_to slots.(idx) c msg)
+        | Codec.Msg_key _ ->
+            () (* keyed reply: this mux drives only the key-0 register *)
       in
       let handle_conn c =
         match c.fd with
@@ -971,4 +990,625 @@ module Mux = struct
   let connected t = t.mux_connected ()
 
   let close t = t.mux_close ()
+end
+
+(* ===== keyed multiplexing client ========================================= *)
+
+(* The keyspace client: one event loop drives reader AND writer automata
+   for many keys over one connection per fleet server.  Placement comes
+   from [Shard.Map]: a key's traffic goes as [Msg_key] frames to the S
+   members of its shard only, and replies demux by the echoed (key,
+   sender) pair.  Automata are per key and lazily materialized — a key's
+   reader keeps its own §5.1 timestamp cache and GC floor, its writer
+   its own monotone timestamps, so keys are as independent over the wire
+   as they are in the simulator (which is what makes per-shard
+   correctness the single-register argument verbatim).
+
+   Objects are attributed by their fleet-global 1-based index (the
+   connection's [index]): the automata only ever count DISTINCT object
+   ids against the quorum thresholds and key their reply maps by id, so
+   they never require the contiguous 1..S space — a shard's S member
+   ids work unchanged.
+
+   Ordering: per (key, role) at most one operation is in flight; excess
+   ops queue FIFO, so per-key reads and per-key writes each stay
+   program-ordered while different keys overlap freely up to the
+   window.  A read and a write on the SAME key may overlap — they are
+   different automata, exactly the paper's concurrent reader/writer.
+
+   Single-writer discipline is the caller's: the registers are SWMR, so
+   at most one process may ever write a given key (the load driver
+   partitions write ownership by [Shard.Map.mix key]). *)
+
+type ('m, 'r, 'w) kreg = {
+  kkey : int;
+  kshard : int;
+  kconns : int array;  (* fleet slots (0-based) of the key's shard members *)
+  mutable krd : 'r;  (* this key's reader automaton *)
+  mutable kwr : 'w;  (* this key's writer automaton *)
+  mutable krst : 'm slot_state;  (* in-flight read, if any *)
+  mutable kwst : 'm slot_state;  (* in-flight write, if any *)
+  krq : int Queue.t;  (* queued read op indices, program order *)
+  kwq : int Queue.t;  (* queued write op indices, program order *)
+}
+
+module Keyed = struct
+  type kop = Read of { key : int } | Write of { key : int; value : Core.Value.t }
+
+  let op_key = function Read { key } | Write { key; _ } -> key
+
+  let op_is_write = function Read _ -> false | Write _ -> true
+
+  type event =
+    | Invoke of { op : int; key : int; write : bool; at_us : int }
+    | Respond of {
+        op : int;
+        key : int;
+        write : bool;
+        at_us : int;
+        outcome : (outcome, string) result;
+      }
+
+  type t = {
+    krun :
+      ?on_event:(event -> unit) -> kop array -> (outcome, string) result array;
+    kspans : unit -> Obs.Span.t list;
+    kconnected : unit -> int list;
+    kclose : unit -> unit;
+    kkeys_touched : unit -> int;
+  }
+
+  let connect ?metrics ?(opts = default_opts) ?now_us ?(max_inflight = 16)
+      ?(reader = 1) ~protocol ~map endpoints =
+    Lazy.force ignore_sigpipe;
+    let (Protocols.Packed { proto = (module P); codec }) = protocol in
+    let cfg = Shard.Map.cfg map in
+    let fleet = Shard.Map.fleet map in
+    if Array.length endpoints <> fleet then
+      invalid_arg
+        (Printf.sprintf "Keyed.connect: %d endpoints for a fleet of %d"
+           (Array.length endpoints) fleet);
+    if reader < 1 then
+      invalid_arg (Printf.sprintf "Keyed.connect: reader = %d" reader);
+    let window = max 1 max_inflight in
+    let now_f = Unix.gettimeofday in
+    let now_us =
+      match now_us with
+      | Some f -> f
+      | None ->
+          let t0 = now_f () in
+          fun () -> int_of_float ((now_f () -. t0) *. 1e6)
+    in
+    let collector = Obs.Span.collector () in
+    let count name =
+      match metrics with None -> () | Some reg -> Obs.Metrics.incr reg name
+    in
+    let meter stage m =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg
+            ("wire." ^ Obs.Wire.to_string (P.msg_class m) ^ "." ^ stage)
+    in
+    let conns = Array.mapi mk_conn endpoints in
+    let rname = "r" ^ string_of_int reader in
+    let sender_of write = if write then "w" else rname in
+    let drop c = drop_conn ~count c in
+    (* key -> per-key automata + in-flight state, lazily materialized *)
+    let regs : (int, (P.msg, P.reader, P.writer) kreg) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let reg_for key =
+      match Hashtbl.find_opt regs key with
+      | Some r -> r
+      | None ->
+          let shard = Shard.Map.shard_of_key map key in
+          let r =
+            {
+              kkey = key;
+              kshard = shard;
+              kconns = Shard.Map.members map ~shard;
+              krd = P.reader_init ~cfg ~j:reader;
+              kwr = P.writer_init ~cfg;
+              krst = Sidle;
+              kwst = Sidle;
+              krq = Queue.create ();
+              kwq = Queue.create ();
+            }
+          in
+          Hashtbl.replace regs key r;
+          r
+    in
+    let append_key c ~key ~sender m =
+      match c.fd with
+      | None -> ()
+      | Some _ ->
+          meter "sent" m;
+          let before = Codec.Out.length c.out in
+          Codec.encode_frame_into codec c.out (Codec.Msg_key { key; sender; msg = m });
+          observe_frame_bytes metrics (Codec.Out.length c.out - before);
+          c.frames_out <- c.frames_out + 1
+    in
+    let broadcast_key r ~sender m =
+      Array.iter
+        (fun slot -> append_key conns.(slot) ~key:r.kkey ~sender m)
+        r.kconns
+    in
+    let flush_all () =
+      Array.iter (fun c -> flush_conn ?metrics ~count c) conns
+    in
+    (* A re-established connection may front a restarted (possibly
+       wiped) server: every key's reader clears its timestamp cache, so
+       no suffix request trusts state the server no longer has. *)
+    let resync_all () =
+      count "op.cache_resyncs";
+      Hashtbl.iter (fun _ r -> r.krd <- P.reader_on_reconnect r.krd) regs
+    in
+    let ensure_conns now =
+      Array.iter
+        (fun c ->
+          if c.fd = None && now >= c.next_attempt then
+            try_connect ~count ~codec ~proto_name:P.name ~proc:rname
+              ~on_reconnect:resync_all c)
+        conns
+    in
+    let connected () =
+      Array.to_list conns
+      |> List.filter_map (fun c ->
+             match c.fd with Some _ -> Some c.index | None -> None)
+    in
+    let op_metrics ~kind span ~rounds now =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          let k = "op." ^ Obs.Span.kind_to_string kind in
+          Obs.Metrics.incr reg (k ^ ".completed");
+          Obs.Metrics.observe_int reg (k ^ ".rounds")
+            ~bounds:Obs.Metrics.round_bounds span.Obs.Span.rounds;
+          Obs.Metrics.observe_int reg (k ^ ".latency_us")
+            ~bounds:Obs.Metrics.wallclock_bounds
+            (now - span.Obs.Span.started_at);
+          Obs.Metrics.observe_int reg (k ^ ".replies")
+            ~bounds:Obs.Metrics.count_bounds span.Obs.Span.replies;
+          Obs.Metrics.observe_int reg (k ^ ".contacted")
+            ~bounds:Obs.Metrics.count_bounds
+            (List.length (Obs.Span.contacted span));
+          (match kind with
+          | Obs.Span.Read _ ->
+              Obs.Metrics.incr reg
+                (if rounds <= 1 then "op.fast_reads" else "op.fallback_rounds")
+          | Obs.Span.Write -> ())
+    in
+    (* Per-shard fast-read engagement: E19's per-shard evidence that the
+       §5.1 one-round path survives sharding. *)
+    let shard_read_metric r ~rounds =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.incr reg (Printf.sprintf "shard.%d.reads" r.kshard);
+          if rounds <= 1 then
+            Obs.Metrics.incr reg (Printf.sprintf "shard.%d.fast_reads" r.kshard)
+    in
+    let run ?on_event ops =
+      let n = Array.length ops in
+      let results = Array.make (max n 1) (Error "operation not run") in
+      let emit e = match on_event with Some f -> f e | None -> () in
+      let next_op = ref 0 in
+      let completed = ref 0 in
+      let in_flight = ref 0 in
+      (* (key, is_write) pairs currently in flight — bounded by the
+         window, so timers never scan the whole key table — plus roles
+         freed by a completion, whose queued successor starts from the
+         pump loop (never from inside an automaton event iteration). *)
+      let actives :
+          (int * bool, (P.msg, P.reader, P.writer) kreg) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let freed : ((P.msg, P.reader, P.writer) kreg * bool) Queue.t =
+        Queue.create ()
+      in
+      let get_st r ~write = if write then r.kwst else r.krst in
+      let set_st r ~write st =
+        if write then r.kwst <- st else r.krst <- st
+      in
+      let queue_of r ~write = if write then r.kwq else r.krq in
+      let finish_op r ~write (a : _ active) outcome =
+        results.(a.aop) <- outcome;
+        emit
+          (Respond
+             { op = a.aop; key = r.kkey; write; at_us = now_us (); outcome });
+        Hashtbl.remove actives (r.kkey, write);
+        Queue.add (r, write) freed;
+        incr completed;
+        decr in_flight
+      in
+      let feed_reg r ~write ~obj m =
+        let evs =
+          if write then begin
+            let w, evs = P.writer_on_msg r.kwr ~obj m in
+            r.kwr <- w;
+            evs
+          end
+          else begin
+            let rd, evs = P.reader_on_msg r.krd ~obj m in
+            r.krd <- rd;
+            evs
+          end
+        in
+        List.iter
+          (function
+            | Core.Events.Broadcast m' -> (
+                match get_st r ~write with
+                | Sactive a ->
+                    Obs.Span.transition a.aspan ~now:(now_us ());
+                    a.acur <- m';
+                    a.adeadline <- now_f () +. opts.deadline;
+                    a.abackoff_until <- 0.;
+                    broadcast_key r ~sender:(sender_of write) m'
+                | Sparked p -> p.pcur <- m'
+                | Sidle | Sdone _ -> ())
+            | Core.Events.Read_done { value; rounds } ->
+                if not write then begin
+                  match get_st r ~write with
+                  | Sactive a ->
+                      shard_read_metric r ~rounds;
+                      let now = now_us () in
+                      Obs.Span.finish a.aspan ~now ~rounds
+                        ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                      op_metrics
+                        ~kind:(Obs.Span.Read { reader })
+                        a.aspan ~rounds now;
+                      let out =
+                        {
+                          value = Some value;
+                          rounds;
+                          retransmits = a.aretr;
+                          latency_us = now - a.aspan.Obs.Span.started_at;
+                        }
+                      in
+                      set_st r ~write Sidle;
+                      finish_op r ~write a (Ok out)
+                  | Sparked p ->
+                      shard_read_metric r ~rounds;
+                      let now = now_us () in
+                      Obs.Span.finish p.pspan ~now ~rounds
+                        ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                      op_metrics
+                        ~kind:(Obs.Span.Read { reader })
+                        p.pspan ~rounds now;
+                      set_st r ~write
+                        (Sdone
+                           {
+                             value = Some value;
+                             rounds;
+                             retransmits = 0;
+                             latency_us = now - p.pspan.Obs.Span.started_at;
+                           })
+                  | Sidle | Sdone _ -> ()
+                end
+            | Core.Events.Write_done { rounds } ->
+                if write then begin
+                  match get_st r ~write with
+                  | Sactive a ->
+                      let now = now_us () in
+                      Obs.Span.finish a.aspan ~now ~rounds ~trace_pos:0 ();
+                      op_metrics ~kind:Obs.Span.Write a.aspan ~rounds now;
+                      let out =
+                        {
+                          value = None;
+                          rounds;
+                          retransmits = a.aretr;
+                          latency_us = now - a.aspan.Obs.Span.started_at;
+                        }
+                      in
+                      set_st r ~write Sidle;
+                      finish_op r ~write a (Ok out)
+                  | Sparked p ->
+                      let now = now_us () in
+                      Obs.Span.finish p.pspan ~now ~rounds ~trace_pos:0 ();
+                      op_metrics ~kind:Obs.Span.Write p.pspan ~rounds now;
+                      set_st r ~write
+                        (Sdone
+                           {
+                             value = None;
+                             rounds;
+                             retransmits = 0;
+                             latency_us = now - p.pspan.Obs.Span.started_at;
+                           })
+                  | Sidle | Sdone _ -> ()
+                end)
+          evs
+      in
+      let deliver_key c ~key ~sender m =
+        match Hashtbl.find_opt regs key with
+        | None -> () (* reply for a key this client never touched: stale *)
+        | Some r -> (
+            let role =
+              if String.equal sender "w" then Some true
+              else if String.equal sender rname then Some false
+              else None (* another client's reader: stale, ignore *)
+            in
+            match role with
+            | None -> ()
+            | Some write -> (
+                match get_st r ~write with
+                | Sactive a ->
+                    meter "delivered" m;
+                    Obs.Span.contact a.aspan ~obj:c.index;
+                    feed_reg r ~write ~obj:c.index m
+                | Sparked p ->
+                    meter "delivered" m;
+                    Obs.Span.contact p.pspan ~obj:c.index;
+                    feed_reg r ~write ~obj:c.index m
+                | Sidle | Sdone _ -> () (* stale ack between operations *)))
+      in
+      let on_frame c = function
+        | Codec.Hello_ack { proto; obj } ->
+            if proto <> P.name || obj <> c.index then drop c
+        | Codec.Err _ ->
+            count "net.client.peer_errors";
+            drop c
+        | Codec.Hello _ -> drop c
+        | Codec.Msg m ->
+            (* pre-keyspace server: untagged replies belong to key 0 *)
+            deliver_key c ~key:0 ~sender:rname m
+        | Codec.Msg_from { sender; msg } -> deliver_key c ~key:0 ~sender msg
+        | Codec.Msg_key { key; sender; msg } -> deliver_key c ~key ~sender msg
+      in
+      let handle_conn c =
+        match c.fd with
+        | None -> ()
+        | Some fd -> (
+            match Codec.recv_into fd c.reader with
+            | 0 -> drop c
+            | exception Unix.Unix_error _ -> drop c
+            | _ ->
+                let rec drain () =
+                  if c.fd <> None then
+                    match Codec.Reader.next codec c.reader with
+                    | Ok `Awaiting -> ()
+                    | Error _ ->
+                        count "net.client.decode_errors";
+                        drop c
+                    | Ok (`Frame f) ->
+                        on_frame c f;
+                        drain ()
+                in
+                drain ())
+      in
+      (* [start_now] requires the role NOT be [Sactive]; [start_next]
+         pops the role's queue once it is free.  A synchronous
+         completion (adopted [Sdone], start error) recurses into
+         [start_next] — safe here because these only run from the pump
+         loop, never mid automaton-event iteration. *)
+      let rec start_now idx r ~write =
+        emit (Invoke { op = idx; key = r.kkey; write; at_us = now_us () });
+        match get_st r ~write with
+        | Sdone out ->
+            set_st r ~write Sidle;
+            results.(idx) <- Ok out;
+            emit
+              (Respond
+                 {
+                   op = idx;
+                   key = r.kkey;
+                   write;
+                   at_us = now_us ();
+                   outcome = Ok out;
+                 });
+            incr completed;
+            start_next r ~write
+        | Sparked p ->
+            set_st r ~write
+              (Sactive
+                 {
+                   aop = idx;
+                   acur = p.pcur;
+                   aspan = p.pspan;
+                   adeadline = now_f () +. opts.deadline;
+                   abackoff_until = 0.;
+                   aattempt = 0;
+                   aretr = 0;
+                 });
+            Hashtbl.replace actives (r.kkey, write) r;
+            broadcast_key r ~sender:(sender_of write) p.pcur;
+            incr in_flight
+        | Sidle -> (
+            let started =
+              if write then
+                match ops.(idx) with
+                | Write { value; _ } -> (
+                    match P.writer_start r.kwr value with
+                    | Ok (w, m) ->
+                        r.kwr <- w;
+                        Ok m
+                    | Error e -> Error e)
+                | Read _ -> assert false
+              else
+                match P.reader_start r.krd with
+                | Ok (rd, m) ->
+                    r.krd <- rd;
+                    Ok m
+                | Error e -> Error e
+            in
+            match started with
+            | Error e ->
+                results.(idx) <- Error e;
+                emit
+                  (Respond
+                     {
+                       op = idx;
+                       key = r.kkey;
+                       write;
+                       at_us = now_us ();
+                       outcome = Error e;
+                     });
+                incr completed;
+                start_next r ~write
+            | Ok m ->
+                let kind =
+                  if write then Obs.Span.Write else Obs.Span.Read { reader }
+                in
+                let span =
+                  Obs.Span.start collector kind ~proc:(sender_of write)
+                    ~now:(now_us ()) ~trace_pos:0
+                in
+                set_st r ~write
+                  (Sactive
+                     {
+                       aop = idx;
+                       acur = m;
+                       aspan = span;
+                       adeadline = now_f () +. opts.deadline;
+                       abackoff_until = 0.;
+                       aattempt = 0;
+                       aretr = 0;
+                     });
+                Hashtbl.replace actives (r.kkey, write) r;
+                broadcast_key r ~sender:(sender_of write) m;
+                incr in_flight)
+        | Sactive _ -> assert false
+      and start_next r ~write =
+        match get_st r ~write with
+        | Sactive _ -> ()
+        | Sidle | Sparked _ | Sdone _ ->
+            let q = queue_of r ~write in
+            if not (Queue.is_empty q) then start_now (Queue.pop q) r ~write
+      in
+      (* Admission: start if the (key, role) is free and nothing is
+         queued ahead (per-key program order); otherwise enqueue. *)
+      let admit idx =
+        let op = ops.(idx) in
+        let key = op_key op and write = op_is_write op in
+        let r = reg_for key in
+        let q = queue_of r ~write in
+        match get_st r ~write with
+        | Sactive _ -> Queue.add idx q
+        | Sidle | Sparked _ | Sdone _ ->
+            if Queue.is_empty q then start_now idx r ~write
+            else Queue.add idx q
+      in
+      let process_timers now =
+        let acts = Hashtbl.fold (fun k r acc -> (k, r) :: acc) actives [] in
+        List.iter
+          (fun ((_, write), r) ->
+            match get_st r ~write with
+            | Sactive a ->
+                if a.abackoff_until > 0. then begin
+                  if now >= a.abackoff_until then begin
+                    a.abackoff_until <- 0.;
+                    a.aretr <- a.aretr + 1;
+                    count "net.client.retransmits";
+                    a.aattempt <- a.aattempt + 1;
+                    a.adeadline <- now +. opts.deadline;
+                    broadcast_key r ~sender:(sender_of write) a.acur
+                  end
+                end
+                else if now >= a.adeadline then
+                  if a.aattempt >= opts.retries then begin
+                    count
+                      (if write then "op.write.timeout" else "op.read.timeout");
+                    let err =
+                      Printf.sprintf
+                        "%s of key %d timed out after %d attempts (%.1fs \
+                         deadline, connected objects: %s)"
+                        (if write then "write" else "read")
+                        r.kkey (a.aattempt + 1) opts.deadline
+                        (match connected () with
+                        | [] -> "none"
+                        | l -> String.concat "," (List.map string_of_int l))
+                    in
+                    let cur = a.acur and span = a.aspan in
+                    set_st r ~write (Sparked { pcur = cur; pspan = span });
+                    finish_op r ~write a (Error err)
+                  end
+                  else
+                    a.abackoff_until <-
+                      now +. (opts.backoff *. (2. ** float_of_int a.aattempt))
+            | Sidle | Sparked _ | Sdone _ -> ())
+          acts
+      in
+      let next_wakeup now =
+        let acc = ref (now +. 1.0) in
+        Hashtbl.iter
+          (fun (_, write) r ->
+            match get_st r ~write with
+            | Sactive a ->
+                let t =
+                  if a.abackoff_until > 0. then a.abackoff_until
+                  else a.adeadline
+                in
+                if t < !acc then acc := t
+            | Sidle | Sparked _ | Sdone _ -> ())
+          actives;
+        if Hashtbl.length actives > 0 then
+          Array.iter
+            (fun c ->
+              if c.fd = None && c.next_attempt < !acc then acc := c.next_attempt)
+            conns;
+        Float.max 0. (!acc -. now)
+      in
+      let rec pump () =
+        if !completed < n then begin
+          ensure_conns (now_f ());
+          (* freed roles first: their queued successors preserve per-key
+             program order ahead of fresh admissions *)
+          while not (Queue.is_empty freed) do
+            let r, write = Queue.pop freed in
+            start_next r ~write
+          done;
+          while !in_flight < window && !next_op < n do
+            admit !next_op;
+            incr next_op
+          done;
+          flush_all ();
+          if !completed >= n then ()
+          else begin
+            let fds = Array.to_list conns |> List.filter_map (fun c -> c.fd) in
+            let timeout = next_wakeup (now_f ()) in
+            (if fds = [] then
+               Thread.delay (Float.min 0.01 (Float.max 0.001 timeout))
+             else
+               match Unix.select fds [] [] timeout with
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               | ready, _, _ ->
+                   List.iter
+                     (fun fd ->
+                       Array.iter
+                         (fun c -> if c.fd = Some fd then handle_conn c)
+                         conns)
+                     ready);
+            process_timers (now_f ());
+            pump ()
+          end
+        end
+      in
+      pump ();
+      if n = 0 then [||] else results
+    in
+    let close_all () =
+      Array.iter
+        (fun c ->
+          drop c;
+          Codec.Reader.recycle c.reader;
+          Codec.Out.recycle c.out)
+        conns
+    in
+    {
+      krun = run;
+      kspans = (fun () -> Obs.Span.spans collector);
+      kconnected = connected;
+      kclose = close_all;
+      kkeys_touched = (fun () -> Hashtbl.length regs);
+    }
+
+  let run_ops ?on_event t ops = t.krun ?on_event ops
+
+  let spans t = t.kspans ()
+
+  let connected t = t.kconnected ()
+
+  let keys_touched t = t.kkeys_touched ()
+
+  let close t = t.kclose ()
 end

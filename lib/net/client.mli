@@ -150,3 +150,90 @@ module Mux : sig
 
   val close : t -> unit
 end
+
+(** {2 Keyed keyspace client}
+
+    Drives reader AND writer automata for a whole keyspace over one
+    connection per fleet server.  Placement comes from {!Shard.Map}: a
+    key's rounds go as [Msg_key] frames to the [S] members of its shard
+    only, and replies demultiplex by the echoed (key, sender) pair.
+    Per-key automata are lazily materialized, so each key keeps its own
+    fast-read timestamp cache and GC floor — keys are as independent
+    over the wire as separate registers, which is what makes per-shard
+    correctness the paper's single-register argument verbatim.
+
+    Per (key, role) at most one operation is in flight and excess
+    operations queue FIFO, so each key's reads and each key's writes
+    stay program-ordered while distinct keys overlap up to
+    [max_inflight].  A read and a write on the {e same} key may overlap:
+    they are different automata — exactly the paper's concurrent
+    reader/writer.
+
+    The registers are SWMR; partitioning write ownership across
+    processes (at most one writer per key, ever) is the caller's job —
+    the load driver does it with {!Shard.Map.mix}. *)
+
+module Keyed : sig
+  type kop = Read of { key : int } | Write of { key : int; value : Core.Value.t }
+
+  val op_key : kop -> int
+
+  val op_is_write : kop -> bool
+
+  type event =
+    | Invoke of { op : int; key : int; write : bool; at_us : int }
+    | Respond of {
+        op : int;
+        key : int;
+        write : bool;
+        at_us : int;
+        outcome : (outcome, string) result;
+      }
+
+  type t
+
+  val connect :
+    ?metrics:Obs.Metrics.t ->
+    ?opts:opts ->
+    ?now_us:(unit -> int) ->
+    ?max_inflight:int ->
+    ?reader:int ->
+    protocol:Protocols.t ->
+    map:Shard.Map.t ->
+    Endpoint.t array ->
+    t
+  (** [connect ~protocol ~map endpoints] prepares a keyed client over a
+      fleet: endpoint [i] is fleet slot [i] and hosts base object [i+1]
+      for every shard it serves (the automata only ever count distinct
+      object ids against quorum thresholds, so a shard's member ids need
+      not be contiguous).  [reader] (default 1) is this client's reader
+      id for {e every} key; two keyed clients reading the same keys must
+      use distinct ids.  [max_inflight] (default 16) caps concurrently
+      progressing operations across all keys.
+      @raise Invalid_argument if [endpoints] does not match the map's
+      fleet or [reader < 1]. *)
+
+  val run_ops :
+    ?on_event:(event -> unit) ->
+    t ->
+    kop array ->
+    (outcome, string) result array
+  (** [run_ops t ops] drives every operation to completion (or timeout);
+      result [i] is operation [i]'s outcome.  [on_event] observes
+      invocations and responses in real time (for per-key history
+      recording).  A timed-out operation parks its machine mid-round —
+      the automata have no abort — and the next operation on that (key,
+      role) resumes it; a resumed {e write} completes the parked round,
+      so the resuming write's own value is not what gets written
+      (mirroring the serial client's resume semantics). *)
+
+  val spans : t -> Obs.Span.t list
+
+  val connected : t -> int list
+  (** Object indices (fleet slot + 1) with an established connection. *)
+
+  val keys_touched : t -> int
+  (** Keys with materialized automata so far. *)
+
+  val close : t -> unit
+end

@@ -16,6 +16,19 @@ type mux_state = {
   m_open : Histories.Recorder.op_handle option array;  (* per reader slot *)
 }
 
+(* The keyed keyspace runtime, cached for the same reason as the mux:
+   parked per-key automata must survive across calls.  Histories are
+   per key (each key is its own register) and recorded only for keys
+   the caller samples. *)
+type keyed_state = {
+  k_inflight : int;
+  k_map : Shard.Map.t;
+  k_client : Client.Keyed.t;
+  k_registry : Obs.Metrics.t option;
+  k_recorders : (int, string Histories.Recorder.t) Hashtbl.t;
+  k_open : (int * bool, Histories.Recorder.op_handle) Hashtbl.t;
+}
+
 type t = {
   cfg : Quorum.Config.t;
   endpoints : Endpoint.t array;  (* what clients dial: proxies if interposed *)
@@ -25,6 +38,7 @@ type t = {
   writer : client_slot;
   readers : client_slot array;
   mutable mux : mux_state option;
+  mutable keyed : keyed_state option;
   (* Base objects keep per-reader round state, so reader ids are never
      reused across mux generations: each new mux gets a fresh range. *)
   mutable next_rid : int;
@@ -130,6 +144,7 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
     writer = slot `Writer;
     readers = Array.init readers (fun j -> slot (`Reader (j + 1)));
     mux = None;
+    keyed = None;
     next_rid = readers + 1;
     copts = opts;
     protocol;
@@ -264,6 +279,117 @@ let read_pipelined t ~inflight ~ops =
   in
   Client.Mux.run_reads ~on_event m.m_mux ops
 
+let keyed_for t ~map ~inflight =
+  if inflight < 1 then
+    invalid_arg (Printf.sprintf "Cluster.run_keyed: inflight %d" inflight);
+  match t.keyed with
+  | Some k when k.k_inflight = inflight && k.k_map == map -> k
+  | existing ->
+      (match existing with
+      | Some k -> Client.Keyed.close k.k_client
+      | None -> ());
+      if Shard.Map.fleet map <> Array.length t.endpoints then
+        invalid_arg
+          (Printf.sprintf "Cluster.run_keyed: map fleet %d, cluster has %d"
+             (Shard.Map.fleet map) (Array.length t.endpoints));
+      let registry =
+        if t.with_metrics then Some (Obs.Metrics.create ()) else None
+      in
+      (* Fresh reader id: key 0 is also served to the plain clients
+         (untagged frames), so the keyed reader must not collide with a
+         serial reader's per-reader round state on key 0's objects. *)
+      let rid = t.next_rid in
+      t.next_rid <- t.next_rid + 1;
+      let k =
+        {
+          k_inflight = inflight;
+          k_map = map;
+          k_client =
+            Client.Keyed.connect ?metrics:registry ?opts:t.copts
+              ~now_us:t.now_us ~max_inflight:inflight ~reader:rid
+              ~protocol:t.protocol ~map t.endpoints;
+          k_registry = registry;
+          k_recorders = Hashtbl.create 64;
+          k_open = Hashtbl.create 64;
+        }
+      in
+      t.keyed <- Some k;
+      k
+
+let run_keyed ?(inflight = 16) ?(sample = fun _ -> true) t ~map ops =
+  let k = keyed_for t ~map ~inflight in
+  let recorder_for key =
+    match Hashtbl.find_opt k.k_recorders key with
+    | Some r -> r
+    | None ->
+        let r = Histories.Recorder.create () in
+        Hashtbl.replace k.k_recorders key r;
+        r
+  in
+  let record ev =
+    match ev with
+    | Client.Keyed.Invoke { op; key; write; at_us } ->
+        if sample key then begin
+          match Hashtbl.find_opt k.k_open (key, write) with
+          | Some _ -> ()  (* resuming a parked op: invocation stands *)
+          | None ->
+              let r = recorder_for key in
+              let h =
+                if write then
+                  let v =
+                    match ops.(op) with
+                    | Client.Keyed.Write { value; _ } ->
+                        Core.Value.to_string value
+                    | Client.Keyed.Read _ -> assert false
+                  in
+                  Histories.Recorder.invoke_write r ~time:at_us v
+                else Histories.Recorder.invoke_read r ~time:at_us ~reader:1
+              in
+              Hashtbl.replace k.k_open (key, write) h
+        end
+    | Client.Keyed.Respond { key; write; at_us; outcome; _ } ->
+        if sample key then begin
+          match outcome with
+          | Error _ -> ()  (* op stays open; a later op resumes it *)
+          | Ok o -> (
+              match Hashtbl.find_opt k.k_open (key, write) with
+              | None -> ()
+              | Some h ->
+                  Hashtbl.remove k.k_open (key, write);
+                  let r = recorder_for key in
+                  if write then Histories.Recorder.respond_write r h ~time:at_us
+                  else
+                    let result =
+                      match o.Client.value with
+                      | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+                      | Some (Core.Value.V s) -> Histories.Op.Value s
+                    in
+                    Histories.Recorder.respond_read r h ~time:at_us result)
+        end
+  in
+  let on_event ev =
+    Mutex.lock t.rec_mutex;
+    (try record ev
+     with e ->
+       Mutex.unlock t.rec_mutex;
+       raise e);
+    Mutex.unlock t.rec_mutex
+  in
+  Client.Keyed.run_ops ~on_event k.k_client ops
+
+let keyed_histories t =
+  match t.keyed with
+  | None -> []
+  | Some k ->
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun key r acc -> (key, Histories.Recorder.ops r) :: acc)
+            k.k_recorders []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+
+let keys_touched t =
+  match t.keyed with None -> 0 | Some k -> Client.Keyed.keys_touched k.k_client
+
 let check_index t i =
   if i < 1 || i > Array.length t.servers then
     invalid_arg (Printf.sprintf "Cluster: object %d" i)
@@ -317,6 +443,7 @@ let spans t =
       (fun r -> Client.spans r.client)
       (Array.to_list t.readers)
   @ (match t.mux with Some m -> Client.Mux.spans m.m_mux | None -> [])
+  @ (match t.keyed with Some k -> Client.Keyed.spans k.k_client | None -> [])
 
 let metrics t =
   if not t.with_metrics then None
@@ -332,6 +459,9 @@ let metrics t =
     (match t.mux with
     | Some { m_registry = Some src; _ } -> Obs.Metrics.merge_into ~dst src
     | _ -> ());
+    (match t.keyed with
+    | Some { k_registry = Some src; _ } -> Obs.Metrics.merge_into ~dst src
+    | _ -> ());
     Some dst
   end
 
@@ -342,6 +472,11 @@ let stop t =
   | Some m ->
       Client.Mux.close m.m_mux;
       t.mux <- None
+  | None -> ());
+  (match t.keyed with
+  | Some k ->
+      Client.Keyed.close k.k_client;
+      t.keyed <- None
   | None -> ());
   Array.iter Chaos.stop t.chaos_;
   Array.iter (fun s -> if Server.alive s then Server.stop s) t.servers;

@@ -63,6 +63,32 @@ val read_pipelined :
     like the serial path.  Changing [inflight] rebuilds the mux.
     @raise Invalid_argument if [inflight < 1]. *)
 
+val run_keyed :
+  ?inflight:int ->
+  ?sample:(int -> bool) ->
+  t ->
+  map:Shard.Map.t ->
+  Client.Keyed.kop array ->
+  (Client.outcome, string) result array
+(** Drive a keyspace op mix through a cached {!Client.Keyed} whose
+    reader id is allocated fresh (key 0 is also served to the plain
+    clients, so the keyed reader must not collide with their per-reader
+    round state).  The map's fleet must equal the cluster's server
+    count.  Each key sampled by [sample] (default: all) records into
+    its own per-key history — each key is an independent register, so
+    the single-register checkers apply per key ({!keyed_histories}).
+    [inflight] (default 16) caps concurrently progressing operations;
+    changing it or the map rebuilds the keyed client.
+    @raise Invalid_argument if [inflight < 1] or the map's fleet does
+    not match. *)
+
+val keyed_histories : t -> (int * string Histories.Op.t list) list
+(** Per-key recorded operations for sampled keys, sorted by key id —
+    feed each key's list to {!Histories.Checks} independently. *)
+
+val keys_touched : t -> int
+(** Keys with materialized keyed-client automata so far. *)
+
 val crash : t -> int -> unit
 (** Hard-kill server for object [i] (1-based); idempotent while down. *)
 

@@ -519,6 +519,7 @@ type 'm frame =
   | Hello_ack of { proto : string; obj : int }
   | Msg of 'm
   | Msg_from of { sender : string; msg : 'm }
+  | Msg_key of { key : int; sender : string; msg : 'm }
   | Err of string
 
 let frame_info ~msg_info = function
@@ -529,6 +530,8 @@ let frame_info ~msg_info = function
   | Msg m -> msg_info m
   | Msg_from { sender; msg } ->
       Printf.sprintf "MSG_FROM(sender=%s,%s)" sender (msg_info msg)
+  | Msg_key { key; sender; msg } ->
+      Printf.sprintf "MSG_KEY(key=%d,sender=%s,%s)" key sender (msg_info msg)
   | Err e -> Printf.sprintf "ERR(%s)" e
 
 let kind_hello = 0
@@ -540,6 +543,8 @@ let kind_msg = 2
 let kind_err = 3
 
 let kind_msg_from = 4
+
+let kind_msg_key = 5
 
 (* Append one full frame (length prefix included) to the scratch.  The
    body is encoded in place and the length patched afterwards, so the
@@ -566,6 +571,11 @@ let encode_frame_into c (o : Out.t) frame =
       c.encode o m
   | Msg_from { sender; msg } ->
       out_u8 o kind_msg_from;
+      out_string o sender;
+      c.encode o msg
+  | Msg_key { key; sender; msg } ->
+      out_u8 o kind_msg_key;
+      out_int o key;
       out_string o sender;
       c.encode o msg
   | Err e ->
@@ -612,6 +622,12 @@ let decode_payload_dec c d =
         let sender = get_string d in
         Msg_from { sender; msg = c.decode d }
       end
+      else if kind = kind_msg_key then begin
+        let key = get_int d in
+        if key < 0 then fail "negative key id %d" key;
+        let sender = get_string d in
+        Msg_key { key; sender; msg = c.decode d }
+      end
       else if kind = kind_err then Err (get_string d)
       else fail "bad frame kind %d" kind
     end
@@ -652,6 +668,7 @@ let peek_kind s =
          else if k = kind_hello_ack then `Hello_ack
          else if k = kind_msg then `Msg
          else if k = kind_msg_from then `Msg_from
+         else if k = kind_msg_key then `Msg_key
          else if k = kind_err then `Err
          else `Unknown k)
 
@@ -669,6 +686,24 @@ let peek_sender s =
       else if k = kind_msg_from then (
         match get_string d with
         | sender -> Some sender
+        | exception Fail _ -> None)
+      else if k = kind_msg_key then (
+        match
+          let _key = get_int d in
+          get_string d
+        with
+        | sender -> Some sender
+        | exception Fail _ -> None)
+      else None
+
+let peek_key s =
+  match peek_dec s with
+  | None -> None
+  | Some (k, d) ->
+      if k = kind_msg_key then (
+        match get_int d with
+        | key when key >= 0 -> Some key
+        | _ -> None
         | exception Fail _ -> None)
       else None
 

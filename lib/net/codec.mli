@@ -106,6 +106,14 @@ type 'm frame =
           connection can multiplex traffic for many reader automata.
           Servers reply in kind, echoing [sender], which is how the
           pipelined client demultiplexes concurrent operations. *)
+  | Msg_key of { key : int; sender : string; msg : 'm }
+      (** A sender-tagged message additionally scoped to one register of
+          a keyspace: the varint [key] (>= 0) names the register the
+          automaton belongs to, so one connection multiplexes traffic
+          for many keys times many automata.  Servers reply in kind,
+          echoing both [key] and [sender].  Untagged [Msg]/[Msg_from]
+          frames address key 0, which is how pre-keyspace clients keep
+          working against keyed servers. *)
   | Err of string
       (** Terminal: the peer rejected the session or a frame; the
           connection closes after sending it. *)
@@ -140,12 +148,18 @@ val header_bytes : int
 
 val peek_kind :
   string ->
-  [ `Hello | `Hello_ack | `Msg | `Msg_from | `Err | `Unknown of int ] option
+  [ `Hello | `Hello_ack | `Msg | `Msg_from | `Msg_key | `Err | `Unknown of int ]
+  option
 (** Kind of a frame payload; [None] if the header is malformed. *)
 
 val peek_sender : string -> string option
 (** The process name a payload carries inline: a [Hello]'s [sender] or a
-    [Msg_from]'s [sender]; [None] for other kinds or malformed bytes. *)
+    [Msg_from]/[Msg_key]'s [sender]; [None] for other kinds or malformed
+    bytes. *)
+
+val peek_key : string -> int option
+(** The key id a [Msg_key] payload carries; [None] for other kinds or
+    malformed bytes. *)
 
 (** {2 Incremental frame extraction}
 

@@ -146,7 +146,26 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
     Mutex.lock mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
   in
-  let objs = Array.init s (fun i -> ref (fresh i)) in
+  (* Per-slot keyed object tables: key id -> automaton state.  Key 0 is
+     the pre-keyspace register and exists from the start, so untagged
+     [Msg]/[Msg_from] traffic behaves exactly as before; other keys are
+     materialized on first contact.  A table is only ever touched by the
+     slot's owning domain (the same invariant [steppers] asserts for the
+     automata), so no lock guards it. *)
+  let objs : (int, P.obj ref) Hashtbl.t array =
+    Array.init s (fun i ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.replace tbl 0 (ref (fresh i));
+        tbl)
+  in
+  let obj_for i key =
+    match Hashtbl.find_opt objs.(i) key with
+    | Some r -> r
+    | None ->
+        let r = ref (fresh i) in
+        Hashtbl.replace objs.(i) key r;
+        r
+  in
   let listeners = Array.make s None in
   let actuals = Array.copy endpoints in
   (try
@@ -328,7 +347,10 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
       end
     in
     let append_frame c fr =
+      let before = Codec.Out.length c.gout in
       Codec.encode_frame_into codec c.gout fr;
+      observe c.gobj "wire.bytes_per_frame" Obs.Metrics.bytes_bounds
+        (Codec.Out.length c.gout - before);
       c.gframes <- c.gframes + 1;
       if (not c.gpaused) && Codec.Out.pending c.gout > queue_hi then begin
         c.gpaused <- true;
@@ -349,11 +371,13 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
       end
       else if c.gclosing then close_conn c
     in
-    let deliver c ~src ~wrap m =
+    let deliver c ~key ~src ~wrap m =
       let i = c.gobj in
       (* Partition-safety check: the routing table must have sent this
          connection to the slot's owner, and only one domain id may ever
-         claim a live slot. *)
+         claim a live slot.  Keys nest inside slots (every key's state
+         lives in its slot's table), so the per-slot check covers every
+         keyed automaton too. *)
       if owner.(i) <> d then Atomic.incr violations;
       let me = (Domain.self () :> int) in
       let st = steppers.(i) in
@@ -364,8 +388,9 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
           then Atomic.incr violations
       | id when id = me -> ()
       | _ -> Atomic.incr violations);
-      let obj', reply = P.obj_handle !(objs.(i)) ~src m in
-      objs.(i) := obj';
+      let slot = obj_for i key in
+      let obj', reply = P.obj_handle !slot ~src m in
+      slot := obj';
       Atomic.incr msg_counts.(i);
       count i "net.server.messages";
       meter i "delivered" m;
@@ -401,7 +426,7 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
           | None ->
               append_frame c (Codec.Err "protocol message before hello");
               c.gclosing <- true
-          | Some src -> deliver c ~src ~wrap:(fun r -> Codec.Msg r) m)
+          | Some src -> deliver c ~key:0 ~src ~wrap:(fun r -> Codec.Msg r) m)
       | Codec.Msg_from { sender; msg } -> (
           match c.gsrc with
           | None ->
@@ -414,8 +439,23 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
                     (Codec.Err (Printf.sprintf "invalid sender %S" sender));
                   c.gclosing <- true
               | Some src ->
-                  deliver c ~src
+                  deliver c ~key:0 ~src
                     ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
+                    msg))
+      | Codec.Msg_key { key; sender; msg } -> (
+          match c.gsrc with
+          | None ->
+              append_frame c (Codec.Err "protocol message before hello");
+              c.gclosing <- true
+          | Some _ -> (
+              match proc_of_string sender with
+              | None ->
+                  append_frame c
+                    (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                  c.gclosing <- true
+              | Some src ->
+                  deliver c ~key ~src
+                    ~wrap:(fun r -> Codec.Msg_key { key; sender; msg = r })
                     msg))
       | Codec.Hello_ack _ ->
           append_frame c (Codec.Err "unexpected hello_ack");
@@ -650,7 +690,10 @@ let start_group ?metrics ?indices ?(domains = 1) ?(queue_hi = 256 * 1024)
   and restart_obj i ~wipe =
     locked (fun () ->
         if alive.(i) then invalid_arg "Server.restart: server still alive";
-        if wipe then objs.(i) := fresh i;
+        if wipe then begin
+          Hashtbl.reset objs.(i);
+          Hashtbl.replace objs.(i) 0 (ref (fresh i))
+        end;
         let fd, actual = listen_on actuals.(i) in
         Unix.set_nonblock fd;
         listeners.(i) <- Some fd;
@@ -679,11 +722,26 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
   Lazy.force ignore_sigpipe;
   let (Protocols.Packed { proto = (module P); codec }) = protocol in
   let fresh () = P.obj_init ~cfg ~index in
-  let rec go obj0 endpoint =
+  (* Keyed object table, exactly as in the poll group: key 0 from the
+     start, other keys on first contact, all under the server mutex. *)
+  let fresh_table () =
+    let tbl : (int, P.obj ref) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.replace tbl 0 (ref (fresh ()));
+    tbl
+  in
+  let rec go objs endpoint =
     let listen_fd, endpoint = listen_on endpoint in
     let stop_rd, stop_wr = Unix.pipe () in
     let mutex = Mutex.create () in
-    let obj = ref obj0 in
+    (* Must be called with the lock held. *)
+    let obj_for key =
+      match Hashtbl.find_opt objs key with
+      | Some r -> r
+      | None ->
+          let r = ref (fresh ()) in
+          Hashtbl.replace objs key r;
+          r
+    in
     let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 8 in
     let threads = ref [] in
     let stopping = ref false in
@@ -711,17 +769,28 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
          write: frames are self-delimiting, so the peer cannot tell — but
          a pipelined client draining K acks per read round can. *)
       let out = Codec.Out.create () in
-      let append fr = Codec.encode_frame_into codec out fr in
+      let append fr =
+        let before = Codec.Out.length out in
+        Codec.encode_frame_into codec out fr;
+        match metrics with
+        | None -> ()
+        | Some reg ->
+            let n = Codec.Out.length out - before in
+            locked (fun () ->
+                Obs.Metrics.observe_int reg "wire.bytes_per_frame"
+                  ~bounds:Obs.Metrics.bytes_bounds n)
+      in
       let flush_out () =
         if Codec.Out.pending out > 0 then
           try Codec.flush fd out with Unix.Unix_error _ -> Codec.Out.clear out
       in
       let src = ref None in
-      let deliver ~src:s ~wrap m =
+      let deliver ~key ~src:s ~wrap m =
         let reply =
           locked (fun () ->
-              let obj', reply = P.obj_handle !obj ~src:s m in
-              obj := obj';
+              let slot = obj_for key in
+              let obj', reply = P.obj_handle !slot ~src:s m in
+              slot := obj';
               incr messages;
               count "net.server.messages";
               meter "delivered" m;
@@ -761,7 +830,7 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
                 append (Codec.Err "protocol message before hello");
                 `Close
             | Some s ->
-                deliver ~src:s ~wrap:(fun r -> Codec.Msg r) m;
+                deliver ~key:0 ~src:s ~wrap:(fun r -> Codec.Msg r) m;
                 `Continue)
         | Codec.Msg_from { sender; msg } -> (
             match !src with
@@ -775,8 +844,24 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
                       (Codec.Err (Printf.sprintf "invalid sender %S" sender));
                     `Close
                 | Some s ->
-                    deliver ~src:s
+                    deliver ~key:0 ~src:s
                       ~wrap:(fun r -> Codec.Msg_from { sender; msg = r })
+                      msg;
+                    `Continue))
+        | Codec.Msg_key { key; sender; msg } -> (
+            match !src with
+            | None ->
+                append (Codec.Err "protocol message before hello");
+                `Close
+            | Some _ -> (
+                match proc_of_string sender with
+                | None ->
+                    append
+                      (Codec.Err (Printf.sprintf "invalid sender %S" sender));
+                    `Close
+                | Some s ->
+                    deliver ~key ~src:s
+                      ~wrap:(fun r -> Codec.Msg_key { key; sender; msg = r })
                       msg;
                     `Continue))
         | Codec.Hello_ack _ ->
@@ -874,11 +959,11 @@ let start_threaded ?metrics ~protocol ~cfg ~index endpoint =
         (fun ~wipe ->
           if not (locked (fun () -> !stopping)) then
             invalid_arg "Server.restart: server still alive";
-          go (if wipe then fresh () else !obj) endpoint);
+          go (if wipe then fresh_table () else objs) endpoint);
       violations_ = (fun () -> 0);
     }
   in
-  go (fresh ()) endpoint
+  go (fresh_table ()) endpoint
 
 let start ?metrics ?(loop = `Threads) ~protocol ~cfg ~index endpoint =
   match loop with

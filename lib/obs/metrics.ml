@@ -161,6 +161,9 @@ let wallclock_bounds =
 
 let batch_bounds = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
 
+let bytes_bounds =
+  [| 8.0; 16.0; 24.0; 32.0; 48.0; 64.0; 96.0; 128.0; 256.0; 1024.0; 4096.0; 65536.0 |]
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;

@@ -102,6 +102,10 @@ val wallclock_bounds : float array
 val batch_bounds : float array
 (** Frames coalesced into one socket write ([wire.batch_size]). *)
 
+val bytes_bounds : float array
+(** Encoded frame sizes in bytes ([wire.bytes_per_frame]), fine-grained
+    at the small end where a key tag's +1–2 bytes must stay visible. *)
+
 (** {2 Registry} *)
 
 type t

@@ -1,0 +1,111 @@
+type op =
+  | Read of { key : int }
+  | Write of { key : int; value : Core.Value.t }
+
+let op_key = function Read { key } | Write { key; _ } -> key
+
+let op_is_write = function Read _ -> false | Write _ -> true
+
+type t = {
+  keys : int;
+  skew : float;
+  write_ratio : float;
+  write_filter : int -> bool;
+  rng : Sim.Prng.t;
+  (* YCSB zipfian constants, all pure functions of (keys, skew) *)
+  zetan : float;
+  eta : float;
+  alpha : float;
+  half_pow_theta : float;
+  (* per-key write sequence numbers, so every write value is unique *)
+  seqs : (int, int) Hashtbl.t;
+}
+
+(* zeta(n, theta) = sum_{i=1..n} 1/i^theta *)
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let make ?(skew = 0.0) ?(write_ratio = 0.05) ?(write_filter = fun _ -> true)
+    ~keys ~seed () =
+  if keys < 1 then Error (Printf.sprintf "keyspace: keys = %d" keys)
+  else if skew < 0.0 || skew >= 1.0 then
+    Error (Printf.sprintf "keyspace: skew %g outside [0, 1)" skew)
+  else if write_ratio < 0.0 || write_ratio > 1.0 then
+    Error (Printf.sprintf "keyspace: write ratio %g outside [0, 1]" write_ratio)
+  else begin
+    let zetan, eta, alpha, half_pow_theta =
+      if skew = 0.0 then (0.0, 0.0, 0.0, 0.0)
+      else begin
+        let n = float_of_int keys in
+        let zetan = zeta keys skew in
+        let zeta2 = zeta 2 skew in
+        let eta =
+          (1.0 -. Float.pow (2.0 /. n) (1.0 -. skew))
+          /. (1.0 -. (zeta2 /. zetan))
+        in
+        (zetan, eta, 1.0 /. (1.0 -. skew), Float.pow 0.5 skew)
+      end
+    in
+    Ok
+      {
+        keys;
+        skew;
+        write_ratio;
+        write_filter;
+        rng = Sim.Prng.create ~seed;
+        zetan;
+        eta;
+        alpha;
+        half_pow_theta;
+        seqs = Hashtbl.create 64;
+      }
+  end
+
+let make_exn ?skew ?write_ratio ?write_filter ~keys ~seed () =
+  match make ?skew ?write_ratio ?write_filter ~keys ~seed () with
+  | Ok t -> t
+  | Error e -> invalid_arg e
+
+let keys t = t.keys
+
+let skew t = t.skew
+
+let write_ratio t = t.write_ratio
+
+(* One zipfian draw (Gray et al. via YCSB's ZipfianGenerator): key 0 is
+   the most popular, popularity of rank r falls off as 1/(r+1)^skew. *)
+let draw_key t =
+  if t.skew = 0.0 then Sim.Prng.int t.rng ~bound:t.keys
+  else begin
+    let u = Sim.Prng.float t.rng ~bound:1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. t.half_pow_theta then 1
+    else begin
+      let n = float_of_int t.keys in
+      let k =
+        int_of_float (n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      (* guard the floating-point edge where the power lands on 1.0 *)
+      if k >= t.keys then t.keys - 1 else if k < 0 then 0 else k
+    end
+  end
+
+let value_for t key =
+  let n = match Hashtbl.find_opt t.seqs key with Some n -> n | None -> 0 in
+  Hashtbl.replace t.seqs key (n + 1);
+  Core.Value.v (Printf.sprintf "k%d.%d" key n)
+
+let next t =
+  let key = draw_key t in
+  let wants_write = Sim.Prng.float t.rng ~bound:1.0 < t.write_ratio in
+  if wants_write && t.write_filter key then Write { key; value = value_for t key }
+  else Read { key }
+
+let ops t n =
+  if n < 0 then invalid_arg "Keyspace.ops: negative count";
+  Array.init n (fun _ -> next t)

@@ -1,0 +1,360 @@
+(* Keyspace tests (ISSUE 9): the shard placement function, the zipfian
+   workload generator, and the keyed client/server path live against a
+   real cluster.
+
+   Placement is a pure function both sides recompute independently, so
+   its algebra (member/rank inverse, balanced rotation, range bounds)
+   is exactly what keeps clients and server domains agreeing without a
+   placement service — worth property-testing hard. *)
+
+let cfg3 = Quorum.Config.make_exn ~s:3 ~t:1 ~b:0
+
+(* ----- Shard.Map properties --------------------------------------------- *)
+
+let gen_map_params =
+  QCheck.Gen.(
+    map3
+      (fun keys extra placement ->
+        (keys, cfg3.Quorum.Config.s + extra, placement))
+      (1 -- 200) (0 -- 5)
+      (oneofl [ Shard.Map.Hash; Shard.Map.Range ]))
+
+let arb_map_params =
+  QCheck.make
+    ~print:(fun (keys, fleet, p) ->
+      Printf.sprintf "keys=%d fleet=%d placement=%s" keys fleet
+        (Shard.Map.placement_to_string p))
+    gen_map_params
+
+let map_placement_well_formed =
+  QCheck.Test.make ~name:"every key lands on a shard of s distinct slots"
+    ~count:300 arb_map_params (fun (keys, fleet, placement) ->
+      let m = Shard.Map.make_exn ~placement ~keys ~fleet ~cfg:cfg3 () in
+      let s = cfg3.Quorum.Config.s in
+      let ok = ref true in
+      for key = 0 to keys - 1 do
+        let sh = Shard.Map.shard_of_key m key in
+        if sh < 0 || sh >= Shard.Map.shards m then ok := false;
+        let mem = Shard.Map.members m ~shard:sh in
+        if Array.length mem <> s then ok := false;
+        Array.iter (fun slot -> if slot < 0 || slot >= fleet then ok := false) mem;
+        (* distinct members: a quorum of s replies must mean s distinct
+           base objects, never one server counted twice *)
+        let sorted = Array.copy mem in
+        Array.sort compare sorted;
+        for i = 1 to s - 1 do
+          if sorted.(i) = sorted.(i - 1) then ok := false
+        done
+      done;
+      !ok)
+
+let map_member_rank_inverse =
+  QCheck.Test.make
+    ~name:"rank_of_slot inverts member; non-members are None" ~count:300
+    arb_map_params (fun (keys, fleet, placement) ->
+      let m = Shard.Map.make_exn ~placement ~keys ~fleet ~cfg:cfg3 () in
+      let s = cfg3.Quorum.Config.s in
+      let ok = ref true in
+      for sh = 0 to Shard.Map.shards m - 1 do
+        let mem = Shard.Map.members m ~shard:sh in
+        for rank = 0 to s - 1 do
+          if Shard.Map.member m ~shard:sh ~rank <> mem.(rank) then ok := false;
+          match Shard.Map.rank_of_slot m ~shard:sh ~slot:mem.(rank) with
+          | Some r when r = rank -> ()
+          | _ -> ok := false
+        done;
+        for slot = 0 to fleet - 1 do
+          if not (Array.exists (( = ) slot) mem) then
+            match Shard.Map.rank_of_slot m ~shard:sh ~slot with
+            | None -> ()
+            | Some _ -> ok := false
+        done
+      done;
+      !ok)
+
+let map_rotation_is_balanced =
+  QCheck.Test.make
+    ~name:"default sharding loads every fleet slot with s memberships"
+    ~count:200 arb_map_params (fun (keys, fleet, placement) ->
+      (* shards defaults to fleet: one rotation per starting slot, so
+         each slot serves exactly s shards *)
+      let m = Shard.Map.make_exn ~placement ~keys ~fleet ~cfg:cfg3 () in
+      let load = Array.make fleet 0 in
+      for sh = 0 to Shard.Map.shards m - 1 do
+        Array.iter
+          (fun slot -> load.(slot) <- load.(slot) + 1)
+          (Shard.Map.members m ~shard:sh)
+      done;
+      Array.for_all (( = ) cfg3.Quorum.Config.s) load)
+
+let map_range_is_monotone =
+  QCheck.Test.make ~name:"Range placement maps contiguous keys to shards"
+    ~count:200 arb_map_params (fun (keys, fleet, _) ->
+      let m =
+        Shard.Map.make_exn ~placement:Shard.Map.Range ~keys ~fleet ~cfg:cfg3 ()
+      in
+      let ok = ref true in
+      for key = 1 to keys - 1 do
+        if Shard.Map.shard_of_key m key < Shard.Map.shard_of_key m (key - 1)
+        then ok := false
+      done;
+      !ok)
+
+let map_rejects_bad_params () =
+  (match Shard.Map.make ~keys:0 ~fleet:3 ~cfg:cfg3 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "keys=0 accepted");
+  (match Shard.Map.make ~keys:4 ~fleet:2 ~cfg:cfg3 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fleet < s accepted");
+  match Shard.Map.make ~keys:4 ~fleet:3 ~shards:0 ~cfg:cfg3 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "shards=0 accepted"
+
+let mix_is_nonnegative =
+  QCheck.Test.make ~name:"Shard.Map.mix is nonnegative on all ints" ~count:500
+    QCheck.int (fun k -> Shard.Map.mix k >= 0)
+
+(* ----- Workload.Keyspace ------------------------------------------------- *)
+
+let gen_keyspace_params =
+  QCheck.Gen.(
+    map3
+      (fun keys skew (wr, seed) -> (keys, skew, wr, seed))
+      (1 -- 500)
+      (oneofl [ 0.0; 0.5; 0.9; 0.99 ])
+      (pair (oneofl [ 0.0; 0.05; 0.3; 1.0 ]) (0 -- 1000)))
+
+let arb_keyspace_params =
+  QCheck.make
+    ~print:(fun (keys, skew, wr, seed) ->
+      Printf.sprintf "keys=%d skew=%.2f wr=%.2f seed=%d" keys skew wr seed)
+    gen_keyspace_params
+
+let keyspace_is_deterministic =
+  QCheck.Test.make ~name:"same (keys, skew, ratio, seed) => same op stream"
+    ~count:200 arb_keyspace_params (fun (keys, skew, wr, seed) ->
+      let mk () =
+        Workload.Keyspace.make_exn ~skew ~write_ratio:wr ~keys ~seed ()
+      in
+      Workload.Keyspace.ops (mk ()) 200 = Workload.Keyspace.ops (mk ()) 200)
+
+let keyspace_keys_in_range =
+  QCheck.Test.make ~name:"every drawn key is inside [0, keys)" ~count:200
+    arb_keyspace_params (fun (keys, skew, wr, seed) ->
+      let t = Workload.Keyspace.make_exn ~skew ~write_ratio:wr ~keys ~seed () in
+      Array.for_all
+        (fun op ->
+          let k = Workload.Keyspace.op_key op in
+          k >= 0 && k < keys)
+        (Workload.Keyspace.ops t 500))
+
+let keyspace_write_values_distinct =
+  QCheck.Test.make
+    ~name:"write values are distinct and name their key" ~count:100
+    arb_keyspace_params (fun (keys, skew, _, seed) ->
+      let t =
+        Workload.Keyspace.make_exn ~skew ~write_ratio:0.5 ~keys ~seed ()
+      in
+      let seen = Hashtbl.create 64 in
+      Array.for_all
+        (fun op ->
+          match op with
+          | Workload.Keyspace.Read _ -> true
+          | Workload.Keyspace.Write { key; value } ->
+              let v = Core.Value.to_string value in
+              let fresh = not (Hashtbl.mem seen v) in
+              Hashtbl.replace seen v ();
+              let prefix = Printf.sprintf "k%d." key in
+              fresh
+              && String.length v > String.length prefix
+              && String.sub v 0 (String.length prefix) = prefix)
+        (Workload.Keyspace.ops t 300))
+
+let keyspace_write_filter_respected =
+  QCheck.Test.make
+    ~name:"write_filter converts non-owned write draws into reads"
+    ~count:100 arb_keyspace_params (fun (keys, skew, _, seed) ->
+      let owns k = Shard.Map.mix k mod 2 = 0 in
+      let t =
+        Workload.Keyspace.make_exn ~skew ~write_ratio:1.0 ~write_filter:owns
+          ~keys ~seed ()
+      in
+      Array.for_all
+        (fun op ->
+          match op with
+          | Workload.Keyspace.Write { key; _ } -> owns key
+          | Workload.Keyspace.Read { key } -> not (owns key))
+        (Workload.Keyspace.ops t 300))
+
+let keyspace_ratio_extremes () =
+  let all_reads =
+    Workload.Keyspace.ops
+      (Workload.Keyspace.make_exn ~write_ratio:0.0 ~keys:16 ~seed:1 ())
+      200
+  in
+  Alcotest.(check bool)
+    "write_ratio 0 draws no writes" false
+    (Array.exists Workload.Keyspace.op_is_write all_reads);
+  let all_writes =
+    Workload.Keyspace.ops
+      (Workload.Keyspace.make_exn ~write_ratio:1.0 ~keys:16 ~seed:1 ())
+      200
+  in
+  Alcotest.(check bool)
+    "write_ratio 1 draws only writes" true
+    (Array.for_all Workload.Keyspace.op_is_write all_writes)
+
+let keyspace_zipf_skews_toward_low_keys () =
+  (* skew 0.99 over 100 keys: rank 0 carries ~19% of the mass, the last
+     rank ~0.2% — with a fixed seed the gap is decisive, not noisy *)
+  let t =
+    Workload.Keyspace.make_exn ~skew:0.99 ~write_ratio:0.0 ~keys:100 ~seed:42
+      ()
+  in
+  let counts = Array.make 100 0 in
+  Array.iter
+    (fun op ->
+      let k = Workload.Keyspace.op_key op in
+      counts.(k) <- counts.(k) + 1)
+    (Workload.Keyspace.ops t 4000);
+  Alcotest.(check bool)
+    (Printf.sprintf "key 0 (%d draws) dominates key 99 (%d draws)" counts.(0)
+       counts.(99))
+    true
+    (counts.(0) > 10 * (counts.(99) + 1))
+
+let keyspace_rejects_bad_params () =
+  (match Workload.Keyspace.make ~keys:0 ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "keys=0 accepted");
+  (match Workload.Keyspace.make ~skew:1.0 ~keys:4 ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "skew=1 accepted");
+  match Workload.Keyspace.make ~write_ratio:1.5 ~keys:4 ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write_ratio>1 accepted"
+
+(* ----- live keyed cluster ------------------------------------------------ *)
+
+let ok_exn what = function
+  | Ok o -> o
+  | Error e -> Alcotest.failf "%s failed: %s" what e
+
+(* A keyed mix over a real loopback cluster: every op completes, every
+   sampled key's history passes the single-register checkers, and no
+   base object is ever stepped outside its owning domain. *)
+let keyed_cluster_histories_check () =
+  let c =
+    Net.Cluster.start ~metrics:true ~protocol:Net.Protocols.safe ~cfg:cfg3
+      ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let map = Shard.Map.make_exn ~keys:8 ~fleet:3 ~cfg:cfg3 () in
+      let gen =
+        Workload.Keyspace.make_exn ~skew:0.5 ~write_ratio:0.3 ~keys:8 ~seed:11
+          ()
+      in
+      let kops =
+        Array.map
+          (fun op ->
+            match op with
+            | Workload.Keyspace.Read { key } -> Net.Client.Keyed.Read { key }
+            | Workload.Keyspace.Write { key; value } ->
+                Net.Client.Keyed.Write { key; value })
+          (Workload.Keyspace.ops gen 120)
+      in
+      let results = Net.Cluster.run_keyed c ~map kops in
+      Array.iteri
+        (fun i r -> ignore (ok_exn (Printf.sprintf "keyed op %d" i) r))
+        results;
+      Alcotest.(check bool) "touched several keys" true
+        (Net.Cluster.keys_touched c > 1);
+      let histories = Net.Cluster.keyed_histories c in
+      Alcotest.(check bool) "recorded per-key histories" true
+        (List.length histories > 1);
+      List.iter
+        (fun (key, h) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d history is safe" key)
+            true
+            (Histories.Checks.is_safe ~equal:String.equal h);
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d history is regular" key)
+            true
+            (Histories.Checks.is_regular ~equal:String.equal h))
+        histories;
+      Alcotest.(check int) "no partition violations" 0
+        (Net.Cluster.partition_violations c);
+      (* at S = 3 = 2t+2b+1 the fast path is admissible on every shard
+         that served a read *)
+      match Net.Cluster.metrics c with
+      | None -> Alcotest.fail "metrics requested but absent"
+      | Some m ->
+          for sh = 0 to Shard.Map.shards map - 1 do
+            let reads =
+              Obs.Metrics.counter_value m (Printf.sprintf "shard.%d.reads" sh)
+            in
+            let fast =
+              Obs.Metrics.counter_value m
+                (Printf.sprintf "shard.%d.fast_reads" sh)
+            in
+            if reads > 0 then
+              Alcotest.(check bool)
+                (Printf.sprintf "shard %d fast reads engaged" sh)
+                true (fast > 0)
+          done)
+
+(* Untagged frames address key 0: a legacy (pre-keyspace) writer and a
+   keyed reader of key 0 see the same register. *)
+let key_zero_is_the_legacy_register () =
+  let c =
+    Net.Cluster.start ~protocol:Net.Protocols.safe ~cfg:cfg3 ~readers:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Net.Cluster.stop c)
+    (fun () ->
+      let _ =
+        ok_exn "legacy write" (Net.Cluster.write c (Core.Value.v "legacy"))
+      in
+      let map = Shard.Map.make_exn ~keys:4 ~fleet:3 ~cfg:cfg3 () in
+      (* don't record: the legacy write lives in the main history, so a
+         keyed key-0 history would see a read of a write it never saw *)
+      let results =
+        Net.Cluster.run_keyed c ~map
+          ~sample:(fun _ -> false)
+          [| Net.Client.Keyed.Read { key = 0 } |]
+      in
+      let o = ok_exn "keyed read of key 0" results.(0) in
+      match o.Net.Client.value with
+      | Some v ->
+          Alcotest.(check string) "keyed read sees the untagged write"
+            "legacy" (Core.Value.to_string v)
+      | None -> Alcotest.fail "keyed read of key 0 returned no value")
+
+let suite =
+  ( "keyspace",
+    [
+      QCheck_alcotest.to_alcotest map_placement_well_formed;
+      QCheck_alcotest.to_alcotest map_member_rank_inverse;
+      QCheck_alcotest.to_alcotest map_rotation_is_balanced;
+      QCheck_alcotest.to_alcotest map_range_is_monotone;
+      Alcotest.test_case "Shard.Map rejects bad params" `Quick
+        map_rejects_bad_params;
+      QCheck_alcotest.to_alcotest mix_is_nonnegative;
+      QCheck_alcotest.to_alcotest keyspace_is_deterministic;
+      QCheck_alcotest.to_alcotest keyspace_keys_in_range;
+      QCheck_alcotest.to_alcotest keyspace_write_values_distinct;
+      QCheck_alcotest.to_alcotest keyspace_write_filter_respected;
+      Alcotest.test_case "write_ratio extremes" `Quick keyspace_ratio_extremes;
+      Alcotest.test_case "zipf skews toward low keys" `Quick
+        keyspace_zipf_skews_toward_low_keys;
+      Alcotest.test_case "Keyspace rejects bad params" `Quick
+        keyspace_rejects_bad_params;
+      Alcotest.test_case "keyed cluster: per-key histories check" `Quick
+        keyed_cluster_histories_check;
+      Alcotest.test_case "key 0 is the legacy register" `Quick
+        key_zero_is_the_legacy_register;
+    ] )

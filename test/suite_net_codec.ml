@@ -151,8 +151,21 @@ let frame_equal eq a b =
   | ( Msg_from { sender; msg },
       Msg_from { sender = s'; msg = m' } ) ->
       sender = s' && eq msg m'
+  | ( Msg_key { key; sender; msg },
+      Msg_key { key = k'; sender = s'; msg = m' } ) ->
+      key = k' && sender = s' && eq msg m'
   | Err e, Err e' -> e = e'
   | _ -> false
+
+(* Key ids are nonnegative by construction (the decoder rejects the
+   rest); stress the varint width boundaries up to max_int. *)
+let gen_key =
+  QCheck.Gen.(
+    oneof
+      [
+        0 -- 12;
+        oneofl [ 0; 1; 63; 64; 0x7f; 0x80; 0xffff; 1_000_000; max_int ];
+      ])
 
 let gen_frame =
   QCheck.Gen.(
@@ -172,6 +185,11 @@ let gen_frame =
           (fun sender msg -> Net.Codec.Msg_from { sender; msg })
           (string_size (0 -- 6))
           gen_msg;
+        map3
+          (fun key sender msg -> Net.Codec.Msg_key { key; sender; msg })
+          gen_key
+          (string_size (0 -- 6))
+          gen_msg;
         map (fun e -> Net.Codec.Err e) (string_size (0 -- 40));
       ])
 
@@ -189,6 +207,74 @@ let roundtrip_frames =
       with
       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
       | Ok f' -> frame_equal msg_equal f f')
+
+(* ----- keyed frames (ISSUE 9) ------------------------------------------- *)
+
+(* The demux peeks kind/sender/key straight off the raw payload without
+   a full decode; for key-tagged frames all three must agree with what a
+   full decode returns. *)
+let keyed_peek_agrees =
+  QCheck.Test.make
+    ~name:"peek_kind/peek_sender/peek_key agree with full decode on Msg_key"
+    ~count:500
+    QCheck.(
+      make
+        Gen.(
+          map3
+            (fun key sender msg -> Net.Codec.Msg_key { key; sender; msg })
+            gen_key
+            (string_size (0 -- 6))
+            gen_msg))
+    (fun f ->
+      let key, sender =
+        match f with
+        | Net.Codec.Msg_key { key; sender; _ } -> (key, sender)
+        | _ -> assert false
+      in
+      let payload = payload_of_frame Net.Codec.messages f in
+      Net.Codec.peek_kind payload = Some `Msg_key
+      && Net.Codec.peek_sender payload = Some sender
+      && Net.Codec.peek_key payload = Some key)
+
+(* Back-compat: untagged frames are unchanged on the wire — they carry
+   no key id at all ("key 0" is the receiver's convention, not a wire
+   byte), so peek_key must be None and they must keep round-tripping. *)
+let untagged_frames_unchanged =
+  QCheck.Test.make
+    ~name:"untagged Msg/Msg_from frames carry no key and still round-trip"
+    ~count:500
+    QCheck.(
+      make
+        Gen.(
+          oneof
+            [
+              map (fun m -> Net.Codec.Msg m) gen_msg;
+              map2
+                (fun sender msg -> Net.Codec.Msg_from { sender; msg })
+                (string_size (0 -- 6))
+                gen_msg;
+            ]))
+    (fun f ->
+      let payload = payload_of_frame Net.Codec.messages f in
+      Net.Codec.peek_key payload = None
+      &&
+      match Net.Codec.decode_payload Net.Codec.messages payload with
+      | Ok f' -> frame_equal msg_equal f f'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let negative_key_rejected () =
+  (* a Byzantine sender can put any varint in the key slot; negative key
+     ids must be a clean decode error, not a table index *)
+  let f =
+    Net.Codec.Msg_key
+      { key = -1; sender = "w"; msg = Messages.W_ack { ts = 1 } }
+  in
+  match
+    Net.Codec.decode_payload Net.Codec.messages
+      (payload_of_frame Net.Codec.messages f)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative key id accepted"
 
 (* ----- adversarial inputs ----------------------------------------------- *)
 
@@ -440,6 +526,9 @@ let suite =
       QCheck_alcotest.to_alcotest roundtrip_messages;
       QCheck_alcotest.to_alcotest roundtrip_abd;
       QCheck_alcotest.to_alcotest roundtrip_frames;
+      QCheck_alcotest.to_alcotest keyed_peek_agrees;
+      QCheck_alcotest.to_alcotest untagged_frames_unchanged;
+      Alcotest.test_case "negative key id rejected" `Quick negative_key_rejected;
       QCheck_alcotest.to_alcotest truncation_messages;
       QCheck_alcotest.to_alcotest truncation_frames;
       QCheck_alcotest.to_alcotest garbage_decode;

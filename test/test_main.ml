@@ -38,4 +38,5 @@ let () =
       Suite_chaos_live.suite;
       Suite_fast_read.suite;
       Suite_scaleout.suite;
+      Suite_keyspace.suite;
     ]
