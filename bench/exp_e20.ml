@@ -1,52 +1,52 @@
-(* E19 -- sharded multi-register keyspace: ops/s and latency vs key
-   count and popularity skew.
+(* E20 -- hot-key read coalescing: ops/s and latency vs popularity skew
+   with coalescing off/on.
 
-   E18 scaled ONE register's server across worker domains; E19 scales
-   the register COUNT.  A Shard.Map places a key universe over a fleet
-   of base-object servers (each key's shard is S = 2t+b+1 rotation-
-   placed fleet slots, recomputed identically by every client and
-   domain -- no placement service), the wire protocol carries a varint
-   key tag on every frame (Msg_key), servers keep per-key object tables
-   inside the same multi-domain poll group, and each client drives
-   per-key reader/writer automata through one keyed mux over one
-   connection per fleet server.
+   E19 showed skew HURTS: a hot key serializes its reads behind one
+   per-key automaton, so the hotter the keyspace the longer the queue.
+   PR 10's coalescing inverts that: reads that arrive while a round-1
+   broadcast for the same key is still being assembled join that round
+   and adopt its result, so a hot key amortizes one quorum round over
+   many logical reads.  E20 measures exactly that inversion on a small
+   hot keyspace: for each skew in {0, 0.9, 0.99, 1.2} run the same
+   workload with --coalesce off (cap 1) and on (cap E20_COALESCE),
+   and report per-cell:
 
-   Load is E19_CLIENTS client domains, each with its own keyed mux
-   (distinct reader id, disjoint write ownership: client c writes only
-   keys with mix(key) mod clients = c -- the registers are SWMR), all
-   released from an atomic barrier per timed pass.  The op mix is the
-   Workload.Keyspace zipfian generator.  For each cell
-   (key count x skew):
+   1. throughput: total ops/s across client domains, latency p50/p99;
+   2. coalescing: op.coalesced_reads and the op.coalesce_width
+      histogram (observed once per batch member, so p50 > 1 means most
+      reads shared a round) -- present only in on-cells;
+   3. correctness: client domain 0 records a sampled key subset
+      (including the hot keys, where coalescing concentrates) into
+      per-key histories; each must pass the single-register safety AND
+      regularity checkers.  Joined reads record under fresh reader ids
+      so the histories genuinely contain the concurrent-read structure
+      coalescing creates;
+   4. fast reads: the cell runs regular-gc at S = 3 = 2t+2b+1, so the
+      one-round path must engage on every shard that served reads --
+      coalescing and fast reads compose (a width-k batch is one
+      one-round RPC serving k reads);
+   5. partitioning: Server.partition_violations must stay 0.
 
-   1. throughput: total ops/s across client domains, per-op latency
-      p50/p99 (reads and writes pooled, reads dominating per the write
-      ratio);
-   2. correctness: client domain 0 records every operation on a sampled
-      key subset (keys it owns, id < E19_SAMPLE) into per-key histories;
-      each must pass the single-register safety AND regularity checkers
-      -- a key is exactly the paper's register, so the per-key check is
-      the whole correctness argument;
-   3. fast reads: the per-shard shard.<i>.fast_reads counters must show
-      the one-round path engaging on every shard that served reads (the
-      cell runs regular-gc at S = 2t+2b+1, where the lower bound admits
-      fast reads);
-   4. partitioning: Server.partition_violations must stay 0 -- per-key
-      tables nest inside the per-domain object partition, so the PR 8
-      invariant carries over to keyspaces unchanged.
+   Verdict fields: "width_p50_gt_1" (every on-cell at skew >= 0.9 has
+   coalesce-width p50 above its lowest bucket), "speedup_0_99" (on/off
+   ops/s ratio at skew 0.99; the roadmap gate is >= 1.3), and
+   "skew_helps" (with coalescing on, the best skewed cell beats the
+   uniform cell -- the E19 trend inverted).
 
-   One JSON artifact: BENCH_e19.json.  Environment-tunable:
-     E19_OPS         (3000)            ops per client domain per cell
-     E19_KEYS        (1000,10000,100000,1000000)  key-count sweep
-     E19_SKEWS       (0,0.99)          zipf skew sweep (0 = uniform)
-     E19_CLIENTS     (2)               client load domains
-     E19_INFLIGHT    (16)              operation window per client domain
-     E19_DOMAINS     (2)               server worker domains
-     E19_FLEET       (4)               fleet size (>= S = 3)
-     E19_WRITE_RATIO (0.05)            write fraction of the mix
-     E19_SAMPLE      (128)             history-sampled key-id bound
-     E19_TRIALS      (2)               trials per cell; best is reported
-     E19_TRANSPORT   (unix)            loopback transport: unix | tcp
-     E19_OUT         (BENCH_e19.json)  output path *)
+   One JSON artifact: BENCH_e20.json.  Environment-tunable:
+     E20_OPS         (3000)            ops per client domain per cell
+     E20_KEYS        (256)             key universe (small and hot)
+     E20_SKEWS       (0,0.9,0.99,1.2)  zipf skew sweep
+     E20_COALESCE    (64)              batch cap in the on-cells
+     E20_CLIENTS     (2)               client load domains
+     E20_INFLIGHT    (64)              operation window per client domain
+     E20_DOMAINS     (2)               server worker domains
+     E20_FLEET       (4)               fleet size (>= S = 3)
+     E20_WRITE_RATIO (0.04)            write fraction of the mix
+     E20_SAMPLE      (128)             history-sampled key-id bound
+     E20_TRIALS      (2)               trials per cell; best is reported
+     E20_TRANSPORT   (unix)            loopback transport: unix | tcp
+     E20_OUT         (BENCH_e20.json)  output path *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -82,18 +82,18 @@ let getenv_list name default parse =
                  exit 2)
 
 let transport () =
-  match Sys.getenv_opt "E19_TRANSPORT" with
+  match Sys.getenv_opt "E20_TRANSPORT" with
   | None -> `Unix
   | Some s -> (
       match String.lowercase_ascii (String.trim s) with
       | "tcp" -> `Tcp
       | "unix" -> `Unix
       | _ ->
-          Printf.eprintf "E19_TRANSPORT expects tcp or unix (got %S)\n" s;
+          Printf.eprintf "E20_TRANSPORT expects tcp or unix (got %S)\n" s;
           exit 2)
 
 let fresh_tmpdir () =
-  let path = Filename.temp_file "e19" "" in
+  let path = Filename.temp_file "e20" "" in
   Unix.unlink path;
   Unix.mkdir path 0o700;
   path
@@ -136,62 +136,66 @@ let timed_pass ~keyeds ~gens ~ops ~record0 =
   Array.map Domain.join doms
 
 let run () =
-  let ops = getenv_int "E19_OPS" 3000 in
-  let clients = getenv_int "E19_CLIENTS" 2 in
-  let inflight = getenv_int "E19_INFLIGHT" 16 in
-  let domains = getenv_int "E19_DOMAINS" 2 in
-  let fleet = getenv_int "E19_FLEET" 4 in
-  let write_ratio = getenv_float "E19_WRITE_RATIO" 0.05 in
-  let sample_bound = getenv_int "E19_SAMPLE" 128 in
-  let trials = getenv_int "E19_TRIALS" 2 in
-  let out = Option.value (Sys.getenv_opt "E19_OUT") ~default:"BENCH_e19.json" in
-  let key_levels =
-    getenv_list "E19_KEYS" [ 1_000; 10_000; 100_000; 1_000_000 ] (fun s ->
-        match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
-  in
+  let ops = getenv_int "E20_OPS" 3000 in
+  let keys = getenv_int "E20_KEYS" 256 in
+  let coalesce_on = getenv_int "E20_COALESCE" 64 in
+  let clients = getenv_int "E20_CLIENTS" 2 in
+  let inflight = getenv_int "E20_INFLIGHT" 64 in
+  let domains = getenv_int "E20_DOMAINS" 2 in
+  let fleet = getenv_int "E20_FLEET" 4 in
+  let write_ratio = getenv_float "E20_WRITE_RATIO" 0.04 in
+  let sample_bound = getenv_int "E20_SAMPLE" 128 in
+  let trials = getenv_int "E20_TRIALS" 2 in
+  let out = Option.value (Sys.getenv_opt "E20_OUT") ~default:"BENCH_e20.json" in
   let skews =
-    getenv_list "E19_SKEWS" [ 0.0; 0.99 ] (fun s ->
+    getenv_list "E20_SKEWS" [ 0.0; 0.9; 0.99; 1.2 ] (fun s ->
         match float_of_string_opt s with
-        | Some f when f >= 0.0 && f < 1.0 -> Some f
+        | Some f when f >= 0.0 && Float.is_finite f -> Some f
         | _ -> None)
   in
   let transport = transport () in
   let transport_name = match transport with `Tcp -> "tcp" | `Unix -> "unix" in
   (* S = 3 = 2t+2b+1 at t=1, b=0: the lower bound admits one-round
-     reads, so regular-gc's fast path should engage on every shard. *)
+     reads, so coalesced batches ride the fast path. *)
   let cfg = Quorum.Config.make_exn ~s:3 ~t:1 ~b:0 in
   let protocol = Net.Protocols.regular_gc ~readers:clients in
   if fleet < cfg.Quorum.Config.s then begin
-    Printf.eprintf "E19_FLEET must be >= S = %d\n" cfg.Quorum.Config.s;
+    Printf.eprintf "E20_FLEET must be >= S = %d\n" cfg.Quorum.Config.s;
     exit 2
   end;
   let cores = Domain.recommended_domain_count () in
   let total_ops = clients * ops in
   Exp_common.note
-    "E19: keyspace scale (%d cores; keys in {%s}; skews {%s}; fleet %d, %d \
-     server domains; %d client domains x window %d x %d ops; write ratio \
-     %.2f; best of %d; %s loopback)"
-    cores
-    (String.concat "," (List.map string_of_int key_levels))
+    "E20: hot-key coalescing (%d cores; %d keys; skews {%s}; coalesce \
+     {off,%d}; fleet %d, %d server domains; %d client domains x window %d x \
+     %d ops; write ratio %.2f; best of %d; %s loopback)"
+    cores keys
     (String.concat "," (List.map (Printf.sprintf "%g") skews))
-    fleet domains clients inflight ops write_ratio trials transport_name;
+    coalesce_on fleet domains clients inflight ops write_ratio trials
+    transport_name;
   let buf = Buffer.create 8192 in
   Printf.bprintf buf
-    "{\n  \"experiment\": \"e19\",\n  \"transport\": \"%s\",\n  \
+    "{\n  \"experiment\": \"e20\",\n  \"transport\": \"%s\",\n  \
      \"protocol\": \"%s\",\n  \"s\": %d, \"t\": 1, \"b\": 0,\n  \"fleet\": \
      %d,\n  \"server_domains\": %d,\n  \"cores\": %d,\n  \"clients\": %d,\n  \
-     \"inflight\": %d,\n  \"ops_per_client\": %d,\n  \"write_ratio\": %g,\n  \
-     \"trials\": %d,\n  \"cells\": [\n"
+     \"inflight\": %d,\n  \"ops_per_client\": %d,\n  \"keys\": %d,\n  \
+     \"coalesce_cap\": %d,\n  \"write_ratio\": %g,\n  \"trials\": %d,\n  \
+     \"cells\": [\n"
     transport_name
     (Net.Protocols.name protocol)
-    cfg.Quorum.Config.s fleet domains cores clients inflight ops write_ratio
-    trials;
+    cfg.Quorum.Config.s fleet domains cores clients inflight ops keys
+    coalesce_on write_ratio trials;
   let violations_total = ref 0 in
   let partition_total = ref 0 in
   let fast_all = ref true in
-  let cells = List.concat_map (fun k -> List.map (fun z -> (k, z)) skews) key_levels in
+  (* (skew, coalesce cap, ops/s, coalesce-width p50 if observed) per
+     cell, for the verdict fields. *)
+  let outcomes = ref [] in
+  let cells =
+    List.concat_map (fun z -> [ (z, 1); (z, coalesce_on) ]) skews
+  in
   List.iteri
-    (fun ci (keys, skew) ->
+    (fun ci (skew, coalesce) ->
       let dir = fresh_tmpdir () in
       let endpoints =
         match transport with
@@ -217,7 +221,8 @@ let run () =
       let keyeds =
         Array.init clients (fun c ->
             Net.Client.Keyed.connect ~metrics:client_regs.(c) ~now_us
-              ~max_inflight:inflight ~reader:(c + 1) ~protocol ~map actual)
+              ~max_inflight:inflight ~reader:(c + 1) ~coalesce ~protocol ~map
+              actual)
       in
       (* Disjoint write ownership across client domains (SWMR per key). *)
       let owner k = Shard.Map.mix k mod clients in
@@ -231,8 +236,12 @@ let run () =
       in
       (* Client domain 0 records a sampled key subset: keys IT OWNS (so
          every write to a sampled key is in the history) with small ids
-         (where zipf concentrates the traffic).  Each sampled key gets
-         its own recorder -- each key is an independent register. *)
+         (where zipf concentrates the traffic, i.e. where coalescing
+         actually happens).  Each sampled key gets its own recorder.
+         Lead ops key on (key, write) exactly as in E19 -- per-key FIFO
+         means at most one is open at a time.  Joined reads are
+         concurrent by construction, so each records under a fresh
+         reader id and its handle keys on the op index. *)
       let sampled k = k < sample_bound && owner k = 0 in
       let recorders : (int, string Histories.Recorder.t) Hashtbl.t =
         Hashtbl.create 64
@@ -240,6 +249,10 @@ let run () =
       let open_ops : (int * bool, Histories.Recorder.op_handle) Hashtbl.t =
         Hashtbl.create 64
       in
+      let open_joined : (int, Histories.Recorder.op_handle) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let next_jrid = ref 1_000_000 in
       let rec_mutex = Mutex.create () in
       let recorder_for key =
         match Hashtbl.find_opt recorders key with
@@ -253,9 +266,34 @@ let run () =
         Mutex.lock rec_mutex;
         (try
            (match ev with
-           (* coalescing stays off in E19 (E20 measures it), so no
-              [joined] events can reach this recorder *)
-           | Net.Client.Keyed.Invoke { op; key; write; at_us; _ } ->
+           | Net.Client.Keyed.Invoke { op; key; at_us; joined = true; _ } ->
+               if sampled key then begin
+                 let jrid = !next_jrid in
+                 incr next_jrid;
+                 Hashtbl.replace open_joined op
+                   (Histories.Recorder.invoke_read (recorder_for key)
+                      ~time:at_us ~reader:jrid)
+               end
+           | Net.Client.Keyed.Respond
+               { op; key; at_us; outcome; joined = true; _ } ->
+               if sampled key then begin
+                 match Hashtbl.find_opt open_joined op with
+                 | None -> ()
+                 | Some h -> (
+                     Hashtbl.remove open_joined op;
+                     match outcome with
+                     | Error _ -> ()  (* never resumed: the op stays open *)
+                     | Ok o ->
+                         let result =
+                           match o.Net.Client.value with
+                           | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+                           | Some (Core.Value.V v) -> Histories.Op.Value v
+                         in
+                         Histories.Recorder.respond_read (recorder_for key) h
+                           ~time:at_us result)
+               end
+           | Net.Client.Keyed.Invoke { op; key; write; at_us; joined = false }
+             ->
                if sampled key then begin
                  match Hashtbl.find_opt open_ops (key, write) with
                  | Some _ -> ()  (* resumed op: invocation stands *)
@@ -274,7 +312,8 @@ let run () =
                      in
                      Hashtbl.replace open_ops (key, write) h
                end
-           | Net.Client.Keyed.Respond { key; write; at_us; outcome; _ } ->
+           | Net.Client.Keyed.Respond
+               { key; write; at_us; outcome; joined = false; _ } ->
                if sampled key then begin
                  match outcome with
                  | Error _ -> ()
@@ -331,14 +370,14 @@ let run () =
                     | None -> incr writes)
                 | Error e ->
                     incr failures;
-                    Printf.eprintf "E19: op failed: %s\n" e)
+                    Printf.eprintf "E20: op failed: %s\n" e)
               results)
           passes;
         let rate = float_of_int total_ops /. wall in
         Exp_common.note
-          "  keys=%-8d skew=%-4g trial=%d  %8.0f ops/s  p50=%.0fus \
+          "  skew=%-4g coalesce=%-3d trial=%d  %8.0f ops/s  p50=%.0fus \
            p99=%.0fus  fast %d/%d reads"
-          keys skew trial rate
+          skew coalesce trial rate
           (Stats.Summary.percentile lat 50.)
           (Stats.Summary.percentile lat 99.)
           !fast !reads;
@@ -356,7 +395,8 @@ let run () =
       (try Unix.rmdir dir with Unix.Unix_error _ -> ());
       let partition = Net.Server.partition_violations servers.(0) in
       (* Per-key histories: every sampled key must pass the paper's
-         single-register checkers. *)
+         single-register checkers.  In on-cells these histories contain
+         genuinely concurrent joined reads. *)
       let sampled_keys = Hashtbl.length recorders in
       let violations =
         Hashtbl.fold
@@ -396,34 +436,83 @@ let run () =
         | Some b -> b
         | None -> (0., 0., Stats.Summary.create (), (0, 0, 0))
       in
+      let coalesced_reads =
+        Obs.Metrics.counter_value merged "op.coalesced_reads"
+      in
+      let width = Obs.Metrics.find_histogram merged "op.coalesce_width" in
+      let width_p50 =
+        match width with
+        | Some h when Obs.Metrics.Histogram.count h > 0 ->
+            Some (Obs.Metrics.Histogram.quantile h 50.)
+        | _ -> None
+      in
+      outcomes := (skew, coalesce, rate, width_p50) :: !outcomes;
       Printf.bprintf buf
-        "    { \"keys\": %d, \"skew\": %g, \"ops\": %d, \"wall_s\": %.4f, \
-         \"ops_per_s\": %.1f,\n      "
-        keys skew total_ops wall rate;
+        "    { \"skew\": %g, \"coalesce\": %d, \"ops\": %d, \"wall_s\": \
+         %.4f, \"ops_per_s\": %.1f,\n      "
+        skew coalesce total_ops wall rate;
       summary_json buf "latency" lat;
       Printf.bprintf buf
         ",\n      \"reads\": %d, \"fast_reads\": %d, \"writes\": %d, \
-         \"failures\": %d,\n      \"keys_touched\": %d, \"sampled_keys\": %d, \
-         \"violations\": %d, \"partition_violations\": %d,\n      \
-         \"shards_with_reads\": %d, \"shards_fast\": %d"
-        reads fast wrts !failures touched sampled_keys violations partition
-        !shards_with_reads !shards_fast;
-      (match Obs.Metrics.find_histogram merged "wire.bytes_per_frame" with
+         \"failures\": %d,\n      \"coalesced_reads\": %d,\n      "
+        reads fast wrts !failures coalesced_reads;
+      (match width with
       | Some h when Obs.Metrics.Histogram.count h > 0 ->
           Printf.bprintf buf
-            ",\n      \"bytes_per_frame\": { \"count\": %d, \"p50\": %g, \
-             \"p99\": %g, \"mean\": %.1f }"
+            "\"coalesce_width\": { \"count\": %d, \"p50\": %g, \"p99\": %g, \
+             \"mean\": %.2f }"
             (Obs.Metrics.Histogram.count h)
             (Obs.Metrics.Histogram.quantile h 50.)
             (Obs.Metrics.Histogram.quantile h 99.)
             (Obs.Metrics.Histogram.mean h)
-      | _ -> Printf.bprintf buf ",\n      \"bytes_per_frame\": null");
-      Printf.bprintf buf " }%s\n"
+      | _ -> Printf.bprintf buf "\"coalesce_width\": null");
+      Printf.bprintf buf
+        ",\n      \"keys_touched\": %d, \"sampled_keys\": %d, \
+         \"violations\": %d, \"partition_violations\": %d,\n      \
+         \"shards_with_reads\": %d, \"shards_fast\": %d }%s\n"
+        touched sampled_keys violations partition !shards_with_reads
+        !shards_fast
         (if ci = List.length cells - 1 then "" else ","))
     cells;
+  (* Verdicts. *)
+  let outcomes = !outcomes in
+  let rate_at skew coalesce =
+    List.find_map
+      (fun (z, c, r, _) -> if z = skew && c = coalesce then Some r else None)
+      outcomes
+  in
+  let hot_on =
+    List.filter (fun (z, c, _, _) -> z >= 0.9 && c > 1) outcomes
+  in
+  let width_p50_gt_1 =
+    hot_on <> []
+    && List.for_all
+         (fun (_, _, _, p) -> match p with Some p -> p > 1.0 | None -> false)
+         hot_on
+  in
+  let speedup_0_99 =
+    match (rate_at 0.99 coalesce_on, rate_at 0.99 1) with
+    | Some on, Some off when off > 0.0 -> Some (on /. off)
+    | _ -> None
+  in
+  let skew_helps =
+    match rate_at 0.0 coalesce_on with
+    | None -> false
+    | Some uniform ->
+        List.exists (fun (z, c, r, _) -> z > 0.0 && c > 1 && r >= uniform)
+          outcomes
+  in
+  Printf.bprintf buf "  ],\n  \"width_p50_gt_1\": %b,\n" width_p50_gt_1;
+  (match speedup_0_99 with
+  | Some s ->
+      Printf.bprintf buf
+        "  \"speedup_0_99\": %.3f,\n  \"speedup_0_99_ok\": %b,\n" s (s >= 1.3)
+  | None ->
+      Printf.bprintf buf
+        "  \"speedup_0_99\": null,\n  \"speedup_0_99_ok\": null,\n");
   Printf.bprintf buf
-    "  ],\n  \"fast_reads_all_shards\": %b,\n  \"violations_total\": %d,\n  \
-     \"partition_violations_total\": %d\n}\n"
-    !fast_all !violations_total !partition_total;
+    "  \"skew_helps\": %b,\n  \"fast_reads_all_shards\": %b,\n  \
+     \"violations_total\": %d,\n  \"partition_violations_total\": %d\n}\n"
+    skew_helps !fast_all !violations_total !partition_total;
   Obs.Export.write_file ~path:out (Buffer.contents buf);
   Exp_common.note "wrote %s" out

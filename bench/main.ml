@@ -30,6 +30,7 @@ let experiments =
     ("e17", Exp_e17.run);
     ("e18", Exp_e18.run);
     ("e19", Exp_e19.run);
+    ("e20", Exp_e20.run);
   ]
 
 let run_tables = function
@@ -40,7 +41,7 @@ let run_tables = function
           match List.assoc_opt (String.lowercase_ascii n) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %S (expected e1..e19)\n" n;
+              Printf.eprintf "unknown experiment %S (expected e1..e20)\n" n;
               exit 2)
         names
 
@@ -66,5 +67,5 @@ let () =
       Micro.run ()
   | cmd :: _ ->
       Printf.eprintf
-        "usage: main.exe [--jobs N] [tables [e1..e19] | micro] (got %S)\n" cmd;
+        "usage: main.exe [--jobs N] [tables [e1..e20] | micro] (got %S)\n" cmd;
       exit 2

@@ -192,12 +192,42 @@ let bench_handoff_single =
          Exec.Handoff.push q 1;
          ignore (Exec.Handoff.drain q)))
 
+(* -- read-coalescing batch ----------------------------------------------- *)
+
+(* The hot-key coalescing lifecycle: one lead opens a batch, joiners
+   attach while the round-1 broadcast is being assembled, the pump
+   closes it at flush, and the lead's completion fans the result out.
+   Per-join and per-batch cost must stay far below one quorum RPC for
+   coalescing to be a pure win — this pins both, and the allocation
+   rate (one cons per join). *)
+let bench_coalesce_batch =
+  Test.make ~name:"coalesce: 63 joins + close + fan-out"
+    (Staged.stage (fun () ->
+         let b = Net.Coalesce.create ~cap:64 in
+         while Net.Coalesce.can_join b do
+           Net.Coalesce.join b (Net.Coalesce.width b)
+         done;
+         Net.Coalesce.close b;
+         let acc = ref 0 in
+         Net.Coalesce.iter_joiners (fun op -> acc := !acc + op) b;
+         !acc))
+
+let bench_coalesce_join =
+  Test.make ~name:"coalesce: join (1 element)"
+    (Staged.stage (fun () ->
+         let b = Net.Coalesce.create ~cap:2 in
+         Net.Coalesce.join b 1;
+         Net.Coalesce.close b;
+         Net.Coalesce.width b))
+
 let tests =
   [
     bench_prng;
     bench_heap;
     bench_handoff;
     bench_handoff_single;
+    bench_coalesce_batch;
+    bench_coalesce_join;
     bench_safe_object;
     bench_regular_object;
     bench_writer_round;

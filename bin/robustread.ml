@@ -1117,10 +1117,11 @@ let zipf_arg =
     value & opt float 0.0
     & info [ "zipf" ] ~docv:"THETA"
         ~doc:
-          "Zipfian key-popularity skew in [0,1): key 0 is the hottest and \
-           rank r falls off as 1/(r+1)^$(docv).  0 (default) draws keys \
-           uniformly; YCSB's hot-spot regime is 0.99.  Only meaningful \
-           with --keys.")
+          "Zipfian key-popularity skew: key 0 is the hottest and rank r \
+           falls off as 1/(r+1)^$(docv).  0 (default) draws keys \
+           uniformly; YCSB's hot-spot regime is 0.99; values >= 1 (proper \
+           Zipf, exact-CDF draws) concentrate even harder.  Only \
+           meaningful with --keys.")
 
 let write_ratio_arg =
   Arg.(
@@ -1129,6 +1130,17 @@ let write_ratio_arg =
         ~doc:
           "Fraction of keyspace operations that are writes (default 0.05). \
            Only meaningful with --keys.")
+
+let coalesce_arg =
+  Arg.(
+    value & opt ~vopt:64 int 0
+    & info [ "coalesce" ] ~docv:"C"
+        ~doc:
+          "Coalesce reads: up to $(docv) reads invoked while a quorum \
+           round's broadcast is still being assembled share that round \
+           (per key in keyspace mode) and all adopt its result — \
+           regularity-preserving piggyback batching.  0 (default) \
+           disables coalescing; --coalesce with no value uses 64.")
 
 let cluster_cmd =
   let readers_arg =
@@ -1186,12 +1198,17 @@ let cluster_cmd =
              $(b,--protocol).")
   in
   let run protocol t b s readers writes reads transport crash inflight loop
-      domains fast_reads keys zipf write_ratio seed copts jobs metrics
-      artifacts =
+      domains fast_reads keys zipf write_ratio coalesce seed copts jobs
+      metrics artifacts =
     if inflight < 0 then begin
       Format.eprintf "robustread: --inflight %d must be >= 0@." inflight;
       exit 2
     end;
+    if coalesce < 0 then begin
+      Format.eprintf "robustread: --coalesce %d must be >= 0@." coalesce;
+      exit 2
+    end;
+    let coalesce = max 1 coalesce in
     let protocol =
       if fast_reads then
         (* The mux allocates fresh reader ids past [readers]; unknown ids
@@ -1262,14 +1279,16 @@ let cluster_cmd =
          the id space checks the keys that actually saw concurrency. *)
       let sample k = k < 256 in
       Format.printf
-        "keyspace: %s; %d ops (zipf %.2f, write ratio %.2f, window %d)@."
-        (Shard.Map.to_string map) n zipf write_ratio window;
+        "keyspace: %s; %d ops (zipf %.2f, write ratio %.2f, window %d%s)@."
+        (Shard.Map.to_string map) n zipf write_ratio window
+        (if coalesce > 1 then Printf.sprintf ", coalesce %d" coalesce else "");
       Array.iteri
         (fun i -> function
           | Ok _ -> ()
           | Error e ->
               record_failure (Printf.sprintf "keyed op #%d FAILED: %s" (i + 1) e))
-        (Net.Cluster.run_keyed ~inflight:window ~sample cluster ~map ops);
+        (Net.Cluster.run_keyed ~inflight:window ~coalesce ~sample cluster ~map
+           ops);
       let checked = Net.Cluster.keyed_histories cluster in
       let bad =
         List.fold_left
@@ -1346,7 +1365,7 @@ let cluster_cmd =
               | Error e ->
                   record_failure
                     (Printf.sprintf "pipelined read #%d FAILED: %s" (k + 1) e))
-            (Net.Cluster.read_pipelined cluster ~inflight ~ops:n)
+            (Net.Cluster.read_pipelined ~coalesce cluster ~inflight ~ops:n)
       in
       let total = readers * reads in
       let half = total / 2 in
@@ -1423,8 +1442,8 @@ let cluster_cmd =
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ readers_arg
       $ writes_arg $ reads_arg $ transport_arg $ crash_arg $ inflight_arg
       $ loop_arg $ domains_arg $ fast_reads_arg $ keys_arg $ zipf_arg
-      $ write_ratio_arg $ seed_arg $ client_opts_args $ jobs_arg
-      $ metrics_arg $ artifacts_arg)
+      $ write_ratio_arg $ coalesce_arg $ seed_arg $ client_opts_args
+      $ jobs_arg $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -1490,7 +1509,8 @@ let load_worker_cmd =
           ~doc:"This worker's 0-based index among --workers.")
   in
   let run protocol t b s endpoints inflight ops first_reader keys zipf
-      write_ratio seed workers worker metrics_out copts =
+      write_ratio coalesce seed workers worker metrics_out copts =
+    let coalesce = max 1 coalesce in
     let cfg = config ~s ~t ~b () in
     if List.length endpoints <> cfg.Quorum.Config.s then begin
       Format.eprintf
@@ -1536,8 +1556,8 @@ let load_worker_cmd =
         in
         let keyed =
           Net.Client.Keyed.connect ~metrics:registry ~opts:copts
-            ~max_inflight:inflight ~reader:first_reader ~protocol ~map
-            endpoints
+            ~max_inflight:inflight ~reader:first_reader ~coalesce ~protocol
+            ~map endpoints
         in
         let outcomes = Net.Client.Keyed.run_ops keyed kops in
         Net.Client.Keyed.close keyed;
@@ -1546,7 +1566,7 @@ let load_worker_cmd =
       else begin
         let mux =
           Net.Client.Mux.connect ~metrics:registry ~opts:copts
-            ~max_inflight:inflight ~first_reader ~protocol ~cfg
+            ~max_inflight:inflight ~first_reader ~coalesce ~protocol ~cfg
             ~readers:inflight endpoints
         in
         let outcomes = Net.Client.Mux.run_reads mux ops in
@@ -1583,8 +1603,8 @@ let load_worker_cmd =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ endpoints_arg
       $ load_inflight_arg $ ops_per_proc_arg $ first_reader_arg $ keys_arg
-      $ zipf_arg $ write_ratio_arg $ seed_arg $ workers_arg $ worker_arg
-      $ metrics_out_arg $ client_opts_args)
+      $ zipf_arg $ write_ratio_arg $ coalesce_arg $ seed_arg $ workers_arg
+      $ worker_arg $ metrics_out_arg $ client_opts_args)
   in
   Cmd.v
     (Cmd.info "load-worker" ~docs:Manpage.s_none
@@ -1608,9 +1628,13 @@ let load_cmd =
           ~doc:"Socket flavour: $(b,unix) (default) or $(b,tcp) loopback.")
   in
   let run protocol t b s domains procs inflight ops transport keys zipf
-      write_ratio seed copts metrics artifacts =
+      write_ratio coalesce seed copts metrics artifacts =
     if procs < 1 || inflight < 1 || ops < 1 then begin
       Format.eprintf "robustread: --procs, --inflight and --ops must be >= 1@.";
+      exit 2
+    end;
+    if coalesce < 0 then begin
+      Format.eprintf "robustread: --coalesce %d must be >= 0@." coalesce;
       exit 2
     end;
     let cfg = config ~s ~t ~b () in
@@ -1664,8 +1688,10 @@ let load_cmd =
       (max 1 (min domains s))
       procs inflight ops
       (if keys > 0 then
-         Printf.sprintf "; keyspace of %d keys (zipf %.2f, write ratio %.2f)"
+         Printf.sprintf "; keyspace of %d keys (zipf %.2f, write ratio %.2f%s)"
            keys zipf write_ratio
+           (if coalesce > 1 then Printf.sprintf ", coalesce %d" coalesce
+            else "")
        else "");
     Format.print_flush ();
     let metric_file k = Filename.concat dir (Printf.sprintf "proc%d.jsonl" k) in
@@ -1691,6 +1717,7 @@ let load_cmd =
               "--keys"; string_of_int keys;
               "--zipf"; Printf.sprintf "%g" zipf;
               "--write-ratio"; Printf.sprintf "%g" write_ratio;
+              "--coalesce"; string_of_int coalesce;
               "--seed"; string_of_int seed;
               "--workers"; string_of_int procs;
               "--worker"; string_of_int (k - 1);
@@ -1786,8 +1813,8 @@ let load_cmd =
     Term.(
       const run $ net_protocol_arg $ t_arg $ b_arg $ s_arg $ domains_arg
       $ procs_arg $ load_inflight_arg $ ops_per_proc_arg $ transport_arg
-      $ keys_arg $ zipf_arg $ write_ratio_arg $ seed_arg $ client_opts_args
-      $ metrics_arg $ artifacts_arg)
+      $ keys_arg $ zipf_arg $ write_ratio_arg $ coalesce_arg $ seed_arg
+      $ client_opts_args $ metrics_arg $ artifacts_arg)
   in
   Cmd.v
     (Cmd.info "load"

@@ -2,6 +2,20 @@ type opts = { deadline : float; retries : int; backoff : float }
 
 let default_opts = { deadline = 1.0; retries = 5; backoff = 0.05 }
 
+(* Retransmit backoff: exponential in the attempt but clamped — at the
+   default 50ms base, attempt 20 would otherwise land ~14.6 hours out,
+   so one long outage could wedge an operation far past its deadline
+   budget.  (Reconnect pacing has its own, shorter [reconnect_cap].) *)
+let backoff_cap = 1.0
+
+let retry_backoff opts ~attempt =
+  Float.min backoff_cap (opts.backoff *. (2. ** float_of_int attempt))
+
+(* Where the three event loops park when every endpoint is down: sleep a
+   bounded slice of the next-wakeup timeout, so reconnect attempts stay
+   paced without spinning and without oversleeping a near deadline. *)
+let idle_wait timeout = Thread.delay (Float.max 0.001 (Float.min 0.01 timeout))
+
 type outcome = {
   value : Core.Value.t option;
   rounds : int;
@@ -396,7 +410,7 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
                 else begin
                   incr retransmits;
                   count "net.client.retransmits";
-                  Thread.delay (opts.backoff *. (2. ** float_of_int attempt));
+                  Thread.delay (retry_backoff opts ~attempt);
                   ensure_conns ();
                   broadcast !current;
                   deadline := now_f () +. opts.deadline;
@@ -409,7 +423,7 @@ let connect ?metrics ?(opts = default_opts) ?now_us ~protocol ~cfg ~role
                 if fds = [] then begin
                   (* Every endpoint is down: pace reconnect attempts
                      until the deadline machinery decides. *)
-                  Thread.delay (Float.min 0.01 timeout);
+                  idle_wait timeout;
                   ensure_conns ();
                   loop attempt
                 end
@@ -511,6 +525,13 @@ type 'm active = {
   mutable abackoff_until : float;  (* 0. = not backing off *)
   mutable aattempt : int;
   mutable aretr : int;
+  abatch : (int * Obs.Span.t) Coalesce.t option;
+      (* READ coalescing: (op index, span) per read that joined this
+         round while its round-1 broadcast was still being assembled.
+         [None] for writes, for resumed parked rounds (their evidence
+         gathering already started — a join would not be regular), and
+         when coalescing is off.  Closed the instant the broadcast is
+         flushed to the wire. *)
 }
 
 (* A timed-out op parks its machine mid-round (no abort in the paper's
@@ -532,11 +553,15 @@ type ('m, 'r) slot = {
 }
 
 module Mux = struct
+  (* [joined] marks a coalesced read: it never ran its own quorum round
+     but adopted the result of the round [reader]'s slot was assembling
+     when it was invoked. *)
   type event =
-    | Invoke of { op : int; reader : int; at_us : int }
+    | Invoke of { op : int; reader : int; joined : bool; at_us : int }
     | Respond of {
         op : int;
         reader : int;
+        joined : bool;
         at_us : int;
         outcome : (outcome, string) result;
       }
@@ -550,9 +575,10 @@ module Mux = struct
   }
 
   let connect ?metrics ?(opts = default_opts) ?now_us ?max_inflight
-      ?(first_reader = 1) ~protocol ~cfg ~readers endpoints =
+      ?(first_reader = 1) ?(coalesce = 1) ~protocol ~cfg ~readers endpoints =
     Lazy.force ignore_sigpipe;
     let (Protocols.Packed { proto = (module P); codec }) = protocol in
+    let cap = max 1 coalesce in
     let s = cfg.Quorum.Config.s in
     if Array.length endpoints <> s then
       invalid_arg
@@ -684,6 +710,17 @@ module Mux = struct
           Obs.Metrics.incr reg
             (if rounds <= 1 then "op.fast_reads" else "op.fallback_rounds")
     in
+    (* Batch width is observed once per member (so the histogram weights
+       by op, not by round): a width-4 batch contributes four 4s.  Only
+       recorded when coalescing is on — an off run has no batches, and
+       the metric's absence keeps the two configurations comparable. *)
+    let observe_width w =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.observe_int reg "op.coalesce_width"
+            ~bounds:Obs.Metrics.batch_bounds w
+    in
     let run ?on_event n =
       if n < 0 then invalid_arg "Mux.run_reads: negative op count";
       let results = Array.make (max n 1) (Error "operation not run") in
@@ -694,9 +731,77 @@ module Mux = struct
       let finish_active sl (a : _ active) outcome =
         results.(a.aop) <- outcome;
         emit
-          (Respond { op = a.aop; reader = sl.j; at_us = now_us (); outcome });
+          (Respond
+             {
+               op = a.aop;
+               reader = sl.j;
+               joined = false;
+               at_us = now_us ();
+               outcome;
+             });
         incr completed;
         decr in_flight
+      in
+      (* Fan a completed lead's value out to every read that joined its
+         round.  Each joiner is a logical op of its own: its span,
+         latency and per-op metrics are bumped individually (joiners
+         report the lead's decision round count; they ran no network
+         round of their own, so [in_flight] is untouched). *)
+      let fanout_ok sl (a : _ active) ~rounds ~value =
+        match a.abatch with
+        | None -> ()
+        | Some b ->
+            let w = Coalesce.width b in
+            observe_width w;
+            Coalesce.iter_joiners
+              (fun (op, span) ->
+                let now = now_us () in
+                Obs.Span.finish span ~now ~rounds
+                  ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                op_metrics span ~rounds now;
+                observe_width w;
+                let out =
+                  {
+                    value = Some value;
+                    rounds;
+                    retransmits = 0;
+                    latency_us = now - span.Obs.Span.started_at;
+                  }
+                in
+                results.(op) <- Ok out;
+                emit
+                  (Respond
+                     {
+                       op;
+                       reader = sl.j;
+                       joined = true;
+                       at_us = now;
+                       outcome = Ok out;
+                     });
+                incr completed)
+              b
+      in
+      (* A lead that times out takes its whole batch with it: the
+         joiners' evidence was the lead's round, so they fail now rather
+         than dangle.  (Their spans stay open, like any failed op's.) *)
+      let fanout_err sl (a : _ active) err =
+        match a.abatch with
+        | None -> ()
+        | Some b ->
+            Coalesce.iter_joiners
+              (fun (op, _span) ->
+                results.(op) <- Error err;
+                emit
+                  (Respond
+                     {
+                       op;
+                       reader = sl.j;
+                       joined = true;
+                       at_us = now_us ();
+                       outcome = Error err;
+                     });
+                incr completed)
+              b
       in
       let feed_slot sl ~obj m =
         let r, evs = P.reader_on_msg sl.machine ~obj m in
@@ -729,7 +834,8 @@ module Mux = struct
                       }
                     in
                     sl.st <- Sidle;
-                    finish_active sl a (Ok out)
+                    finish_active sl a (Ok out);
+                    fanout_ok sl a ~rounds ~value
                 | Sparked p ->
                     let now = now_us () in
                     Obs.Span.finish p.pspan ~now ~rounds
@@ -805,15 +911,26 @@ module Mux = struct
       let start_one sl =
         let op = !next_op in
         incr next_op;
-        emit (Invoke { op; reader = sl.j; at_us = now_us () });
+        emit (Invoke { op; reader = sl.j; joined = false; at_us = now_us () });
         match sl.st with
         | Sdone out ->
             sl.st <- Sidle;
             results.(op) <- Ok out;
             emit
-              (Respond { op; reader = sl.j; at_us = now_us (); outcome = Ok out });
+              (Respond
+                 {
+                   op;
+                   reader = sl.j;
+                   joined = false;
+                   at_us = now_us ();
+                   outcome = Ok out;
+                 });
             incr completed
         | Sparked p ->
+            (* Resumed round: its round-1 evidence gathering started
+               before this op was invoked, so no batch may attach — a
+               joiner could be returned evidence older than its invoke,
+               which is exactly what regularity forbids. *)
             sl.st <-
               Sactive
                 {
@@ -824,6 +941,7 @@ module Mux = struct
                   abackoff_until = 0.;
                   aattempt = 0;
                   aretr = 0;
+                  abatch = None;
                 };
             broadcast_slot sl p.pcur;
             incr in_flight
@@ -833,7 +951,13 @@ module Mux = struct
                 results.(op) <- Error e;
                 emit
                   (Respond
-                     { op; reader = sl.j; at_us = now_us (); outcome = Error e });
+                     {
+                       op;
+                       reader = sl.j;
+                       joined = false;
+                       at_us = now_us ();
+                       outcome = Error e;
+                     });
                 incr completed
             | Ok (r, m) ->
                 sl.machine <- r;
@@ -853,10 +977,28 @@ module Mux = struct
                       abackoff_until = 0.;
                       aattempt = 0;
                       aretr = 0;
+                      abatch =
+                        (if cap > 1 then Some (Coalesce.create ~cap) else None);
                     };
                 broadcast_slot sl m;
                 incr in_flight)
         | Sactive _ -> assert false
+      in
+      (* A coalesced read never occupies a slot: it is a (span, result
+         cell) hung off the lead's batch, so it costs no reader machine
+         and does not count against the in-flight window. *)
+      let join_read sl b =
+        let op = !next_op in
+        incr next_op;
+        emit (Invoke { op; reader = sl.j; joined = true; at_us = now_us () });
+        let span =
+          Obs.Span.start collector
+            (Obs.Span.Read { reader = sl.j })
+            ~proc:("r" ^ string_of_int sl.j)
+            ~now:(now_us ()) ~trace_pos:0
+        in
+        Coalesce.join b (op, span);
+        count "op.coalesced_reads"
       in
       let free_slot () =
         let rec go i =
@@ -867,6 +1009,50 @@ module Mux = struct
             | Sidle | Sparked _ | Sdone _ -> Some slots.(i)
         in
         go 0
+      in
+      (* All reads target the one register, so any slot whose fresh
+         round is still being assembled can host the next op. *)
+      let join_slot () =
+        let rec go i =
+          if i >= Array.length slots then None
+          else
+            match slots.(i).st with
+            | Sactive { abatch = Some b; _ } when Coalesce.can_join b ->
+                Some (slots.(i), b)
+            | Sactive _ | Sidle | Sparked _ | Sdone _ -> go (i + 1)
+        in
+        go 0
+      in
+      (* Admission prefers joining an open batch (free — no new round,
+         no window slot) over starting a fresh lead; fresh leads are
+         still window-bounded. *)
+      let admit_one () =
+        !next_op < n
+        &&
+        match join_slot () with
+        | Some (sl, b) ->
+            join_read sl b;
+            true
+        | None -> (
+            !in_flight < window
+            &&
+            match free_slot () with
+            | Some sl ->
+                start_one sl;
+                true
+            | None -> false)
+      in
+      (* The join window ends when the round-1 broadcast leaves the
+         process: called right after [flush_all], so a read admitted in
+         a later pump iteration chains onto the NEXT round instead of
+         adopting evidence gathered before it was invoked. *)
+      let close_batches () =
+        Array.iter
+          (fun sl ->
+            match sl.st with
+            | Sactive { abatch = Some b; _ } -> Coalesce.close b
+            | Sactive _ | Sidle | Sparked _ | Sdone _ -> ())
+          slots
       in
       let process_timers now =
         Array.iter
@@ -897,11 +1083,12 @@ module Mux = struct
                     in
                     let cur = a.acur and span = a.aspan in
                     sl.st <- Sparked { pcur = cur; pspan = span };
-                    finish_active sl a (Error err)
+                    finish_active sl a (Error err);
+                    fanout_err sl a err
                   end
                   else
                     a.abackoff_until <-
-                      now +. (opts.backoff *. (2. ** float_of_int a.aattempt))
+                      now +. retry_backoff opts ~attempt:a.aattempt
             | Sidle | Sparked _ | Sdone _ -> ())
           slots
       in
@@ -932,24 +1119,16 @@ module Mux = struct
           (* connect before starting ops: a round broadcast only reaches
              endpoints that already have a live fd *)
           ensure_conns (now_f ());
-          while
-            !in_flight < window && !next_op < n
-            &&
-            match free_slot () with
-            | Some sl ->
-                start_one sl;
-                true
-            | None -> false
-          do
+          while admit_one () do
             ()
           done;
           flush_all ();
+          close_batches ();
           if !completed >= n then ()
           else begin
             let fds = Array.to_list conns |> List.filter_map (fun c -> c.fd) in
             let timeout = next_wakeup (now_f ()) in
-            (if fds = [] then
-               Thread.delay (Float.min 0.01 (Float.max 0.001 timeout))
+            (if fds = [] then idle_wait timeout
              else
                match Unix.select fds [] [] timeout with
                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -1039,12 +1218,16 @@ module Keyed = struct
 
   let op_is_write = function Read _ -> false | Write _ -> true
 
+  (* [joined] marks a coalesced read: it never ran its own quorum round
+     but adopted the result of the round its key's reader was assembling
+     when it was invoked.  Writes never coalesce. *)
   type event =
-    | Invoke of { op : int; key : int; write : bool; at_us : int }
+    | Invoke of { op : int; key : int; write : bool; joined : bool; at_us : int }
     | Respond of {
         op : int;
         key : int;
         write : bool;
+        joined : bool;
         at_us : int;
         outcome : (outcome, string) result;
       }
@@ -1059,9 +1242,10 @@ module Keyed = struct
   }
 
   let connect ?metrics ?(opts = default_opts) ?now_us ?(max_inflight = 16)
-      ?(reader = 1) ~protocol ~map endpoints =
+      ?(reader = 1) ?(coalesce = 1) ~protocol ~map endpoints =
     Lazy.force ignore_sigpipe;
     let (Protocols.Packed { proto = (module P); codec }) = protocol in
+    let cap = max 1 coalesce in
     let cfg = Shard.Map.cfg map in
     let fleet = Shard.Map.fleet map in
     if Array.length endpoints <> fleet then
@@ -1189,6 +1373,15 @@ module Keyed = struct
           if rounds <= 1 then
             Obs.Metrics.incr reg (Printf.sprintf "shard.%d.fast_reads" r.kshard)
     in
+    (* Batch width is observed once per member (the histogram weights by
+       op, not by round); only recorded when coalescing is on. *)
+    let observe_width w =
+      match metrics with
+      | None -> ()
+      | Some reg ->
+          Obs.Metrics.observe_int reg "op.coalesce_width"
+            ~bounds:Obs.Metrics.batch_bounds w
+    in
     let run ?on_event ops =
       let n = Array.length ops in
       let results = Array.make (max n 1) (Error "operation not run") in
@@ -1216,11 +1409,81 @@ module Keyed = struct
         results.(a.aop) <- outcome;
         emit
           (Respond
-             { op = a.aop; key = r.kkey; write; at_us = now_us (); outcome });
+             {
+               op = a.aop;
+               key = r.kkey;
+               write;
+               joined = false;
+               at_us = now_us ();
+               outcome;
+             });
         Hashtbl.remove actives (r.kkey, write);
         Queue.add (r, write) freed;
         incr completed;
         decr in_flight
+      in
+      (* Fan a completed lead read's value out to every read that joined
+         its round: each joiner is a logical op with its own span and
+         per-op/per-shard metrics, but it ran no network round, so
+         [in_flight] is untouched. *)
+      let fanout_ok r (a : _ active) ~rounds ~value =
+        match a.abatch with
+        | None -> ()
+        | Some b ->
+            let w = Coalesce.width b in
+            observe_width w;
+            Coalesce.iter_joiners
+              (fun (op, span) ->
+                let now = now_us () in
+                Obs.Span.finish span ~now ~rounds
+                  ~result:(Core.Value.to_string value) ~trace_pos:0 ();
+                op_metrics ~kind:(Obs.Span.Read { reader }) span ~rounds now;
+                shard_read_metric r ~rounds;
+                observe_width w;
+                let out =
+                  {
+                    value = Some value;
+                    rounds;
+                    retransmits = 0;
+                    latency_us = now - span.Obs.Span.started_at;
+                  }
+                in
+                results.(op) <- Ok out;
+                emit
+                  (Respond
+                     {
+                       op;
+                       key = r.kkey;
+                       write = false;
+                       joined = true;
+                       at_us = now;
+                       outcome = Ok out;
+                     });
+                incr completed)
+              b
+      in
+      (* A lead that times out fails its whole batch: the joiners'
+         evidence was the lead's round.  Their spans stay open, like any
+         failed op's. *)
+      let fanout_err r (a : _ active) err =
+        match a.abatch with
+        | None -> ()
+        | Some b ->
+            Coalesce.iter_joiners
+              (fun (op, _span) ->
+                results.(op) <- Error err;
+                emit
+                  (Respond
+                     {
+                       op;
+                       key = r.kkey;
+                       write = false;
+                       joined = true;
+                       at_us = now_us ();
+                       outcome = Error err;
+                     });
+                incr completed)
+              b
       in
       let feed_reg r ~write ~obj m =
         let evs =
@@ -1267,7 +1530,8 @@ module Keyed = struct
                         }
                       in
                       set_st r ~write Sidle;
-                      finish_op r ~write a (Ok out)
+                      finish_op r ~write a (Ok out);
+                      fanout_ok r a ~rounds ~value
                   | Sparked p ->
                       shard_read_metric r ~rounds;
                       let now = now_us () in
@@ -1376,13 +1640,36 @@ module Keyed = struct
                 in
                 drain ())
       in
+      (* A coalesced read occupies no (key, role) slot: it is a (span,
+         result cell) hung off the lead's batch, costing no automaton
+         state and no window slot. *)
+      let join_read idx r b =
+        emit
+          (Invoke
+             {
+               op = idx;
+               key = r.kkey;
+               write = false;
+               joined = true;
+               at_us = now_us ();
+             });
+        let span =
+          Obs.Span.start collector
+            (Obs.Span.Read { reader })
+            ~proc:rname ~now:(now_us ()) ~trace_pos:0
+        in
+        Coalesce.join b (idx, span);
+        count "op.coalesced_reads"
+      in
       (* [start_now] requires the role NOT be [Sactive]; [start_next]
          pops the role's queue once it is free.  A synchronous
          completion (adopted [Sdone], start error) recurses into
          [start_next] — safe here because these only run from the pump
          loop, never mid automaton-event iteration. *)
       let rec start_now idx r ~write =
-        emit (Invoke { op = idx; key = r.kkey; write; at_us = now_us () });
+        emit
+          (Invoke
+             { op = idx; key = r.kkey; write; joined = false; at_us = now_us () });
         match get_st r ~write with
         | Sdone out ->
             set_st r ~write Sidle;
@@ -1393,12 +1680,17 @@ module Keyed = struct
                    op = idx;
                    key = r.kkey;
                    write;
+                   joined = false;
                    at_us = now_us ();
                    outcome = Ok out;
                  });
             incr completed;
             start_next r ~write
         | Sparked p ->
+            (* Resumed round: its round-1 evidence gathering started
+               before this op was invoked, so no batch may attach — a
+               joiner could be returned evidence older than its invoke,
+               which is exactly what regularity forbids. *)
             set_st r ~write
               (Sactive
                  {
@@ -1409,6 +1701,7 @@ module Keyed = struct
                    abackoff_until = 0.;
                    aattempt = 0;
                    aretr = 0;
+                   abatch = None;
                  });
             Hashtbl.replace actives (r.kkey, write) r;
             broadcast_key r ~sender:(sender_of write) p.pcur;
@@ -1440,6 +1733,7 @@ module Keyed = struct
                        op = idx;
                        key = r.kkey;
                        write;
+                       joined = false;
                        at_us = now_us ();
                        outcome = Error e;
                      });
@@ -1453,6 +1747,10 @@ module Keyed = struct
                   Obs.Span.start collector kind ~proc:(sender_of write)
                     ~now:(now_us ()) ~trace_pos:0
                 in
+                let batch =
+                  if write || cap <= 1 then None
+                  else Some (Coalesce.create ~cap)
+                in
                 set_st r ~write
                   (Sactive
                      {
@@ -1463,10 +1761,23 @@ module Keyed = struct
                        abackoff_until = 0.;
                        aattempt = 0;
                        aretr = 0;
+                       abatch = batch;
                      });
                 Hashtbl.replace actives (r.kkey, write) r;
                 broadcast_key r ~sender:(sender_of write) m;
-                incr in_flight)
+                incr in_flight;
+                (* Piggyback: reads already queued behind this key ride
+                   the fresh round — they were invoked before its
+                   broadcast was even assembled, so joining preserves
+                   both regularity and per-key program order. *)
+                match batch with
+                | None -> ()
+                | Some b ->
+                    while
+                      (not (Queue.is_empty r.krq)) && Coalesce.can_join b
+                    do
+                      join_read (Queue.pop r.krq) r b
+                    done)
         | Sactive _ -> assert false
       and start_next r ~write =
         match get_st r ~write with
@@ -1475,18 +1786,57 @@ module Keyed = struct
             let q = queue_of r ~write in
             if not (Queue.is_empty q) then start_now (Queue.pop q) r ~write
       in
-      (* Admission: start if the (key, role) is free and nothing is
-         queued ahead (per-key program order); otherwise enqueue. *)
+      (* Admission: join the key's in-assembly read round if one is
+         open (and nothing is queued ahead — program order); otherwise
+         start if the (key, role) is free, else enqueue. *)
       let admit idx =
         let op = ops.(idx) in
         let key = op_key op and write = op_is_write op in
         let r = reg_for key in
         let q = queue_of r ~write in
         match get_st r ~write with
-        | Sactive _ -> Queue.add idx q
+        | Sactive a -> (
+            match a.abatch with
+            | Some b when (not write) && Queue.is_empty q && Coalesce.can_join b
+              ->
+                join_read idx r b
+            | Some _ | None -> Queue.add idx q)
         | Sidle | Sparked _ | Sdone _ ->
             if Queue.is_empty q then start_now idx r ~write
             else Queue.add idx q
+      in
+      (* Past the in-flight window only joins are admissible: they add
+         no round and must not queue (queuing past the window would
+         defeat its backpressure), so peek rather than admit. *)
+      let try_join_next () =
+        !next_op < n
+        &&
+        let op = ops.(!next_op) in
+        (not (op_is_write op))
+        &&
+        match Hashtbl.find_opt regs (op_key op) with
+        | None -> false
+        | Some r -> (
+            match r.krst with
+            | Sactive { abatch = Some b; _ }
+              when Queue.is_empty r.krq && Coalesce.can_join b ->
+                join_read !next_op r b;
+                incr next_op;
+                true
+            | Sactive _ | Sidle | Sparked _ | Sdone _ -> false)
+      in
+      (* The join window ends when the round-1 broadcast leaves the
+         process: called right after [flush_all], so later reads chain
+         onto the NEXT round instead of adopting evidence gathered
+         before they were invoked. *)
+      let close_batches () =
+        Hashtbl.iter
+          (fun (_, write) r ->
+            if not write then
+              match r.krst with
+              | Sactive { abatch = Some b; _ } -> Coalesce.close b
+              | Sactive _ | Sidle | Sparked _ | Sdone _ -> ())
+          actives
       in
       let process_timers now =
         let acts = Hashtbl.fold (fun k r acc -> (k, r) :: acc) actives [] in
@@ -1520,11 +1870,12 @@ module Keyed = struct
                     in
                     let cur = a.acur and span = a.aspan in
                     set_st r ~write (Sparked { pcur = cur; pspan = span });
-                    finish_op r ~write a (Error err)
+                    finish_op r ~write a (Error err);
+                    fanout_err r a err
                   end
                   else
                     a.abackoff_until <-
-                      now +. (opts.backoff *. (2. ** float_of_int a.aattempt))
+                      now +. retry_backoff opts ~attempt:a.aattempt
             | Sidle | Sparked _ | Sdone _ -> ())
           acts
       in
@@ -1561,13 +1912,16 @@ module Keyed = struct
             admit !next_op;
             incr next_op
           done;
+          while try_join_next () do
+            ()
+          done;
           flush_all ();
+          close_batches ();
           if !completed >= n then ()
           else begin
             let fds = Array.to_list conns |> List.filter_map (fun c -> c.fd) in
             let timeout = next_wakeup (now_f ()) in
-            (if fds = [] then
-               Thread.delay (Float.min 0.01 (Float.max 0.001 timeout))
+            (if fds = [] then idle_wait timeout
              else
                match Unix.select fds [] [] timeout with
                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -39,7 +39,9 @@
 type opts = {
   deadline : float;  (** seconds a round may wait before a retransmit *)
   retries : int;  (** retransmit rounds before the operation fails *)
-  backoff : float;  (** base retry backoff, doubled per attempt *)
+  backoff : float;
+      (** base retry backoff, doubled per attempt and clamped at 1s so a
+          long outage cannot push a retransmit hours past the deadline *)
 }
 
 val default_opts : opts
@@ -102,11 +104,14 @@ val close : t -> unit
 
 module Mux : sig
   type event =
-    | Invoke of { op : int; reader : int; at_us : int }
-        (** Operation [op] was assigned to reader [reader]. *)
+    | Invoke of { op : int; reader : int; joined : bool; at_us : int }
+        (** Operation [op] was assigned to reader [reader]; [joined]
+            means it coalesced onto the round that reader's slot was
+            assembling instead of running its own. *)
     | Respond of {
         op : int;
         reader : int;
+        joined : bool;
         at_us : int;
         outcome : (outcome, string) result;
       }  (** Operation [op] completed (or timed out). *)
@@ -119,6 +124,7 @@ module Mux : sig
     ?now_us:(unit -> int) ->
     ?max_inflight:int ->
     ?first_reader:int ->
+    ?coalesce:int ->
     protocol:Protocols.t ->
     cfg:Quorum.Config.t ->
     readers:int ->
@@ -131,6 +137,17 @@ module Mux : sig
       fresh with respect to the cluster: base objects keep per-reader
       round state, so a {e new} automaton reusing an id some earlier
       client already advanced can be ignored by the objects.
+
+      [coalesce] (default 1 = off, clamped to at least 1) caps how many
+      reads may share one quorum round: a read admitted while a fresh
+      round's broadcast is still being assembled — appended to the
+      outbound buffers but not yet flushed — joins that round and adopts
+      its result, which preserves regularity because every member is
+      invoked before any base object sees the round's first request
+      (DESIGN §16).  Joined reads do not count against [max_inflight];
+      each completes as a logical op of its own (span, metrics,
+      [op.coalesced_reads] counter, [op.coalesce_width] histogram).
+      Rounds resumed from a timed-out park never accept joiners.
       @raise Invalid_argument on an endpoint/S mismatch, [readers < 1]
       or [first_reader < 1]. *)
 
@@ -181,11 +198,15 @@ module Keyed : sig
   val op_is_write : kop -> bool
 
   type event =
-    | Invoke of { op : int; key : int; write : bool; at_us : int }
+    | Invoke of { op : int; key : int; write : bool; joined : bool; at_us : int }
+        (** [joined] means the read coalesced onto the round its key's
+            reader was assembling instead of running its own; writes
+            never coalesce. *)
     | Respond of {
         op : int;
         key : int;
         write : bool;
+        joined : bool;
         at_us : int;
         outcome : (outcome, string) result;
       }
@@ -198,6 +219,7 @@ module Keyed : sig
     ?now_us:(unit -> int) ->
     ?max_inflight:int ->
     ?reader:int ->
+    ?coalesce:int ->
     protocol:Protocols.t ->
     map:Shard.Map.t ->
     Endpoint.t array ->
@@ -210,6 +232,20 @@ module Keyed : sig
       id for {e every} key; two keyed clients reading the same keys must
       use distinct ids.  [max_inflight] (default 16) caps concurrently
       progressing operations across all keys.
+
+      [coalesce] (default 1 = off, clamped to at least 1) caps how many
+      same-key reads may share one quorum round.  A read admitted while
+      its key's fresh read round is still being assembled (broadcast
+      buffered, not yet flushed) joins that round and adopts its result;
+      reads already queued behind the key piggyback onto each fresh
+      round the same way.  Join-before-broadcast preserves regularity —
+      all the round's evidence postdates every member's invocation
+      (DESIGN §16) — and per-key program order is kept because a read
+      only joins when nothing is queued ahead of it.  Joined reads do
+      not count against [max_inflight]; each completes as a logical op
+      of its own (span, per-op and per-shard metrics,
+      [op.coalesced_reads] counter, [op.coalesce_width] histogram).
+      Rounds resumed from a timed-out park never accept joiners.
       @raise Invalid_argument if [endpoints] does not match the map's
       fleet or [reader < 1]. *)
 

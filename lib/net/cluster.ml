@@ -11,9 +11,14 @@ type client_slot = {
 type mux_state = {
   m_inflight : int;
   m_first : int;  (* first reader id of this mux's slots *)
+  m_coalesce : int;
   m_mux : Client.Mux.t;
   m_registry : Obs.Metrics.t option;
   m_open : Histories.Recorder.op_handle option array;  (* per reader slot *)
+  (* Coalesced reads are extra concurrent ops on the same slot, so they
+     cannot share the slot's open-op cell (nor its recorder reader id):
+     they are tracked per op index with fresh ids from [next_jrid]. *)
+  m_open_joined : (int, Histories.Recorder.op_handle) Hashtbl.t;
 }
 
 (* The keyed keyspace runtime, cached for the same reason as the mux:
@@ -23,10 +28,14 @@ type mux_state = {
 type keyed_state = {
   k_inflight : int;
   k_map : Shard.Map.t;
+  k_coalesce : int;
   k_client : Client.Keyed.t;
   k_registry : Obs.Metrics.t option;
   k_recorders : (int, string Histories.Recorder.t) Hashtbl.t;
   k_open : (int * bool, Histories.Recorder.op_handle) Hashtbl.t;
+  (* Coalesced reads overlap the lead on the same (key, role), so they
+     get their own handles, keyed by op index, under fresh reader ids. *)
+  k_open_joined : (int, Histories.Recorder.op_handle) Hashtbl.t;
 }
 
 type t = {
@@ -42,6 +51,11 @@ type t = {
   (* Base objects keep per-reader round state, so reader ids are never
      reused across mux generations: each new mux gets a fresh range. *)
   mutable next_rid : int;
+  (* Recorder reader ids for coalesced reads: the recorder insists each
+     concurrently-open read has a distinct reader, and joined reads
+     overlap their lead by construction.  Starts far above any real
+     reader id so the ranges can never collide. *)
+  mutable next_jrid : int;
   copts : Client.opts option;
   protocol : Protocols.t;
   recorder : string Histories.Recorder.t;
@@ -146,6 +160,7 @@ let start ?(metrics = false) ?opts ?(transport = `Unix) ?(loop = `Threads)
     mux = None;
     keyed = None;
     next_rid = readers + 1;
+    next_jrid = 1_000_000;
     copts = opts;
     protocol;
     recorder = Histories.Recorder.create ();
@@ -209,11 +224,11 @@ let read t ~reader =
       ok
   | Error _ as e -> e
 
-let mux_for t ~inflight =
+let mux_for t ~inflight ~coalesce =
   if inflight < 1 then
     invalid_arg (Printf.sprintf "Cluster.read_pipelined: inflight %d" inflight);
   match t.mux with
-  | Some m when m.m_inflight = inflight -> m
+  | Some m when m.m_inflight = inflight && m.m_coalesce = coalesce -> m
   | existing ->
       (match existing with
       | Some m -> Client.Mux.close m.m_mux
@@ -227,19 +242,22 @@ let mux_for t ~inflight =
         {
           m_inflight = inflight;
           m_first = first;
+          m_coalesce = coalesce;
           m_mux =
             Client.Mux.connect ?metrics:registry ?opts:t.copts
               ~now_us:t.now_us ~max_inflight:inflight ~first_reader:first
-              ~protocol:t.protocol ~cfg:t.cfg ~readers:inflight t.endpoints;
+              ~coalesce ~protocol:t.protocol ~cfg:t.cfg ~readers:inflight
+              t.endpoints;
           m_registry = registry;
           m_open = Array.make inflight None;
+          m_open_joined = Hashtbl.create 64;
         }
       in
       t.mux <- Some m;
       m
 
-let read_pipelined t ~inflight ~ops =
-  let m = mux_for t ~inflight in
+let read_pipelined ?(coalesce = 1) t ~inflight ~ops =
+  let m = mux_for t ~inflight ~coalesce in
   (* Events fire on the pump's hot path, once per op start and finish:
      take the mutex directly instead of allocating a [locked] thunk per
      event.  Recorder calls raise only on misuse bugs; the handler
@@ -247,6 +265,28 @@ let read_pipelined t ~inflight ~ops =
      loud. *)
   let record ev =
     match ev with
+    | Client.Mux.Invoke { op; joined = true; at_us; _ } ->
+        (* A coalesced read overlaps its lead, so it needs a recorder
+           reader id of its own (the recorder allows one open op per
+           reader).  Joined ops never park/resume: keyed by op index. *)
+        let jrid = t.next_jrid in
+        t.next_jrid <- t.next_jrid + 1;
+        Hashtbl.replace m.m_open_joined op
+          (Histories.Recorder.invoke_read t.recorder ~time:at_us ~reader:jrid)
+    | Client.Mux.Respond { op; joined = true; at_us; outcome; _ } -> (
+        match Hashtbl.find_opt m.m_open_joined op with
+        | None -> ()
+        | Some h -> (
+            Hashtbl.remove m.m_open_joined op;
+            match outcome with
+            | Error _ -> ()  (* never resumed: the op stays open *)
+            | Ok o ->
+                let result =
+                  match o.Client.value with
+                  | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+                  | Some (Core.Value.V s) -> Histories.Op.Value s
+                in
+                Histories.Recorder.respond_read t.recorder h ~time:at_us result))
     | Client.Mux.Invoke { reader; at_us; _ } -> (
         match m.m_open.(reader - m.m_first) with
         | Some _ -> ()  (* resuming a parked op: invocation stands *)
@@ -279,11 +319,14 @@ let read_pipelined t ~inflight ~ops =
   in
   Client.Mux.run_reads ~on_event m.m_mux ops
 
-let keyed_for t ~map ~inflight =
+let keyed_for t ~map ~inflight ~coalesce =
   if inflight < 1 then
     invalid_arg (Printf.sprintf "Cluster.run_keyed: inflight %d" inflight);
   match t.keyed with
-  | Some k when k.k_inflight = inflight && k.k_map == map -> k
+  | Some k
+    when k.k_inflight = inflight && k.k_map == map && k.k_coalesce = coalesce
+    ->
+      k
   | existing ->
       (match existing with
       | Some k -> Client.Keyed.close k.k_client
@@ -304,20 +347,23 @@ let keyed_for t ~map ~inflight =
         {
           k_inflight = inflight;
           k_map = map;
+          k_coalesce = coalesce;
           k_client =
             Client.Keyed.connect ?metrics:registry ?opts:t.copts
-              ~now_us:t.now_us ~max_inflight:inflight ~reader:rid
+              ~now_us:t.now_us ~max_inflight:inflight ~reader:rid ~coalesce
               ~protocol:t.protocol ~map t.endpoints;
           k_registry = registry;
           k_recorders = Hashtbl.create 64;
           k_open = Hashtbl.create 64;
+          k_open_joined = Hashtbl.create 64;
         }
       in
       t.keyed <- Some k;
       k
 
-let run_keyed ?(inflight = 16) ?(sample = fun _ -> true) t ~map ops =
-  let k = keyed_for t ~map ~inflight in
+let run_keyed ?(inflight = 16) ?(coalesce = 1) ?(sample = fun _ -> true) t ~map
+    ops =
+  let k = keyed_for t ~map ~inflight ~coalesce in
   let recorder_for key =
     match Hashtbl.find_opt k.k_recorders key with
     | Some r -> r
@@ -328,7 +374,36 @@ let run_keyed ?(inflight = 16) ?(sample = fun _ -> true) t ~map ops =
   in
   let record ev =
     match ev with
-    | Client.Keyed.Invoke { op; key; write; at_us } ->
+    | Client.Keyed.Invoke { op; key; joined = true; at_us; _ } ->
+        if sample key then begin
+          (* A coalesced read overlaps its lead on the same key, so it
+             records under a fresh reader id (the recorder allows one
+             open op per reader).  Joined ops never park/resume: keyed
+             by op index. *)
+          let jrid = t.next_jrid in
+          t.next_jrid <- t.next_jrid + 1;
+          let r = recorder_for key in
+          Hashtbl.replace k.k_open_joined op
+            (Histories.Recorder.invoke_read r ~time:at_us ~reader:jrid)
+        end
+    | Client.Keyed.Respond { op; key; joined = true; at_us; outcome; _ } ->
+        if sample key then begin
+          match Hashtbl.find_opt k.k_open_joined op with
+          | None -> ()
+          | Some h -> (
+              Hashtbl.remove k.k_open_joined op;
+              match outcome with
+              | Error _ -> ()  (* never resumed: the op stays open *)
+              | Ok o ->
+                  let r = recorder_for key in
+                  let result =
+                    match o.Client.value with
+                    | Some Core.Value.Bottom | None -> Histories.Op.Bottom
+                    | Some (Core.Value.V s) -> Histories.Op.Value s
+                  in
+                  Histories.Recorder.respond_read r h ~time:at_us result)
+        end
+    | Client.Keyed.Invoke { op; key; write; at_us; _ } ->
         if sample key then begin
           match Hashtbl.find_opt k.k_open (key, write) with
           | Some _ -> ()  (* resuming a parked op: invocation stands *)

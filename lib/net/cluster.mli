@@ -52,7 +52,11 @@ val read : t -> reader:int -> (Client.outcome, string) result
 (** One READ by reader [reader] (1-based), recorded in the history. *)
 
 val read_pipelined :
-  t -> inflight:int -> ops:int -> (Client.outcome, string) result array
+  ?coalesce:int ->
+  t ->
+  inflight:int ->
+  ops:int ->
+  (Client.outcome, string) result array
 (** Drive [ops] READs with up to [inflight] concurrently in flight
     through a cached {!Client.Mux} whose reader ids are allocated fresh
     (above the serial readers' — base objects keep per-reader round
@@ -60,11 +64,15 @@ val read_pipelined :
     operation is recorded in the shared history at its real
     invoke/respond instants, so the checkers see the true concurrency;
     timed-out ops stay open and are resumed by a later call, exactly
-    like the serial path.  Changing [inflight] rebuilds the mux.
+    like the serial path.  [coalesce] (default 1 = off) is
+    {!Client.Mux.connect}'s batch cap: coalesced reads record under
+    fresh recorder reader ids, since they overlap their lead.  Changing
+    [inflight] or [coalesce] rebuilds the mux.
     @raise Invalid_argument if [inflight < 1]. *)
 
 val run_keyed :
   ?inflight:int ->
+  ?coalesce:int ->
   ?sample:(int -> bool) ->
   t ->
   map:Shard.Map.t ->
@@ -78,7 +86,10 @@ val run_keyed :
     its own per-key history — each key is an independent register, so
     the single-register checkers apply per key ({!keyed_histories}).
     [inflight] (default 16) caps concurrently progressing operations;
-    changing it or the map rebuilds the keyed client.
+    [coalesce] (default 1 = off) is {!Client.Keyed.connect}'s per-key
+    read-coalescing cap, and coalesced reads record under fresh
+    recorder reader ids since they overlap their lead.  Changing
+    [inflight], [coalesce] or the map rebuilds the keyed client.
     @raise Invalid_argument if [inflight < 1] or the map's fleet does
     not match. *)
 

@@ -1,0 +1,40 @@
+(* Joiners are stacked in reverse and reversed on read: batches are
+   tiny (bounded by cap, typically <= 64) and fan-out happens once per
+   round, so the O(width) reverse is cheaper than keeping a tail
+   pointer.  [width] includes the implicit lead, so [can_join] compares
+   directly against [cap]. *)
+type 'a t = {
+  cap : int;
+  mutable opn : bool;
+  mutable rev_joined : 'a list;
+  mutable width : int;
+}
+
+let create ~cap = { cap = max 1 cap; opn = true; rev_joined = []; width = 1 }
+
+let cap t = t.cap
+
+let is_open t = t.opn
+
+let can_join t = t.opn && t.width < t.cap
+
+let join t x =
+  if not (can_join t) then
+    invalid_arg "Coalesce.join: batch closed or at capacity";
+  t.rev_joined <- x :: t.rev_joined;
+  t.width <- t.width + 1
+
+let try_join t x =
+  if can_join t then begin
+    join t x;
+    true
+  end
+  else false
+
+let close t = t.opn <- false
+
+let width t = t.width
+
+let joiners t = List.rev t.rev_joined
+
+let iter_joiners f t = List.iter f (List.rev t.rev_joined)

@@ -1,0 +1,55 @@
+(** Read-coalescing batches: one quorum round shared by many reads.
+
+    A batch is attached to a READ round while its round-1 broadcast is
+    still being {e assembled} — appended to the per-connection outbound
+    buffers but not yet flushed to the wire.  Reads on the same key
+    invoked during that window {!join} the batch instead of starting
+    their own round; when the shared round completes, the client fans
+    the result out to every member.  The moment the broadcast hits the
+    wire the client {!close}s the batch: a read invoked after that
+    instant must not adopt this round's result (its evidence gathering
+    has already begun), it chains onto the {e next} round instead.
+
+    That join-before-broadcast rule is what preserves regularity: every
+    member of a batch is invoked before any base object has even seen
+    the round-1 request, so all the evidence the shared round gathers
+    lies inside every member's invoke–respond interval — the returned
+    value is justified for each member by exactly the single-read
+    argument (DESIGN §16).
+
+    The structure itself is a bounded bag: a lead (the read that started
+    the round, implicit — width counts it) plus at most [cap - 1]
+    joiners, kept in join order.  It is single-threaded, like the client
+    event loops that own it. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** A fresh open batch holding just the lead ([width] 1).  [cap] is the
+    maximum width including the lead; it is clamped to at least 1. *)
+
+val cap : 'a t -> int
+
+val is_open : 'a t -> bool
+
+val can_join : 'a t -> bool
+(** Open and below [cap]. *)
+
+val join : 'a t -> 'a -> unit
+(** Append a joiner.  @raise Invalid_argument unless {!can_join}. *)
+
+val try_join : 'a t -> 'a -> bool
+(** [join] if {!can_join}; reports whether it happened. *)
+
+val close : 'a t -> unit
+(** The round-1 broadcast left the process: no further joins.
+    Idempotent. *)
+
+val width : 'a t -> int
+(** Lead + joiners so far. *)
+
+val joiners : 'a t -> 'a list
+(** Joiners in join order (excludes the lead). *)
+
+val iter_joiners : ('a -> unit) -> 'a t -> unit
+(** Iterate joiners in join order without building the list. *)

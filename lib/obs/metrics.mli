@@ -100,7 +100,11 @@ val wallclock_bounds : float array
 (** Microseconds of host wall-clock per simulated event. *)
 
 val batch_bounds : float array
-(** Frames coalesced into one socket write ([wire.batch_size]). *)
+(** Batching widths: frames coalesced into one socket write
+    ([wire.batch_size]) and reads coalesced into one quorum round
+    ([op.coalesce_width] — observed once per batch member, so the
+    histogram weights by op; a median above its lowest bucket means
+    most reads shared a round). *)
 
 val bytes_bounds : float array
 (** Encoded frame sizes in bytes ([wire.bytes_per_frame]), fine-grained

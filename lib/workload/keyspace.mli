@@ -12,8 +12,13 @@
     al., as popularized by YCSB's ZipfianGenerator): key 0 is the most
     popular and rank [r]'s probability falls off as [1/(r+1)^skew].
     [skew = 0] degenerates to the uniform distribution; YCSB's default
-    hot-spot regime is [skew = 0.99].  The zeta normalization constant
-    is precomputed once in O(keys); each draw is O(1).
+    hot-spot regime is [skew = 0.99].  Below [skew = 1] the zeta
+    normalization constant is precomputed once in O(keys) and each draw
+    is O(1) via YCSB's closed-form CDF inverse; that inverse has a pole
+    at [skew = 1] ([alpha = 1/(1-skew)]), so at or above it — proper
+    Zipf, where the hot key takes a constant fraction of all traffic —
+    draws invert the exact cumulative table by binary search
+    (O(keys) once, O(log keys) per draw).
 
     Write values are ["k<key>.<n>"] with [n] a per-key sequence number,
     so every key's history has distinct write values and the checkers'
@@ -47,9 +52,10 @@ val make :
   unit ->
   (t, string) result
 (** [make ~keys ~seed ()] builds a generator over key ids [0, keys).
-    [skew] (default 0 = uniform) must lie in [0, 1); [write_ratio]
-    (default 0.05) in [0, 1]; [write_filter] (default: accept all)
-    restricts which keys this generator is allowed to write. *)
+    [skew] (default 0 = uniform) must be finite and nonnegative;
+    [write_ratio] (default 0.05) in [0, 1]; [write_filter] (default:
+    accept all) restricts which keys this generator is allowed to
+    write. *)
 
 val make_exn :
   ?skew:float ->

@@ -122,7 +122,8 @@ let gen_keyspace_params =
     map3
       (fun keys skew (wr, seed) -> (keys, skew, wr, seed))
       (1 -- 500)
-      (oneofl [ 0.0; 0.5; 0.9; 0.99 ])
+      (* both draw paths: YCSB closed form (< 1) and exact CDF (>= 1) *)
+      (oneofl [ 0.0; 0.5; 0.9; 0.99; 1.0; 1.2; 2.0 ])
       (pair (oneofl [ 0.0; 0.05; 0.3; 1.0 ]) (0 -- 1000)))
 
 let arb_keyspace_params =
@@ -228,9 +229,16 @@ let keyspace_rejects_bad_params () =
   (match Workload.Keyspace.make ~keys:0 ~seed:1 () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "keys=0 accepted");
-  (match Workload.Keyspace.make ~skew:1.0 ~keys:4 ~seed:1 () with
+  (match Workload.Keyspace.make ~skew:(-0.1) ~keys:4 ~seed:1 () with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "skew=1 accepted");
+  | Ok _ -> Alcotest.fail "skew<0 accepted");
+  (match Workload.Keyspace.make ~skew:Float.infinity ~keys:4 ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "skew=inf accepted");
+  (* skew >= 1 is the proper-Zipf CDF path: valid, and even hotter *)
+  (match Workload.Keyspace.make ~skew:1.2 ~keys:4 ~seed:1 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "skew=1.2 rejected: %s" e);
   match Workload.Keyspace.make ~write_ratio:1.5 ~keys:4 ~seed:1 () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "write_ratio>1 accepted"

@@ -39,4 +39,5 @@ let () =
       Suite_fast_read.suite;
       Suite_scaleout.suite;
       Suite_keyspace.suite;
+      Suite_coalesce.suite;
     ]
